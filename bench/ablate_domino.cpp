@@ -1,0 +1,96 @@
+// Ablation A2 — rollback propagation (the domino effect): how much work
+// is lost when recovering at an arbitrary failure time, per protocol.
+//
+// The paper's motivation: uncoordinated checkpointing has zero runtime
+// cost but "the rollback propagation during restart could be unbounded";
+// the application-driven placement gets coordinated-quality recovery (roll
+// back to the latest checkpoints) at uncoordinated-quality runtime cost.
+// We measure mean/max demotion depth (checkpoints rolled back below the
+// latest) and useless checkpoints (Netzer–Xu zigzag cycles).
+#include <iostream>
+
+#include "mp/parser.h"
+#include "place/place.h"
+#include "proto/protocols.h"
+#include "trace/analysis.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acfc;
+  const int nprocs = 8;
+
+  const mp::Program plain = mp::parse(R"(
+    program domino {
+      loop 12 {
+        compute 15.0;
+        send to (rank + 1) % nprocs tag 1;
+        recv from (rank - 1 + nprocs) % nprocs tag 1;
+        if (rank % 2 == 0) {
+          if (rank + 1 < nprocs) { send to rank + 1 tag 2;
+                                   recv from rank + 1 tag 2; }
+        } else {
+          send to rank - 1 tag 2;
+          recv from rank - 1 tag 2;
+        }
+      }
+    })");
+
+  mp::Program app_driven = plain.clone();
+  app_driven.renumber();
+  place::InsertOptions iopts;
+  iopts.target_interval = 45.0;
+  const auto report = place::analyze_and_place(app_driven, iopts);
+  if (!report.success) {
+    std::cerr << "placement failed\n";
+    return 1;
+  }
+
+  std::cout << "Ablation A2: rollback propagation at 40 sampled failure "
+               "times (n=" << nprocs << ")\n\n";
+
+  util::Table table({"protocol", "ckpts", "mean rollback", "max rollback",
+                     "mean lost work (s)", "useless ckpts"});
+
+  for (const auto protocol :
+       {proto::Protocol::kAppDriven, proto::Protocol::kCic,
+        proto::Protocol::kUncoordinated}) {
+    const mp::Program& program =
+        protocol == proto::Protocol::kAppDriven ? app_driven : plain;
+    sim::SimOptions sopts;
+    sopts.nprocs = nprocs;
+    sopts.compute_jitter = 0.4;  // desynchronized processes
+    proto::ProtocolOptions popts;
+    popts.interval = 45.0;
+    popts.stagger = 0.5;
+    const auto run = proto::run_protocol(program, protocol, sopts, popts);
+    if (!run.sim.trace.completed) {
+      std::cerr << "incomplete run\n";
+      return 1;
+    }
+    const auto& trace = run.sim.trace;
+    util::Summary rollback, lost;
+    int max_rollback = 0;
+    for (int i = 1; i <= 40; ++i) {
+      const double t = trace.end_time * i / 41.0;
+      const auto line = trace::max_recovery_line(trace, t);
+      for (const int r : line.rollbacks) {
+        rollback.add(r);
+        max_rollback = std::max(max_rollback, r);
+      }
+      lost.add(line.lost_work / nprocs);
+    }
+    table.add_row({proto::protocol_name(protocol),
+                   std::to_string(trace.checkpoints.size()),
+                   util::format_double(rollback.mean(), 4),
+                   std::to_string(max_rollback),
+                   util::format_double(lost.mean(), 5),
+                   std::to_string(trace::useless_checkpoints(trace).size())});
+  }
+
+  table.print(std::cout);
+  table.save_csv("ablate_domino.csv");
+  std::cout << "\nappl-driven recovers at (or within one instance of) the "
+               "latest checkpoints;\nuncoordinated placements cascade.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation A8 — attribute-aware path-feasibility refinement.
+//
+// Algorithm 3.2 as written uses plain graph paths in Ĝ; any path between
+// two same-index checkpoints triggers a move, even when no single process
+// could execute the path's control-flow segments (e.g. a segment through
+// both a rank==0-guarded checkpoint and a rank!=0-guarded send). The
+// refined checker (classify_paths_refined) discards such spurious
+// violations. This bench measures, over random misaligned corpora and the
+// master/worker family, how many reported violations are spurious and the
+// analysis-time price of refinement.
+#include <chrono>
+#include <iostream>
+
+#include "match/match.h"
+#include "mp/generate.h"
+#include "mp/parser.h"
+#include "place/place.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace acfc;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation A8: coarse vs attribute-refined Condition-1 "
+               "checking\n\n";
+
+  util::Table table({"corpus", "programs", "coarse violations",
+                     "refined violations", "spurious (%)",
+                     "coarse ms", "refined ms"});
+
+  // Corpus 1: random misaligned generator programs.
+  {
+    long coarse_total = 0, refined_total = 0;
+    double coarse_ms = 0.0, refined_ms = 0.0;
+    int programs = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      mp::GenerateOptions gopts;
+      gopts.seed = seed;
+      gopts.segments = 7;
+      gopts.misalign_checkpoints = true;
+      gopts.allow_collectives = false;
+      const mp::Program program = mp::generate_program(gopts);
+      if (mp::checkpoint_count(program) == 0) continue;
+      ++programs;
+      const match::ExtendedCfg ext = match::build_extended_cfg(program);
+      auto t0 = std::chrono::steady_clock::now();
+      coarse_total +=
+          static_cast<long>(place::check_condition1(ext).violations.size());
+      coarse_ms += ms_since(t0);
+      place::CheckOptions refined;
+      refined.attribute_refinement = true;
+      t0 = std::chrono::steady_clock::now();
+      refined_total += static_cast<long>(
+          place::check_condition1(ext, refined).violations.size());
+      refined_ms += ms_since(t0);
+    }
+    const double spurious =
+        coarse_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(coarse_total - refined_total) /
+                  static_cast<double>(coarse_total);
+    table.add_row({"random-misaligned", std::to_string(programs),
+                   std::to_string(coarse_total),
+                   std::to_string(refined_total),
+                   util::format_double(spurious, 3),
+                   util::format_double(coarse_ms, 3),
+                   util::format_double(refined_ms, 3)});
+  }
+
+  // Corpus 2: master/worker loops (rank-0-guarded checkpoints), the shape
+  // where guard contradictions are pervasive.
+  {
+    long coarse_total = 0, refined_total = 0;
+    double coarse_ms = 0.0, refined_ms = 0.0;
+    const mp::Program program = mp::parse(R"(
+      program master_loop {
+        loop 5 {
+          if (rank == 0) {
+            checkpoint "m";
+            for w in 1 .. nprocs { send to w tag 1; }
+          } else {
+            recv from 0 tag 1;
+            checkpoint "w";
+          }
+        }
+      })");
+    const match::ExtendedCfg ext = match::build_extended_cfg(program);
+    auto t0 = std::chrono::steady_clock::now();
+    coarse_total =
+        static_cast<long>(place::check_condition1(ext).violations.size());
+    coarse_ms = ms_since(t0);
+    place::CheckOptions refined;
+    refined.attribute_refinement = true;
+    t0 = std::chrono::steady_clock::now();
+    refined_total = static_cast<long>(
+        place::check_condition1(ext, refined).violations.size());
+    refined_ms = ms_since(t0);
+    const double spurious =
+        100.0 * static_cast<double>(coarse_total - refined_total) /
+        static_cast<double>(std::max(1L, coarse_total));
+    table.add_row({"master-worker", "1", std::to_string(coarse_total),
+                   std::to_string(refined_total),
+                   util::format_double(spurious, 3),
+                   util::format_double(coarse_ms, 3),
+                   util::format_double(refined_ms, 3)});
+  }
+
+  table.print(std::cout);
+  table.save_csv("ablate_refinement.csv");
+  std::cout << "\nrefinement removes spurious loop-carried violations at "
+               "an offline-only analysis cost.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation A4 — simulator throughput (google-benchmark): events/second
+// of the discrete-event engine across world sizes and workloads, plus the
+// cost of checkpoint snapshots and trace analyses.
+#include <benchmark/benchmark.h>
+
+#include "mp/parser.h"
+#include "sim/engine.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace acfc;
+
+mp::Program ring_program(int iters) {
+  return mp::parse(
+      "program ring {\n"
+      "  loop " + std::to_string(iters) + " {\n"
+      "    compute 1.0;\n"
+      "    checkpoint;\n"
+      "    send to (rank + 1) % nprocs tag 1;\n"
+      "    recv from (rank - 1 + nprocs) % nprocs tag 1;\n"
+      "  }\n"
+      "}\n");
+}
+
+void BM_SimulateRing(benchmark::State& state) {
+  const mp::Program program = ring_program(20);
+  const int nprocs = static_cast<int>(state.range(0));
+  long events = 0;
+  for (auto _ : state) {
+    sim::SimOptions opts;
+    opts.nprocs = nprocs;
+    opts.keep_snapshots = false;
+    sim::Engine engine(program, opts);
+    const auto result = engine.run();
+    events += result.stats.events_processed;
+    benchmark::DoNotOptimize(result.trace.end_time);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateRing)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_SnapshotOverhead(benchmark::State& state) {
+  const mp::Program program = ring_program(20);
+  const bool keep = state.range(0) != 0;
+  for (auto _ : state) {
+    sim::SimOptions opts;
+    opts.nprocs = 16;
+    opts.keep_snapshots = keep;
+    sim::Engine engine(program, opts);
+    benchmark::DoNotOptimize(engine.run().trace.end_time);
+  }
+  state.SetLabel(keep ? "snapshots on" : "snapshots off");
+}
+BENCHMARK(BM_SnapshotOverhead)->Arg(0)->Arg(1);
+
+void BM_StraightCutScan(benchmark::State& state) {
+  const mp::Program program = ring_program(static_cast<int>(state.range(0)));
+  const auto result = sim::simulate(program, 8);
+  for (auto _ : state) {
+    int bad = 0;
+    for (const auto& cut : trace::all_straight_cuts(result.trace))
+      bad += trace::analyze_cut(result.trace, cut).consistent ? 0 : 1;
+    benchmark::DoNotOptimize(bad);
+  }
+  state.counters["checkpoints"] =
+      static_cast<double>(result.trace.checkpoints.size());
+}
+BENCHMARK(BM_StraightCutScan)->Arg(10)->Arg(40);
+
+void BM_MaxRecoveryLine(benchmark::State& state) {
+  const mp::Program program = ring_program(40);
+  const auto result = sim::simulate(program, 8);
+  for (auto _ : state) {
+    const auto line = trace::max_recovery_line(
+        result.trace, result.trace.end_time * 0.7);
+    benchmark::DoNotOptimize(line.consistent);
+  }
+}
+BENCHMARK(BM_MaxRecoveryLine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

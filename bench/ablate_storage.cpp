@@ -1,0 +1,99 @@
+// Ablation A7 — where o and l come from: the storage layer.
+//
+// The paper reports o = 1.78 s and l = 4.292 s as measured constants from
+// Starfish. Here we derive (o, l) from a storage model — state size ×
+// bandwidth + commit latency, full vs incremental images, synchronous vs
+// asynchronous drain — and propagate them through (a) the Section-4
+// overhead-ratio model with its optimal interval, and (b) an actual
+// simulated run whose checkpoint costs come from a live StableStore.
+#include <iostream>
+
+#include "mp/parser.h"
+#include "perf/model.h"
+#include "sim/engine.h"
+#include "store/store.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acfc;
+
+  std::cout << "Ablation A7: storage-derived checkpoint costs (n=32 for "
+               "the analytic rows)\n\n";
+
+  store::StorageModel model;  // 100 MB/s write, 5 ms commit
+  util::Table analytic({"state (MB)", "mode", "o (s)", "l (s)",
+                        "overhead ratio", "optimal T (s)"});
+  for (const long mb : {64L, 256L, 1024L, 4096L}) {
+    for (const auto mode :
+         {store::CheckpointMode::kFull, store::CheckpointMode::kIncremental}) {
+      const auto d = store::derive_checkpoint_params(model, mode,
+                                                     mb * 1'000'000);
+      perf::ModelParams p =
+          perf::params_for(proto::Protocol::kAppDriven, 32);
+      p.o = d.overhead;
+      p.l = d.latency;
+      analytic.add_row(
+          {std::to_string(mb),
+           mode == store::CheckpointMode::kFull ? "full" : "incremental",
+           util::format_double(d.overhead, 4),
+           util::format_double(d.latency, 4),
+           util::format_double(perf::overhead_ratio(p), 5),
+           util::format_double(perf::optimal_checkpoint_interval(p), 5)});
+    }
+  }
+  analytic.print(std::cout);
+  analytic.save_csv("ablate_storage_analytic.csv");
+
+  // End-to-end: the same workload with live store-backed checkpoint costs.
+  std::cout << "\nSimulated makespan with store-backed checkpoint costs "
+               "(n=6):\n\n";
+  const mp::Program program = mp::parse(R"(
+    program stored {
+      loop 8 {
+        compute 30.0;
+        checkpoint;
+        send to (rank + 1) % nprocs tag 1;
+        recv from (rank - 1 + nprocs) % nprocs tag 1;
+      }
+    })");
+
+  util::Table simulated({"state (MB)", "mode", "makespan (s)",
+                         "stored (MB)", "after GC keep-2 (MB)",
+                         "max chain"});
+  for (const long mb : {64L, 1024L}) {
+    for (const auto mode :
+         {store::CheckpointMode::kFull, store::CheckpointMode::kIncremental}) {
+      store::StableStore stable(model, mode, 6);
+      sim::SimOptions opts;
+      opts.nprocs = 6;
+      opts.checkpoint_cost_fn = [&stable, mb](int proc) {
+        const auto cost =
+            stable.write_checkpoint(proc, mb * 1'000'000, 0.0);
+        return std::make_pair(cost.seconds, cost.seconds);
+      };
+      sim::Engine engine(program, opts);
+      const auto result = engine.run();
+      if (!result.trace.completed) {
+        std::cerr << "incomplete run\n";
+        return 1;
+      }
+      int max_chain = 0;
+      for (int p = 0; p < 6; ++p)
+        max_chain = std::max(max_chain, stable.chain_length(p));
+      const long before = stable.bytes_stored();
+      stable.collect_garbage(2);
+      simulated.add_row(
+          {std::to_string(mb),
+           mode == store::CheckpointMode::kFull ? "full" : "incremental",
+           util::format_double(result.trace.end_time, 5),
+           std::to_string(before / 1'000'000),
+           std::to_string(stable.bytes_stored() / 1'000'000),
+           std::to_string(max_chain)});
+    }
+  }
+  simulated.print(std::cout);
+  simulated.save_csv("ablate_storage_simulated.csv");
+  std::cout << "\nincremental mode shrinks both the blocking overhead and "
+               "the stored footprint; the restore chain is the price.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 8 — "Comparing protocols": overhead ratio r vs number of
+// processes n for the application-driven approach, Sync-and-Stop, and
+// Chandy–Lamport, under the paper's constants (o = 1.78 s, l = 4.292 s,
+// R = 3.32 s, per-process failure rate 1.23e-6, T = 300 s, 8-bit control
+// messages).
+//
+// Expected shape (the paper's claims):
+//   * every curve grows with n (the system failure rate λ(n) = 1−(1−p)^n
+//     grows with n);
+//   * appl-driven is lowest everywhere (M = 0);
+//   * C-L (M ∝ n²) overtakes SaS (M ∝ n) as n grows.
+//
+// Prints the series and writes fig8_overhead_vs_n.csv.
+#include <iostream>
+
+#include "perf/model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acfc;
+
+  const std::vector<int> nprocs = {2,  4,  8,   16,  32,  64,
+                                   96, 128, 192, 256, 384, 512};
+  perf::NetworkParams net;   // w_m = 2 ms, w_b = 1 µs
+  perf::PaperConstants constants;
+
+  const auto series = perf::figure8_series(nprocs, net, constants);
+
+  std::cout << "Figure 8: overhead ratio r = Γ/T − 1 vs number of "
+               "processes\n";
+  std::cout << "constants: o=" << constants.o << " l=" << constants.l
+            << " R=" << constants.R << " p=" << constants.p_single
+            << " T=" << constants.T << " w_m=" << net.w_m
+            << " w_b=" << net.w_b << "\n\n";
+
+  util::Table table({"n", series[0].name, series[1].name, series[2].name});
+  for (size_t i = 0; i < nprocs.size(); ++i) {
+    table.add_row({std::to_string(nprocs[i]),
+                   util::format_double(series[0].points[i].second, 6),
+                   util::format_double(series[1].points[i].second, 6),
+                   util::format_double(series[2].points[i].second, 6)});
+  }
+  table.print(std::cout);
+  table.save_csv("fig8_overhead_vs_n.csv");
+
+  // The qualitative checks the paper's figure makes visually.
+  bool app_lowest = true, monotone = true;
+  for (size_t i = 0; i < nprocs.size(); ++i) {
+    app_lowest &= series[0].points[i].second < series[1].points[i].second &&
+                  series[0].points[i].second < series[2].points[i].second;
+    if (i > 0)
+      for (const auto& s : series)
+        monotone &= s.points[i].second > s.points[i - 1].second;
+  }
+  std::cout << "\nappl-driven lowest at every n: "
+            << (app_lowest ? "yes" : "NO") << '\n';
+  std::cout << "all curves grow with n:         "
+            << (monotone ? "yes" : "NO") << '\n';
+  std::cout << "wrote fig8_overhead_vs_n.csv\n";
+  return app_lowest && monotone ? 0 : 1;
+}

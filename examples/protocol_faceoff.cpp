@@ -1,0 +1,95 @@
+// All five checkpointing protocols on the same workload and network —
+// measured, not modelled: control messages, forced checkpoints, time
+// processes spent stopped, channel-state logging, and recovery quality
+// (rollback distance at random failure times).
+//
+// This is the runnable counterpart of the paper's Section 4 comparison.
+#include <iostream>
+
+#include "mp/parser.h"
+#include "place/place.h"
+#include "proto/protocols.h"
+#include "trace/analysis.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acfc;
+  const int nprocs = 8;
+
+  // Timer-driven protocols checkpoint a plain compute/exchange loop...
+  const mp::Program plain = mp::parse(R"(
+    program faceoff {
+      loop 10 {
+        compute 20.0 label "work";
+        send to (rank + 1) % nprocs tag 1 bytes 1024;
+        recv from (rank - 1 + nprocs) % nprocs tag 1;
+      }
+    })");
+
+  // ...while the app-driven run uses the SAME program with Phase-I/III
+  // placed checkpoint statements.
+  mp::Program app_driven = plain.clone();
+  app_driven.renumber();
+  place::InsertOptions iopts;
+  iopts.target_interval = 60.0;
+  const auto report = place::analyze_and_place(app_driven, iopts);
+  if (!report.success) {
+    std::cerr << "placement failed\n";
+    return 1;
+  }
+
+  sim::SimOptions sopts;
+  sopts.nprocs = nprocs;
+  sopts.checkpoint_overhead = 1.78;
+  sopts.compute_jitter = 0.3;  // desynchronize processes a little
+
+  proto::ProtocolOptions popts;
+  popts.interval = 60.0;
+
+  util::Table table({"protocol", "ckpts", "forced", "ctl msgs",
+                     "ctl msgs (paper)", "paused (s)", "chan-logged",
+                     "mean rollback", "makespan (s)"});
+
+  const proto::Protocol protocols[] = {
+      proto::Protocol::kAppDriven,     proto::Protocol::kSyncAndStop,
+      proto::Protocol::kChandyLamport, proto::Protocol::kKooToueg,
+      proto::Protocol::kCic,           proto::Protocol::kUncoordinated};
+
+  for (const auto protocol : protocols) {
+    const mp::Program& program =
+        protocol == proto::Protocol::kAppDriven ? app_driven : plain;
+    const auto run = proto::run_protocol(program, protocol, sopts, popts);
+    if (!run.sim.trace.completed) {
+      std::cerr << proto::protocol_name(protocol) << ": incomplete run\n";
+      return 1;
+    }
+    // Recovery quality: average rollback count over sampled failure times.
+    double rollback_sum = 0.0;
+    int samples = 0;
+    for (int i = 1; i <= 8; ++i) {
+      const double t = run.sim.trace.end_time * i / 9.0;
+      const auto line = trace::max_recovery_line(run.sim.trace, t);
+      for (const int r : line.rollbacks) rollback_sum += r;
+      samples += nprocs;
+    }
+    const long paper_msgs =
+        run.rounds_completed *
+        proto::expected_control_messages(protocol, nprocs);
+    table.add_row(
+        {proto::protocol_name(protocol),
+         std::to_string(run.sim.stats.statement_checkpoints +
+                        run.sim.stats.forced_checkpoints),
+         std::to_string(run.sim.stats.forced_checkpoints),
+         std::to_string(run.sim.stats.control_messages),
+         std::to_string(paper_msgs),
+         util::format_double(run.sim.stats.paused_time, 4),
+         std::to_string(run.sim.stats.channel_logged_messages),
+         util::format_double(rollback_sum / samples, 3),
+         util::format_double(run.sim.trace.end_time, 5)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nappl-driven: zero control messages, zero pauses — the "
+               "coordination-free claim, measured.\n";
+  return 0;
+}

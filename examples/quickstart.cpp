@@ -1,0 +1,86 @@
+// Quickstart: the full application-driven coordination-free checkpointing
+// pipeline on a small SPMD program.
+//
+//   1. Write (or load) a MiniMP program.
+//   2. Phase I  — insert checkpoints at the optimal interval.
+//   3. Phase II — build the extended CFG (match sends to receives).
+//   4. Phase III— check Condition 1 and repair the placement.
+//   5. Run it on the simulator and verify that every straight cut of
+//      checkpoints is a recovery line — with zero control messages.
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "match/match.h"
+#include "mp/parser.h"
+#include "mp/printer.h"
+#include "place/place.h"
+#include "sim/engine.h"
+#include "trace/analysis.h"
+
+int main() {
+  using namespace acfc;
+
+  // A misaligned variant of the paper's Jacobi example (Figure 2): even
+  // ranks checkpoint before the neighbour exchange, odd ranks after.
+  mp::Program program = mp::parse(R"(
+    program quickstart {
+      for it in 0 .. 5 {
+        compute 5.0 label "stencil";
+        if (rank % 2 == 0) {
+          checkpoint "even";
+          if (rank + 1 < nprocs) {
+            send to rank + 1 tag 1;
+            recv from rank + 1 tag 1;
+          }
+        } else {
+          send to rank - 1 tag 1;
+          recv from rank - 1 tag 1;
+          checkpoint "odd";
+        }
+      }
+    })");
+
+  std::cout << "== Input program ==\n" << mp::print(program) << '\n';
+
+  // Phase II + Condition 1: is the straight cut a recovery line?
+  {
+    const match::ExtendedCfg ext = match::build_extended_cfg(program);
+    const auto check = place::check_condition1(ext);
+    std::cout << "Condition 1 violations: " << check.violations.size()
+              << " (hard: " << check.hard_count() << ")\n";
+  }
+
+  // Phase III: repair the placement.
+  const place::RepairReport report = place::repair_placement(program);
+  std::cout << "\n== Phase III repair ==\n";
+  for (const auto& line : report.log) std::cout << "  " << line << '\n';
+  std::cout << "moves=" << report.moves << " merges=" << report.merges
+            << " hoists=" << report.hoists
+            << " success=" << (report.success ? "yes" : "no") << "\n";
+
+  std::cout << "\n== Repaired program ==\n" << mp::print(program) << '\n';
+
+  // Execute and check every straight cut.
+  for (const int nprocs : {2, 4, 6}) {
+    const auto result = sim::simulate(program, nprocs);
+    if (!result.trace.completed) {
+      std::cerr << "simulation did not complete!\n";
+      return 1;
+    }
+    int cuts = 0, bad = 0;
+    for (const auto& cut : trace::all_straight_cuts(result.trace)) {
+      ++cuts;
+      if (!trace::analyze_cut(result.trace, cut).consistent) ++bad;
+    }
+    std::cout << "n=" << nprocs << ": " << result.stats.app_messages
+              << " app msgs, " << result.stats.control_messages
+              << " control msgs, " << cuts << " straight cuts checked, "
+              << bad << " inconsistent\n";
+    if (bad != 0) return 1;
+  }
+
+  std::cout << "\nEvery straight cut is a recovery line — no coordination "
+               "messages were needed.\n";
+  return 0;
+}

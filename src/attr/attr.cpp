@@ -1,0 +1,260 @@
+#include "attr/attr.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "mp/subst.h"
+#include "util/error.h"
+
+namespace acfc::attr {
+
+std::string PathAttribute::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [pred, polarity] : guards) {
+    if (!first) os << " ∧ ";
+    first = false;
+    if (polarity) {
+      os << pred.str();
+    } else {
+      os << "¬(" << pred.str() << ")";
+    }
+  }
+  for (const auto& loop : loops) {
+    if (!first) os << " ∧ ";
+    first = false;
+    os << loop.var << " ∈ [" << loop.lo.str() << ", " << loop.hi.str() << ")";
+  }
+  if (first) os << "⊤";
+  return os.str();
+}
+
+namespace {
+
+bool collect(const mp::Block& block, int stmt_uid, PathAttribute& acc) {
+  for (const auto& s : block.stmts) {
+    if (s->uid() == stmt_uid) return true;
+    if (const auto* iff = dynamic_cast<const mp::IfStmt*>(s.get())) {
+      acc.guards.emplace_back(iff->cond, true);
+      if (collect(iff->then_body, stmt_uid, acc)) return true;
+      acc.guards.back().second = false;
+      if (collect(iff->else_body, stmt_uid, acc)) return true;
+      acc.guards.pop_back();
+    } else if (const auto* loop = dynamic_cast<const mp::LoopStmt*>(s.get())) {
+      acc.loops.push_back({loop->var, loop->lo, loop->hi});
+      if (collect(loop->body, stmt_uid, acc)) return true;
+      acc.loops.pop_back();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PathAttribute attribute_of(const mp::Program& program, int stmt_uid) {
+  PathAttribute acc;
+  if (!collect(program.body, stmt_uid, acc))
+    throw util::ProgramError("attribute_of: no statement with uid " +
+                             std::to_string(stmt_uid));
+  return acc;
+}
+
+PathAttribute combine_attributes(const PathAttribute& a,
+                                 const PathAttribute& b, int salt) {
+  PathAttribute out = a;
+  // Rename b's loop variables so iterations are not spuriously unified,
+  // rewriting b's guards and later loop bounds consistently.
+  std::vector<std::pair<std::string, std::string>> renames;
+  std::vector<LoopBinding> renamed_loops;
+  int counter = 0;
+  for (const LoopBinding& loop : b.loops) {
+    LoopBinding fresh = loop;
+    for (const auto& [old_name, new_name] : renames) {
+      fresh.lo = mp::substitute(fresh.lo, old_name,
+                                mp::Expr::loop_var(new_name));
+      fresh.hi = mp::substitute(fresh.hi, old_name,
+                                mp::Expr::loop_var(new_name));
+    }
+    const std::string new_name =
+        loop.var + "$" + std::to_string(salt) + "_" +
+        std::to_string(counter++);
+    renames.emplace_back(loop.var, new_name);
+    fresh.var = new_name;
+    renamed_loops.push_back(std::move(fresh));
+  }
+  for (const auto& [pred, polarity] : b.guards) {
+    mp::Pred rewritten = pred;
+    for (const auto& [old_name, new_name] : renames)
+      rewritten = mp::substitute(rewritten, old_name,
+                                 mp::Expr::loop_var(new_name));
+    out.guards.emplace_back(std::move(rewritten), polarity);
+  }
+  out.loops.insert(out.loops.end(), renamed_loops.begin(),
+                   renamed_loops.end());
+  return out;
+}
+
+namespace {
+
+/// Shared enumeration state with a global budget.
+struct Enumerator {
+  const SatOptions& opts;
+  long budget;
+
+  explicit Enumerator(const SatOptions& o) : opts(o), budget(o.budget) {}
+
+  bool exhausted() const { return budget <= 0; }
+
+  /// True iff every guard is non-false under ctx (unknown passes).
+  static bool guards_hold(const PathAttribute& attr, const mp::EvalCtx& ctx) {
+    for (const auto& [pred, polarity] : attr.guards) {
+      const auto v = pred.eval(ctx);
+      if (v.has_value() && *v != polarity) return false;
+    }
+    return true;
+  }
+
+  /// Invokes fn for every loop valuation (building ctx.env); fn returns
+  /// false to stop early. Returns false if stopped early.
+  bool for_each_valuation(const PathAttribute& attr, mp::EvalCtx& ctx,
+                          std::size_t depth,
+                          const std::function<bool(const mp::EvalCtx&)>& fn) {
+    if (exhausted()) {
+      // Budget blown: behave conservatively by visiting a single synthetic
+      // valuation that leaves loop variables unbound (expressions over them
+      // then evaluate to unknown → wildcards).
+      return fn(ctx);
+    }
+    if (depth == attr.loops.size()) {
+      --budget;
+      return fn(ctx);
+    }
+    const LoopBinding& binding = attr.loops[depth];
+    const auto lo = binding.lo.eval(ctx);
+    const auto hi = binding.hi.eval(ctx);
+    std::vector<std::int64_t> values;
+    if (lo && hi) {
+      if (*lo >= *hi) return true;  // loop body never executes: no valuation
+      const std::int64_t span = *hi - *lo;
+      const auto cap = static_cast<std::int64_t>(opts.max_loop_values);
+      if (span <= cap) {
+        for (std::int64_t v = *lo; v < *hi; ++v) values.push_back(v);
+      } else {
+        // Sample head and tail; rank-valued destinations live near the
+        // range ends in the common idioms (0, 1, ..., nprocs-1).
+        for (std::int64_t v = *lo; v < *lo + cap / 2; ++v)
+          values.push_back(v);
+        for (std::int64_t v = *hi - cap / 2; v < *hi; ++v)
+          values.push_back(v);
+      }
+    } else {
+      // Unknown bounds (irregular): enumerate the plausible rank-adjacent
+      // values — conservative for matching purposes.
+      for (std::int64_t v = -1; v <= ctx.nprocs; ++v) values.push_back(v);
+    }
+    for (const std::int64_t v : values) {
+      ctx.env.emplace_back(binding.var, v);
+      const bool keep_going = for_each_valuation(attr, ctx, depth + 1, fn);
+      ctx.env.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  /// The set of values an expression can take at (rank, nprocs) across all
+  /// guard-satisfying loop valuations; nullopt means wildcard (some
+  /// valuation made the expression unknown, or the attribute has no
+  /// satisfying valuation? — no: empty set means unreachable).
+  struct ValueSet {
+    bool wildcard = false;
+    std::set<std::int64_t> values;
+    bool reachable = false;  ///< some valuation satisfied the guards
+  };
+
+  ValueSet achievable(const PathAttribute& attr, const mp::Expr& expr,
+                      int rank, int nprocs) {
+    ValueSet out;
+    mp::EvalCtx ctx;
+    ctx.rank = rank;
+    ctx.nprocs = nprocs;
+    for_each_valuation(attr, ctx, 0, [&](const mp::EvalCtx& c) {
+      if (!guards_hold(attr, c)) return true;
+      out.reachable = true;
+      const auto v = expr.eval(c);
+      if (v) {
+        out.values.insert(*v);
+      } else {
+        out.wildcard = true;
+      }
+      // Stop early once a wildcard is seen and reachability established.
+      return !out.wildcard;
+    });
+    return out;
+  }
+
+  bool attr_satisfiable(const PathAttribute& attr, int rank, int nprocs) {
+    bool sat = false;
+    mp::EvalCtx ctx;
+    ctx.rank = rank;
+    ctx.nprocs = nprocs;
+    for_each_valuation(attr, ctx, 0, [&](const mp::EvalCtx& c) {
+      if (guards_hold(attr, c)) {
+        sat = true;
+        return false;
+      }
+      return true;
+    });
+    return sat;
+  }
+};
+
+}  // namespace
+
+bool satisfiable(const PathAttribute& attr, const SatOptions& opts) {
+  Enumerator e(opts);
+  for (const int n : opts.world_sizes) {
+    for (int rank = 0; rank < n; ++rank) {
+      if (e.attr_satisfiable(attr, rank, n)) return true;
+      if (e.exhausted()) return true;  // conservative
+    }
+  }
+  return false;
+}
+
+std::optional<MatchWitness> find_match(const MatchQuery& query,
+                                       const SatOptions& opts) {
+  Enumerator e(opts);
+  for (const int n : opts.world_sizes) {
+    // Precompute per-rank reachability and achievable parameter values.
+    std::vector<Enumerator::ValueSet> dest_sets, src_sets;
+    dest_sets.reserve(static_cast<size_t>(n));
+    src_sets.reserve(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      dest_sets.push_back(e.achievable(query.sender_attr, query.dest, r, n));
+      src_sets.push_back(e.achievable(query.recv_attr, query.src, r, n));
+    }
+    for (int p = 0; p < n; ++p) {
+      const auto& dest = dest_sets[static_cast<size_t>(p)];
+      if (!dest.reachable) continue;
+      for (int q = 0; q < n; ++q) {
+        if (p == q && !opts.allow_self_messages) continue;
+        const auto& src = src_sets[static_cast<size_t>(q)];
+        if (!src.reachable) continue;
+        const bool dest_ok = dest.wildcard || dest.values.count(q) > 0;
+        const bool src_ok =
+            query.src_any || src.wildcard || src.values.count(p) > 0;
+        if (dest_ok && src_ok) return MatchWitness{n, p, q};
+      }
+    }
+    if (e.exhausted()) {
+      // Budget blown: resolve conservatively as matching with a synthetic
+      // witness on the smallest world size.
+      return MatchWitness{opts.world_sizes.empty() ? 2 : opts.world_sizes[0],
+                          0, 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace acfc::attr

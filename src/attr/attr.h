@@ -1,0 +1,105 @@
+// Path attributes and the contradiction test of Phase II (Section 3.2).
+//
+// The paper: every control path out of an ID-dependent branch carries an
+// *attribute* derived from the condition expression; a send node matches a
+// receive node when the receiver's source attribute and the sender's
+// destination attribute "do not present any contradiction".
+//
+// We represent a statement's attribute as the conjunction of its enclosing
+// branch conditions (with polarity) plus the ranges of enclosing loop
+// variables. The decision procedure is exact bounded enumeration: a
+// contradiction is declared only if NO world size n in a configured set, no
+// rank assignment, and no loop-variable valuation satisfies all constraints
+// simultaneously. Data-dependent (irregular) terms evaluate to "unknown"
+// and are treated as satisfiable — the conservative direction, which keeps
+// Lemma 3.1 (the true sender is always among the matches) valid.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mp/expr.h"
+#include "mp/pred.h"
+#include "mp/stmt.h"
+
+namespace acfc::attr {
+
+/// An enclosing loop binding: var ranges over [lo, hi).
+struct LoopBinding {
+  std::string var;
+  mp::Expr lo;
+  mp::Expr hi;
+};
+
+/// The attribute of a control path: all guards that must hold (with
+/// polarity) for the statement to execute, plus loop-variable ranges,
+/// outermost first.
+struct PathAttribute {
+  std::vector<std::pair<mp::Pred, bool>> guards;
+  std::vector<LoopBinding> loops;
+
+  /// Human-readable conjunction, e.g. "rank % 2 == 0 ∧ ¬(rank == 0)".
+  std::string describe() const;
+};
+
+/// Computes the attribute of the statement with `stmt_uid` from the
+/// program structure. Throws util::ProgramError if the uid is absent.
+PathAttribute attribute_of(const mp::Program& program, int stmt_uid);
+
+/// Conjoins two attributes describing statements executed by the SAME
+/// process (e.g. both endpoints of a control-flow segment). The second
+/// attribute's loop variables are renamed (suffix "$<salt>...") before
+/// merging: the two statements may execute in different iterations, so
+/// identically-named loop variables must not be unified.
+PathAttribute combine_attributes(const PathAttribute& a,
+                                 const PathAttribute& b, int salt);
+
+struct SatOptions {
+  /// World sizes to enumerate. Chosen to include sizes with different
+  /// parity, primes, and powers of two so that modular and boundary
+  /// attributes are exercised. IMPORTANT: the enumeration is exact only
+  /// over these sizes — if the program will deploy at larger n and its
+  /// guards gate communication on n (e.g. butterfly rounds needing
+  /// rank + 2^k < nprocs), extend this list to cover the deployment
+  /// scale, or matching may miss edges that only materialize there.
+  std::vector<int> world_sizes = {2, 3, 4, 5, 6, 7, 8, 12, 16};
+  /// Cap on enumerated values per loop variable: when a loop range is
+  /// larger, the head and tail of the range are sampled.
+  int max_loop_values = 64;
+  /// Whether a process may message itself (MPI allows it; the paper's
+  /// model pairs distinct processes).
+  bool allow_self_messages = false;
+  /// Safety valve: enumeration budget. On exhaustion the query resolves
+  /// conservatively (satisfiable / matching).
+  long budget = 4'000'000;
+};
+
+/// Is there a (world size, rank, loop valuation) under which every guard
+/// of the attribute holds? Unknown guard values count as satisfied.
+bool satisfiable(const PathAttribute& attr, const SatOptions& opts = {});
+
+/// A send/recv compatibility query (the heart of Algorithm 3.1).
+struct MatchQuery {
+  PathAttribute sender_attr;
+  mp::Expr dest;  ///< sender's destination parameter
+  PathAttribute recv_attr;
+  mp::Expr src;   ///< receiver's source parameter
+  bool src_any = false;  ///< MPI_ANY_SOURCE on the receive
+};
+
+/// A concrete witness that the pair can communicate.
+struct MatchWitness {
+  int nprocs = 0;
+  int sender = 0;
+  int receiver = 0;
+};
+
+/// Searches for (n, p, q) with p ≠ q (unless allow_self_messages), sender
+/// guards true at p, receiver guards true at q, dest(p) = q, src(q) = p.
+/// Irregular dest/src act as wildcards. Returns nullopt iff the attributes
+/// contradict (no witness in the enumerated space).
+std::optional<MatchWitness> find_match(const MatchQuery& query,
+                                       const SatOptions& opts = {});
+
+}  // namespace acfc::attr

@@ -1,0 +1,503 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/dot.h"
+#include "util/error.h"
+
+namespace acfc::cfg {
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kEntry:
+      return "entry";
+    case NodeKind::kExit:
+      return "exit";
+    case NodeKind::kCompute:
+      return "compute";
+    case NodeKind::kSend:
+      return "send";
+    case NodeKind::kRecv:
+      return "recv";
+    case NodeKind::kCheckpoint:
+      return "chkpt";
+    case NodeKind::kCollective:
+      return "collective";
+    case NodeKind::kBranch:
+      return "branch";
+    case NodeKind::kJoin:
+      return "join";
+    case NodeKind::kLoopHeader:
+      return "loop";
+    case NodeKind::kLoopLatch:
+      return "latch";
+  }
+  return "?";
+}
+
+NodeId Cfg::add_node(NodeKind kind, const mp::Stmt* stmt, std::string label) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.kind = kind;
+  n.stmt = stmt;
+  n.stmt_uid = stmt != nullptr ? stmt->uid() : -1;
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  succs_.emplace_back();
+  preds_.emplace_back();
+  analyzed_ = false;
+  return nodes_.back().id;
+}
+
+void Cfg::add_edge(NodeId from, NodeId to) {
+  ACFC_CHECK(from >= 0 && from < node_count());
+  ACFC_CHECK(to >= 0 && to < node_count());
+  succs_[static_cast<size_t>(from)].push_back(to);
+  preds_[static_cast<size_t>(to)].push_back(from);
+  analyzed_ = false;
+}
+
+std::vector<Node> Cfg::nodes_of_kind(NodeKind kind) const {
+  std::vector<Node> out;
+  for (const Node& n : nodes_)
+    if (n.kind == kind) out.push_back(n);
+  return out;
+}
+
+std::optional<NodeId> Cfg::node_for_stmt(int stmt_uid) const {
+  for (const Node& n : nodes_)
+    if (n.stmt_uid == stmt_uid) return n.id;
+  return std::nullopt;
+}
+
+void Cfg::analyze() {
+  ACFC_CHECK_MSG(entry_ != kNoNode && exit_ != kNoNode,
+                 "entry/exit must be set before analyze()");
+  compute_rpo();
+  compute_dominators();
+  compute_back_edges();
+  compute_reachability();
+  analyzed_ = true;
+}
+
+void Cfg::compute_rpo() {
+  const auto n = static_cast<size_t>(node_count());
+  std::vector<char> visited(n, 0);
+  std::vector<NodeId> postorder;
+  postorder.reserve(n);
+  // Iterative DFS with explicit successor cursor.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  stack.emplace_back(entry_, 0);
+  visited[static_cast<size_t>(entry_)] = 1;
+  while (!stack.empty()) {
+    auto& [id, cursor] = stack.back();
+    const auto& ss = succs_[static_cast<size_t>(id)];
+    if (cursor < ss.size()) {
+      const NodeId next = ss[cursor++];
+      if (!visited[static_cast<size_t>(next)]) {
+        visited[static_cast<size_t>(next)] = 1;
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      postorder.push_back(id);
+      stack.pop_back();
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!visited[i])
+      throw util::ProgramError("CFG node unreachable from entry: " +
+                               nodes_[i].label);
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  rpo_pos_.assign(n, -1);
+  for (size_t i = 0; i < rpo_.size(); ++i)
+    rpo_pos_[static_cast<size_t>(rpo_[i])] = static_cast<int>(i);
+}
+
+void Cfg::compute_dominators() {
+  // Cooper–Harvey–Kennedy iterative dominator algorithm over RPO.
+  const auto n = static_cast<size_t>(node_count());
+  idom_.assign(n, kNoNode);
+  idom_[static_cast<size_t>(entry_)] = entry_;
+
+  auto intersect = [this](NodeId a, NodeId b) {
+    while (a != b) {
+      while (rpo_pos_[static_cast<size_t>(a)] >
+             rpo_pos_[static_cast<size_t>(b)])
+        a = idom_[static_cast<size_t>(a)];
+      while (rpo_pos_[static_cast<size_t>(b)] >
+             rpo_pos_[static_cast<size_t>(a)])
+        b = idom_[static_cast<size_t>(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const NodeId id : rpo_) {
+      if (id == entry_) continue;
+      NodeId new_idom = kNoNode;
+      for (const NodeId p : preds_[static_cast<size_t>(id)]) {
+        if (idom_[static_cast<size_t>(p)] == kNoNode) continue;
+        new_idom = new_idom == kNoNode ? p : intersect(p, new_idom);
+      }
+      ACFC_CHECK_MSG(new_idom != kNoNode, "node with no processed preds");
+      if (idom_[static_cast<size_t>(id)] != new_idom) {
+        idom_[static_cast<size_t>(id)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(NodeId a, NodeId b) const {
+  ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  NodeId cur = b;
+  while (true) {
+    if (cur == a) return true;
+    if (cur == entry_) return false;
+    cur = idom_[static_cast<size_t>(cur)];
+  }
+}
+
+void Cfg::compute_back_edges() {
+  back_edges_.clear();
+  analyzed_ = true;  // dominates() is usable now that idom_ is computed
+  for (NodeId from = 0; from < node_count(); ++from) {
+    for (const NodeId to : succs_[static_cast<size_t>(from)]) {
+      if (dominates(to, from)) back_edges_.push_back({from, to});
+    }
+  }
+}
+
+bool Cfg::is_back_edge(NodeId from, NodeId to) const {
+  return std::find(back_edges_.begin(), back_edges_.end(), Edge{from, to}) !=
+         back_edges_.end();
+}
+
+std::vector<NodeId> Cfg::natural_loop(const Edge& back_edge) const {
+  ACFC_CHECK_MSG(is_back_edge(back_edge.from, back_edge.to),
+                 "not a back edge");
+  // Standard algorithm: header plus everything that reaches the latch
+  // without passing through the header (walk predecessors from the latch).
+  std::vector<char> in_loop(static_cast<size_t>(node_count()), 0);
+  in_loop[static_cast<size_t>(back_edge.to)] = 1;
+  std::vector<NodeId> work;
+  if (!in_loop[static_cast<size_t>(back_edge.from)]) {
+    in_loop[static_cast<size_t>(back_edge.from)] = 1;
+    work.push_back(back_edge.from);
+  }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (const NodeId p : preds_[static_cast<size_t>(id)]) {
+      if (!in_loop[static_cast<size_t>(p)]) {
+        in_loop[static_cast<size_t>(p)] = 1;
+        work.push_back(p);
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < node_count(); ++id)
+    if (in_loop[static_cast<size_t>(id)]) out.push_back(id);
+  return out;
+}
+
+namespace {
+
+/// Computes the reflexive-transitive closure as row bitsets.
+std::vector<std::vector<std::uint64_t>> closure(
+    int n, const std::vector<std::vector<NodeId>>& succs,
+    const std::function<bool(NodeId, NodeId)>& skip_edge) {
+  const size_t words = (static_cast<size_t>(n) + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> reach(
+      static_cast<size_t>(n), std::vector<std::uint64_t>(words, 0));
+  for (int i = 0; i < n; ++i)
+    reach[static_cast<size_t>(i)][static_cast<size_t>(i) / 64] |=
+        1ULL << (static_cast<size_t>(i) % 64);
+  // Iterate to fixpoint: reach[a] |= reach[b] for each edge a->b.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < n; ++a) {
+      auto& row = reach[static_cast<size_t>(a)];
+      for (const NodeId b : succs[static_cast<size_t>(a)]) {
+        if (skip_edge(a, b)) continue;
+        const auto& other = reach[static_cast<size_t>(b)];
+        for (size_t w = 0; w < words; ++w) {
+          const std::uint64_t merged = row[w] | other[w];
+          if (merged != row[w]) {
+            row[w] = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+bool test_bit(const std::vector<std::vector<std::uint64_t>>& reach, NodeId a,
+              NodeId b) {
+  return (reach[static_cast<size_t>(a)][static_cast<size_t>(b) / 64] >>
+          (static_cast<size_t>(b) % 64)) &
+         1ULL;
+}
+
+}  // namespace
+
+void Cfg::compute_reachability() {
+  reach_full_ = closure(node_count(), succs_,
+                        [](NodeId, NodeId) { return false; });
+  reach_acyclic_ = closure(node_count(), succs_, [this](NodeId a, NodeId b) {
+    return is_back_edge(a, b);
+  });
+}
+
+bool Cfg::reaches(NodeId from, NodeId to) const {
+  ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  return test_bit(reach_full_, from, to);
+}
+
+bool Cfg::reaches_acyclic(NodeId from, NodeId to) const {
+  ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  return test_bit(reach_acyclic_, from, to);
+}
+
+namespace {
+
+/// Per-node incoming checkpoint count along acyclic paths; -2 = unset.
+constexpr int kUnset = -2;
+
+}  // namespace
+
+std::optional<std::string> Cfg::check_balance() const {
+  ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  const auto n = static_cast<size_t>(node_count());
+  std::vector<int> in_count(n, kUnset);
+  in_count[static_cast<size_t>(entry_)] = 0;
+  // Process in RPO; ignoring back edges, RPO is a topological order.
+  for (const NodeId id : rpo_) {
+    const int in = in_count[static_cast<size_t>(id)];
+    if (in == kUnset) continue;  // only reachable via back edges — impossible
+    const int out =
+        in + (node(id).kind == NodeKind::kCheckpoint ? 1 : 0);
+    for (const NodeId s : succs_[static_cast<size_t>(id)]) {
+      if (is_back_edge(id, s)) continue;
+      int& slot = in_count[static_cast<size_t>(s)];
+      if (slot == kUnset) {
+        slot = out;
+      } else if (slot != out) {
+        std::ostringstream os;
+        os << "unbalanced checkpoint counts at CFG node '" << node(s).label
+           << "' (" << node_kind_name(node(s).kind) << "): paths carry "
+           << slot << " and " << out
+           << " checkpoints — Phase I must equalize before analysis";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+CheckpointIndexing Cfg::index_checkpoints() const {
+  if (auto problem = check_balance()) throw util::ProgramError(*problem);
+
+  const auto n = static_cast<size_t>(node_count());
+  std::vector<int> in_count(n, kUnset);
+  in_count[static_cast<size_t>(entry_)] = 0;
+  CheckpointIndexing out;
+  for (const NodeId id : rpo_) {
+    const int in = in_count[static_cast<size_t>(id)];
+    const bool is_ckpt = node(id).kind == NodeKind::kCheckpoint;
+    if (is_ckpt) {
+      const int index = in + 1;
+      out.index_of[id] = index;
+      if (static_cast<int>(out.collections.size()) < index)
+        out.collections.resize(static_cast<size_t>(index));
+      out.collections[static_cast<size_t>(index - 1)].push_back(id);
+    }
+    const int next = in + (is_ckpt ? 1 : 0);
+    for (const NodeId s : succs_[static_cast<size_t>(id)]) {
+      if (is_back_edge(id, s)) continue;
+      in_count[static_cast<size_t>(s)] = next;
+    }
+  }
+  for (auto& collection : out.collections)
+    std::sort(collection.begin(), collection.end());
+  return out;
+}
+
+std::string Cfg::to_dot(const std::string& title,
+                        const std::vector<Edge>& extra_edges) const {
+  util::DotGraph dot(title);
+  for (const Node& n : nodes_) {
+    std::string shape;
+    switch (n.kind) {
+      case NodeKind::kEntry:
+      case NodeKind::kExit:
+        shape = "shape=oval, style=bold";
+        break;
+      case NodeKind::kBranch:
+      case NodeKind::kLoopHeader:
+      case NodeKind::kLoopLatch:
+        shape = "shape=diamond";
+        break;
+      case NodeKind::kCheckpoint:
+        shape = "shape=box, style=filled, fillcolor=lightyellow";
+        break;
+      case NodeKind::kSend:
+      case NodeKind::kRecv:
+      case NodeKind::kCollective:
+        shape = "shape=box, style=rounded";
+        break;
+      default:
+        shape = "shape=box";
+        break;
+    }
+    dot.add_node("n" + std::to_string(n.id),
+                 n.label.empty() ? node_kind_name(n.kind) : n.label, shape);
+  }
+  for (NodeId from = 0; from < node_count(); ++from) {
+    for (const NodeId to : succs_[static_cast<size_t>(from)]) {
+      const bool back = analyzed_ && is_back_edge(from, to);
+      dot.add_edge("n" + std::to_string(from), "n" + std::to_string(to),
+                   back ? "style=bold, color=blue, label=\"back\"" : "");
+    }
+  }
+  for (const Edge& e : extra_edges) {
+    dot.add_edge("n" + std::to_string(e.from), "n" + std::to_string(e.to),
+                 "style=dashed, color=red, constraint=false, label=\"msg\"");
+  }
+  return dot.str();
+}
+
+namespace {
+
+class Builder {
+ public:
+  Cfg run(const mp::Program& program) {
+    const NodeId entry = cfg_.add_node(NodeKind::kEntry, nullptr, "ENTRY");
+    cfg_.set_entry(entry);
+    NodeId tail = build_block(program.body, entry);
+    const NodeId exit = cfg_.add_node(NodeKind::kExit, nullptr, "EXIT");
+    cfg_.set_exit(exit);
+    cfg_.add_edge(tail, exit);
+    cfg_.analyze();
+    return std::move(cfg_);
+  }
+
+ private:
+  /// Appends the block after `pred`, returning the new tail node.
+  NodeId build_block(const mp::Block& block, NodeId pred) {
+    NodeId tail = pred;
+    for (const auto& stmt : block.stmts) tail = build_stmt(*stmt, tail);
+    return tail;
+  }
+
+  NodeId build_stmt(const mp::Stmt& stmt, NodeId pred) {
+    using mp::StmtKind;
+    switch (stmt.kind()) {
+      case StmtKind::kCompute: {
+        const auto& c = static_cast<const mp::ComputeStmt&>(stmt);
+        const NodeId id = cfg_.add_node(
+            NodeKind::kCompute, &stmt,
+            c.label.empty() ? "compute" : "compute " + c.label);
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kSend: {
+        const auto& c = static_cast<const mp::SendStmt&>(stmt);
+        const NodeId id = cfg_.add_node(NodeKind::kSend, &stmt,
+                                        "send→" + c.dest.str());
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kRecv: {
+        const auto& c = static_cast<const mp::RecvStmt&>(stmt);
+        const NodeId id = cfg_.add_node(
+            NodeKind::kRecv, &stmt,
+            "recv←" + (c.any_source ? std::string("any") : c.src.str()));
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kCheckpoint: {
+        const auto& c = static_cast<const mp::CheckpointStmt&>(stmt);
+        const NodeId id = cfg_.add_node(
+            NodeKind::kCheckpoint, &stmt,
+            "chkpt#" + std::to_string(c.ckpt_id) +
+                (c.note.empty() ? "" : " " + c.note));
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kBarrier: {
+        const NodeId id =
+            cfg_.add_node(NodeKind::kCollective, &stmt, "barrier");
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kBcast: {
+        const auto& c = static_cast<const mp::BcastStmt&>(stmt);
+        const NodeId id = cfg_.add_node(NodeKind::kCollective, &stmt,
+                                        "bcast root=" + c.root.str());
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kReduce: {
+        const auto& c = static_cast<const mp::ReduceStmt&>(stmt);
+        const NodeId id = cfg_.add_node(NodeKind::kCollective, &stmt,
+                                        "reduce root=" + c.root.str());
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kAllreduce: {
+        const NodeId id =
+            cfg_.add_node(NodeKind::kCollective, &stmt, "allreduce");
+        cfg_.add_edge(pred, id);
+        return id;
+      }
+      case StmtKind::kIf: {
+        const auto& c = static_cast<const mp::IfStmt&>(stmt);
+        const NodeId branch = cfg_.add_node(NodeKind::kBranch, &stmt,
+                                            "if " + c.cond.str());
+        cfg_.add_edge(pred, branch);
+        const NodeId then_tail = build_block(c.then_body, branch);
+        // Build else arm chained from the branch even if empty — an empty
+        // else contributes the fall-through edge directly.
+        const NodeId join = cfg_.add_node(NodeKind::kJoin, nullptr, "join");
+        cfg_.add_edge(then_tail, join);
+        if (c.else_body.empty()) {
+          cfg_.add_edge(branch, join);
+        } else {
+          const NodeId else_tail = build_block(c.else_body, branch);
+          cfg_.add_edge(else_tail, join);
+        }
+        return join;
+      }
+      case StmtKind::kLoop: {
+        const auto& c = static_cast<const mp::LoopStmt&>(stmt);
+        const NodeId header = cfg_.add_node(
+            NodeKind::kLoopHeader, &stmt,
+            "for " + c.var + " in " + c.lo.str() + ".." + c.hi.str());
+        cfg_.add_edge(pred, header);
+        const NodeId body_tail = build_block(c.body, header);
+        const NodeId latch =
+            cfg_.add_node(NodeKind::kLoopLatch, &stmt, "latch " + c.var);
+        cfg_.add_edge(body_tail, latch);
+        cfg_.add_edge(latch, header);  // back edge (successor 0)
+        return latch;                  // continuation edge added by caller
+      }
+    }
+    ACFC_CHECK_MSG(false, "unreachable statement kind");
+  }
+
+  Cfg cfg_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const mp::Program& program) { return Builder().run(program); }
+
+}  // namespace acfc::cfg

@@ -1,0 +1,161 @@
+// Control flow graphs of MiniMP programs (Section 2 of the paper).
+//
+// The CFG contains nodes for the send, receive, and checkpoint statements
+// (the events of the system model), plus branch/join/loop structure, and
+// dedicated entry/exit nodes. Loops are represented in do-while shape:
+//
+//     ... -> header -> body... -> latch -+-> continuation
+//                 ^__________back edge___|
+//
+// so that every entry→exit path traverses a loop body exactly once. This
+// matches the paper's enumeration convention (a checkpoint statement inside
+// a loop receives one index, identical in every iteration — Definition 2.3)
+// and makes the "same number of checkpoints on every path" property (the
+// Phase-I precondition) independent of trip counts.
+//
+// Analyses provided: reverse postorder, immediate dominators
+// (Cooper–Harvey–Kennedy), back-edge detection (an edge a→b is backward iff
+// b dominates a), natural loop membership, full and acyclic (back-edge-free)
+// reachability, and checkpoint enumeration into straight collections S_i.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mp/stmt.h"
+
+namespace acfc::cfg {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeKind {
+  kEntry,
+  kExit,
+  kCompute,
+  kSend,
+  kRecv,
+  kCheckpoint,
+  kCollective,   ///< barrier/bcast kept as a single node (pre-lowering)
+  kBranch,       ///< two-successor condition node (an `if`)
+  kJoin,         ///< merge point of an `if`
+  kLoopHeader,   ///< loop entry/merge point
+  kLoopLatch,    ///< loop-end condition node; successor 0 is the back edge
+};
+
+const char* node_kind_name(NodeKind kind);
+
+struct Node {
+  NodeId id = kNoNode;
+  NodeKind kind = NodeKind::kEntry;
+  /// Originating statement; nullptr for entry/exit/join. For kLoopHeader
+  /// and kLoopLatch this is the LoopStmt; for kBranch the IfStmt.
+  const mp::Stmt* stmt = nullptr;
+  /// uid of the originating statement (kept separately so a Cfg remains
+  /// diagnosable after the Program is gone); -1 if none.
+  int stmt_uid = -1;
+  std::string label;
+};
+
+struct Edge {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// The checkpoint enumeration of Section 2: every checkpoint node gets the
+/// 1-based index i of its position along any entry→exit path, and S_i
+/// collects all checkpoint nodes with index i across paths.
+struct CheckpointIndexing {
+  /// index_of[node] for checkpoint nodes only.
+  std::map<NodeId, int> index_of;
+  /// collections[i-1] = S_i (node ids, ascending).
+  std::vector<std::vector<NodeId>> collections;
+  int max_index() const { return static_cast<int>(collections.size()); }
+};
+
+class Cfg {
+ public:
+  // -- Construction --------------------------------------------------------
+  NodeId add_node(NodeKind kind, const mp::Stmt* stmt, std::string label);
+  void add_edge(NodeId from, NodeId to);
+  void set_entry(NodeId id) { entry_ = id; }
+  void set_exit(NodeId id) { exit_ = id; }
+
+  /// Runs all analyses. Must be called once after construction and again
+  /// after any mutation. Throws util::ProgramError if some node is
+  /// unreachable from the entry.
+  void analyze();
+
+  // -- Shape ----------------------------------------------------------------
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  NodeId entry() const { return entry_; }
+  NodeId exit() const { return exit_; }
+  const std::vector<NodeId>& succs(NodeId id) const {
+    return succs_.at(static_cast<size_t>(id));
+  }
+  const std::vector<NodeId>& preds(NodeId id) const {
+    return preds_.at(static_cast<size_t>(id));
+  }
+  std::vector<Node> nodes_of_kind(NodeKind kind) const;
+  /// The node generated for the statement with this uid, if any.
+  std::optional<NodeId> node_for_stmt(int stmt_uid) const;
+
+  // -- Analyses (valid after analyze()) --------------------------------------
+  const std::vector<NodeId>& rpo() const { return rpo_; }
+  NodeId idom(NodeId id) const { return idom_.at(static_cast<size_t>(id)); }
+  /// a dominates b (reflexive).
+  bool dominates(NodeId a, NodeId b) const;
+  bool is_back_edge(NodeId from, NodeId to) const;
+  const std::vector<Edge>& back_edges() const { return back_edges_; }
+  /// Nodes of the natural loop of back edge (latch→header), including both.
+  std::vector<NodeId> natural_loop(const Edge& back_edge) const;
+  /// Reachability in the full graph (reflexive).
+  bool reaches(NodeId from, NodeId to) const;
+  /// Reachability using no back edges (reflexive) — the acyclic skeleton.
+  bool reaches_acyclic(NodeId from, NodeId to) const;
+
+  /// Enumerates checkpoints into straight collections. Throws
+  /// util::ProgramError (with node labels) if two acyclic paths into the
+  /// same node carry different checkpoint counts — the paper's Phase-I
+  /// balance precondition.
+  CheckpointIndexing index_checkpoints() const;
+
+  /// Checks balance without throwing; returns a diagnostic if unbalanced.
+  std::optional<std::string> check_balance() const;
+
+  /// DOT rendering; `extra_edges` (e.g. message edges) are drawn dashed.
+  std::string to_dot(const std::string& title,
+                     const std::vector<Edge>& extra_edges = {}) const;
+
+ private:
+  void compute_rpo();
+  void compute_dominators();
+  void compute_back_edges();
+  void compute_reachability();
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::vector<std::vector<NodeId>> preds_;
+  NodeId entry_ = kNoNode;
+  NodeId exit_ = kNoNode;
+
+  bool analyzed_ = false;
+  std::vector<NodeId> rpo_;
+  std::vector<int> rpo_pos_;
+  std::vector<NodeId> idom_;
+  std::vector<Edge> back_edges_;
+  // Bitset reachability matrices, row-major words.
+  std::vector<std::vector<std::uint64_t>> reach_full_;
+  std::vector<std::vector<std::uint64_t>> reach_acyclic_;
+};
+
+/// Builds the CFG of a program (which must be renumbered). Collectives are
+/// represented as single kCollective nodes; run mp::lower_collectives first
+/// if point-to-point granularity is wanted.
+Cfg build_cfg(const mp::Program& program);
+
+}  // namespace acfc::cfg

@@ -1,0 +1,280 @@
+#include "match/match.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace acfc::match {
+
+ExtendedCfg::ExtendedCfg(const mp::Program* program, cfg::Cfg graph,
+                         std::vector<MessageEdge> edges)
+    : program_(program), graph_(std::move(graph)), edges_(std::move(edges)) {
+  ACFC_CHECK(program_ != nullptr);
+}
+
+std::vector<MessageEdge> ExtendedCfg::edges_from(cfg::NodeId send) const {
+  std::vector<MessageEdge> out;
+  for (const auto& e : edges_)
+    if (e.send == send) out.push_back(e);
+  return out;
+}
+
+std::vector<MessageEdge> ExtendedCfg::edges_to(cfg::NodeId recv) const {
+  std::vector<MessageEdge> out;
+  for (const auto& e : edges_)
+    if (e.recv == recv) out.push_back(e);
+  return out;
+}
+
+PathClass ExtendedCfg::classify_paths(cfg::NodeId from, cfg::NodeId to) const {
+  // Product-graph BFS: state = (node, used_message_edge, used_back_edge).
+  // We start at `from` with both flags clear and look for `to` with the
+  // message flag set; among those, whether a state with the back flag clear
+  // is reachable distinguishes hard from loop-carried violations.
+  const int n = graph_.node_count();
+  auto state_index = [n](cfg::NodeId id, bool msg, bool back) {
+    return (static_cast<size_t>(id) << 2) | (static_cast<size_t>(msg) << 1) |
+           static_cast<size_t>(back);
+  };
+  std::vector<char> seen(static_cast<size_t>(n) << 2, 0);
+  std::deque<std::tuple<cfg::NodeId, bool, bool>> queue;
+
+  auto push = [&](cfg::NodeId id, bool msg, bool back) {
+    const size_t idx = state_index(id, msg, back);
+    if (seen[idx]) return;
+    seen[idx] = 1;
+    queue.emplace_back(id, msg, back);
+  };
+
+  push(from, false, false);
+  PathClass out;
+  while (!queue.empty()) {
+    const auto [id, msg, back] = queue.front();
+    queue.pop_front();
+    if (id == to && msg) {
+      out.has_message_path = true;
+      if (!back) {
+        out.message_path_without_back_edge = true;
+        return out;  // strongest classification reached
+      }
+    }
+    for (const cfg::NodeId s : graph_.succs(id))
+      push(s, msg, back || graph_.is_back_edge(id, s));
+    for (const auto& e : edges_)
+      if (e.send == id) push(e.recv, true, back);
+  }
+  return out;
+}
+
+namespace {
+
+/// The attribute of a CFG node's originating statement; nullopt for nodes
+/// without one (entry/exit/join — never segment endpoints here).
+std::optional<attr::PathAttribute> node_attr(const ExtendedCfg& ext,
+                                             cfg::NodeId id) {
+  const cfg::Node& node = ext.graph().node(id);
+  if (node.stmt == nullptr) return std::nullopt;
+  return attr::attribute_of(ext.program(), node.stmt_uid);
+}
+
+/// Can one process execute both `a` and `b` (in some iterations)?
+bool co_satisfiable(const ExtendedCfg& ext, cfg::NodeId a, cfg::NodeId b,
+                    const attr::SatOptions& sat) {
+  const auto attr_a = node_attr(ext, a);
+  const auto attr_b = node_attr(ext, b);
+  if (!attr_a || !attr_b) return true;  // conservative
+  return attr::satisfiable(attr::combine_attributes(*attr_a, *attr_b, 1),
+                           sat);
+}
+
+/// Can the hop (from-side constraints + message edge) actually fire?
+bool hop_matches(const ExtendedCfg& ext, cfg::NodeId from,
+                 const MessageEdge& edge, const attr::SatOptions& sat) {
+  const cfg::Node& send_node = ext.graph().node(edge.send);
+  const cfg::Node& recv_node = ext.graph().node(edge.recv);
+  if (send_node.kind == cfg::NodeKind::kCollective ||
+      recv_node.kind == cfg::NodeKind::kCollective)
+    return true;  // collectives synchronize everyone: conservative
+  const auto attr_from = node_attr(ext, from);
+  const auto attr_send = node_attr(ext, edge.send);
+  const auto attr_recv = node_attr(ext, edge.recv);
+  if (!attr_from || !attr_send || !attr_recv) return true;
+
+  attr::MatchQuery query;
+  query.sender_attr = attr::combine_attributes(*attr_send, *attr_from, 2);
+  query.dest = static_cast<const mp::SendStmt*>(send_node.stmt)->dest;
+  query.recv_attr = *attr_recv;
+  const auto* recv_stmt = static_cast<const mp::RecvStmt*>(recv_node.stmt);
+  query.src = recv_stmt->src;
+  query.src_any = recv_stmt->any_source;
+  return attr::find_match(query, sat).has_value();
+}
+
+/// Is there a feasible decomposition from → (hop)+ → to? `acyclic_only`
+/// restricts every control-flow segment to back-edge-free reachability
+/// (the hard-violation class).
+bool feasible_path(const ExtendedCfg& ext, cfg::NodeId from, cfg::NodeId to,
+                   bool acyclic_only, int hops_left,
+                   const ExtendedCfg::RefineOptions& opts) {
+  if (hops_left <= 0) return true;  // hop budget exhausted: conservative
+  const cfg::Cfg& graph = ext.graph();
+  auto reaches = [&](cfg::NodeId a, cfg::NodeId b) {
+    return acyclic_only ? graph.reaches_acyclic(a, b) : graph.reaches(a, b);
+  };
+  for (const MessageEdge& edge : ext.message_edges()) {
+    if (!reaches(from, edge.send)) continue;
+    if (!co_satisfiable(ext, from, edge.send, opts.sat)) continue;
+    if (!hop_matches(ext, from, edge, opts.sat)) continue;
+    if (reaches(edge.recv, to) &&
+        co_satisfiable(ext, edge.recv, to, opts.sat))
+      return true;
+    if (feasible_path(ext, edge.recv, to, acyclic_only, hops_left - 1,
+                      opts))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PathClass ExtendedCfg::classify_paths_refined(
+    cfg::NodeId from, cfg::NodeId to, const RefineOptions& opts) const {
+  const PathClass coarse = classify_paths(from, to);
+  if (!coarse.has_message_path) return coarse;
+  PathClass refined;
+  refined.has_message_path =
+      feasible_path(*this, from, to, /*acyclic_only=*/false, opts.max_hops,
+                    opts);
+  refined.message_path_without_back_edge =
+      coarse.message_path_without_back_edge && refined.has_message_path &&
+      feasible_path(*this, from, to, /*acyclic_only=*/true, opts.max_hops,
+                    opts);
+  return refined;
+}
+
+std::string ExtendedCfg::to_dot(const std::string& title) const {
+  std::vector<cfg::Edge> extra;
+  extra.reserve(edges_.size());
+  for (const auto& e : edges_) extra.push_back({e.send, e.recv});
+  return graph_.to_dot(title, extra);
+}
+
+namespace {
+
+struct Endpoint {
+  cfg::NodeId node = cfg::kNoNode;
+  const mp::Stmt* stmt = nullptr;
+  attr::PathAttribute attribute;
+  int tag = 0;
+};
+
+bool endpoint_irregular(const mp::Expr& param) { return param.has_irregular(); }
+
+}  // namespace
+
+ExtendedCfg build_extended_cfg(const mp::Program& program,
+                               const MatchOptions& opts) {
+  cfg::Cfg graph = cfg::build_cfg(program);
+
+  // Collect send and recv endpoints in RPO (the DFS scan of Algorithm 3.1).
+  std::vector<Endpoint> sends, recvs;
+  std::vector<cfg::NodeId> collectives;
+  for (const cfg::NodeId id : graph.rpo()) {
+    const cfg::Node& n = graph.node(id);
+    switch (n.kind) {
+      case cfg::NodeKind::kSend: {
+        Endpoint e;
+        e.node = id;
+        e.stmt = n.stmt;
+        e.attribute = attr::attribute_of(program, n.stmt_uid);
+        e.tag = static_cast<const mp::SendStmt*>(n.stmt)->tag;
+        sends.push_back(std::move(e));
+        break;
+      }
+      case cfg::NodeKind::kRecv: {
+        Endpoint e;
+        e.node = id;
+        e.stmt = n.stmt;
+        e.attribute = attr::attribute_of(program, n.stmt_uid);
+        e.tag = static_cast<const mp::RecvStmt*>(n.stmt)->tag;
+        recvs.push_back(std::move(e));
+        break;
+      }
+      case cfg::NodeKind::kCollective:
+        collectives.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<MessageEdge> edges;
+  std::vector<char> send_matched(sends.size(), 0);
+
+  for (const Endpoint& r : recvs) {
+    const auto* recv_stmt = static_cast<const mp::RecvStmt*>(r.stmt);
+    bool recv_matched = false;
+    const bool recv_irregular =
+        recv_stmt->any_source || endpoint_irregular(recv_stmt->src);
+    for (size_t si = 0; si < sends.size(); ++si) {
+      const Endpoint& s = sends[si];
+      const auto* send_stmt = static_cast<const mp::SendStmt*>(s.stmt);
+      if (s.tag != r.tag) continue;
+
+      const bool send_irregular = endpoint_irregular(send_stmt->dest);
+      const bool irregular = recv_irregular || send_irregular;
+      if (opts.policy == MatchPolicy::kPaperGreedy && !irregular &&
+          (send_matched[si] || recv_matched)) {
+        // Regular patterns match one-to-one, first fit.
+        continue;
+      }
+
+      attr::MatchQuery query;
+      query.sender_attr = s.attribute;
+      query.dest = send_stmt->dest;
+      query.recv_attr = r.attribute;
+      query.src = recv_stmt->src;
+      query.src_any = recv_stmt->any_source;
+      const auto witness = attr::find_match(query, opts.sat);
+      if (!witness) continue;
+
+      edges.push_back({s.node, r.node, *witness});
+      send_matched[si] = 1;
+      recv_matched = true;
+      if (opts.policy == MatchPolicy::kPaperGreedy && !irregular) break;
+    }
+  }
+
+  // Collectives: a collective statement synchronizes every process, and —
+  // like MPI — matches by sequence on the communicator, not by call site.
+  // Two textually distinct collective statements of the same kind can
+  // therefore rendezvous when executed by processes on different paths.
+  // We add a self edge on every collective node plus bidirectional edges
+  // between same-kind pairs whose path attributes are co-satisfiable
+  // (conservative for bcast, whose causality is really root→others).
+  for (const cfg::NodeId id : collectives)
+    edges.push_back({id, id, attr::MatchWitness{2, 0, 1}});
+  for (size_t i = 0; i < collectives.size(); ++i) {
+    for (size_t j = i + 1; j < collectives.size(); ++j) {
+      const cfg::Node& a = graph.node(collectives[i]);
+      const cfg::Node& b = graph.node(collectives[j]);
+      if (a.stmt->kind() != b.stmt->kind()) continue;
+      attr::MatchQuery query;
+      query.sender_attr = attr::attribute_of(program, a.stmt_uid);
+      query.recv_attr = attr::attribute_of(program, b.stmt_uid);
+      query.dest = mp::Expr::irregular(-1);  // wildcard: co-satisfiability
+      query.src_any = true;
+      const auto witness = attr::find_match(query, opts.sat);
+      if (!witness) continue;
+      edges.push_back({collectives[i], collectives[j], *witness});
+      edges.push_back({collectives[j], collectives[i],
+                       attr::MatchWitness{witness->nprocs, witness->receiver,
+                                          witness->sender}});
+    }
+  }
+
+  return ExtendedCfg(&program, std::move(graph), std::move(edges));
+}
+
+}  // namespace acfc::match

@@ -1,0 +1,121 @@
+#include "mp/builder.h"
+
+#include "util/error.h"
+
+namespace acfc::mp {
+
+ProgramBuilder::ProgramBuilder(std::string name) : program_(std::move(name)) {
+  stack_.push_back(&program_.body);
+}
+
+Block* ProgramBuilder::current() {
+  ACFC_CHECK_MSG(!stack_.empty(), "builder used after take()");
+  return stack_.back();
+}
+
+void ProgramBuilder::with_block(Block& block,
+                                const std::function<void(ProgramBuilder&)>& fn) {
+  stack_.push_back(&block);
+  fn(*this);
+  ACFC_CHECK_MSG(stack_.back() == &block, "builder block stack corrupted");
+  stack_.pop_back();
+}
+
+ProgramBuilder& ProgramBuilder::compute(double cost, std::string label) {
+  current()->stmts.push_back(
+      std::make_unique<ComputeStmt>(cost, std::move(label)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::send(Expr dest, int tag, int bytes) {
+  current()->stmts.push_back(
+      std::make_unique<SendStmt>(std::move(dest), tag, bytes));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::recv(Expr src, int tag) {
+  current()->stmts.push_back(std::make_unique<RecvStmt>(std::move(src), tag));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::recv_any(int tag) {
+  current()->stmts.push_back(RecvStmt::any(tag));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::checkpoint(std::string note) {
+  current()->stmts.push_back(
+      std::make_unique<CheckpointStmt>(std::move(note)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::barrier(int tag) {
+  current()->stmts.push_back(std::make_unique<BarrierStmt>(tag));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bcast(Expr root, int tag, int bytes) {
+  current()->stmts.push_back(
+      std::make_unique<BcastStmt>(std::move(root), tag, bytes));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::reduce(Expr root, int tag, int bytes) {
+  current()->stmts.push_back(
+      std::make_unique<ReduceStmt>(std::move(root), tag, bytes));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::allreduce(int tag, int bytes) {
+  current()->stmts.push_back(std::make_unique<AllreduceStmt>(tag, bytes));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_(
+    Pred cond, const std::function<void(ProgramBuilder&)>& then_fn) {
+  auto stmt = std::make_unique<IfStmt>(std::move(cond));
+  with_block(stmt->then_body, then_fn);
+  current()->stmts.push_back(std::move(stmt));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_(
+    Pred cond, const std::function<void(ProgramBuilder&)>& then_fn,
+    const std::function<void(ProgramBuilder&)>& else_fn) {
+  auto stmt = std::make_unique<IfStmt>(std::move(cond));
+  with_block(stmt->then_body, then_fn);
+  with_block(stmt->else_body, else_fn);
+  current()->stmts.push_back(std::move(stmt));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::for_(
+    std::string var, Expr lo, Expr hi,
+    const std::function<void(ProgramBuilder&)>& body_fn) {
+  auto stmt =
+      std::make_unique<LoopStmt>(std::move(var), std::move(lo), std::move(hi));
+  with_block(stmt->body, body_fn);
+  current()->stmts.push_back(std::move(stmt));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::for_(
+    std::string var, std::int64_t lo, std::int64_t hi,
+    const std::function<void(ProgramBuilder&)>& body_fn) {
+  return for_(std::move(var), Expr::constant(lo), Expr::constant(hi), body_fn);
+}
+
+ProgramBuilder& ProgramBuilder::loop(
+    std::int64_t count, const std::function<void(ProgramBuilder&)>& body_fn) {
+  return for_("_it" + std::to_string(fresh_counter_++), 0, count, body_fn);
+}
+
+Program ProgramBuilder::take() {
+  ACFC_CHECK_MSG(stack_.size() == 1, "take() inside an open block");
+  stack_.clear();
+  program_.renumber();
+  program_.assign_checkpoint_ids();
+  return std::move(program_);
+}
+
+}  // namespace acfc::mp

@@ -1,0 +1,65 @@
+// Fluent construction of MiniMP programs from C++.
+//
+//   ProgramBuilder b("jacobi");
+//   b.for_("it", 0, 10, [&](ProgramBuilder& b) {
+//     b.compute(5.0, "stencil");
+//     b.if_(Pred::eq(Expr::rank() % Expr::constant(2), Expr::constant(0)),
+//           [&](ProgramBuilder& b) { b.checkpoint(); b.send(Expr::rank()+1); },
+//           [&](ProgramBuilder& b) { b.send(Expr::rank()-1); b.checkpoint(); });
+//   });
+//   Program p = b.take();   // renumbered, checkpoint ids assigned
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mp/stmt.h"
+
+namespace acfc::mp {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  ProgramBuilder& compute(double cost, std::string label = {});
+  ProgramBuilder& send(Expr dest, int tag = 0, int bytes = 0);
+  ProgramBuilder& recv(Expr src, int tag = 0);
+  ProgramBuilder& recv_any(int tag = 0);
+  ProgramBuilder& checkpoint(std::string note = {});
+  ProgramBuilder& barrier(int tag = 0);
+  ProgramBuilder& bcast(Expr root, int tag = 0, int bytes = 0);
+  ProgramBuilder& reduce(Expr root, int tag = 0, int bytes = 0);
+  ProgramBuilder& allreduce(int tag = 0, int bytes = 0);
+
+  /// If with only a then-branch.
+  ProgramBuilder& if_(Pred cond,
+                      const std::function<void(ProgramBuilder&)>& then_fn);
+  /// If with both branches.
+  ProgramBuilder& if_(Pred cond,
+                      const std::function<void(ProgramBuilder&)>& then_fn,
+                      const std::function<void(ProgramBuilder&)>& else_fn);
+
+  /// Counted loop `for var in [lo, hi)`.
+  ProgramBuilder& for_(std::string var, Expr lo, Expr hi,
+                       const std::function<void(ProgramBuilder&)>& body_fn);
+  ProgramBuilder& for_(std::string var, std::int64_t lo, std::int64_t hi,
+                       const std::function<void(ProgramBuilder&)>& body_fn);
+
+  /// Anonymous repetition sugar: `for <fresh> in [0, count)`.
+  ProgramBuilder& loop(std::int64_t count,
+                       const std::function<void(ProgramBuilder&)>& body_fn);
+
+  /// Finalizes: renumbers uids and assigns checkpoint ids.
+  Program take();
+
+ private:
+  Block* current();
+  void with_block(Block& block, const std::function<void(ProgramBuilder&)>& fn);
+
+  Program program_;
+  std::vector<Block*> stack_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace acfc::mp

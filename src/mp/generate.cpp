@@ -1,0 +1,163 @@
+#include "mp/generate.h"
+
+#include "mp/builder.h"
+#include "util/rng.h"
+
+namespace acfc::mp {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const GenerateOptions& opts)
+      : opts_(opts), rng_(opts.seed) {}
+
+  Program run() {
+    ProgramBuilder b("generated_" + std::to_string(opts_.seed));
+    for (int i = 0; i < opts_.segments; ++i) emit_segment(b, 0);
+    return b.take();
+  }
+
+ private:
+  void emit_segment(ProgramBuilder& b, int depth) {
+    if (depth < opts_.max_loop_depth &&
+        rng_.bernoulli(opts_.loop_probability)) {
+      const auto trips = rng_.uniform_int(1, opts_.max_trip);
+      b.loop(trips, [&](ProgramBuilder& inner) {
+        emit_pattern(inner);
+        maybe_checkpoint(inner);
+        if (depth + 1 < opts_.max_loop_depth && rng_.bernoulli(0.3))
+          emit_segment(inner, depth + 1);
+      });
+      return;
+    }
+    emit_pattern(b);
+    maybe_checkpoint(b);
+  }
+
+  void emit_pattern(ProgramBuilder& b) {
+    const int max_kind = opts_.allow_collectives ? 8 : 4;
+    switch (rng_.uniform_int(0, max_kind)) {
+      case 0:
+        emit_compute(b);
+        break;
+      case 1:
+        emit_even_odd_exchange(b);
+        break;
+      case 2:
+        emit_ring_shift(b);
+        break;
+      case 3:
+        emit_master_gather(b);
+        break;
+      case 4:
+        emit_guarded_shift(b);
+        break;
+      case 5:
+        b.barrier(next_tag());
+        break;
+      case 6:
+        b.bcast(Expr::constant(0), next_tag(),
+                static_cast<int>(rng_.uniform_int(8, 4096)));
+        break;
+      case 7:
+        b.reduce(Expr::constant(0), next_tag(),
+                 static_cast<int>(rng_.uniform_int(8, 1024)));
+        break;
+      case 8:
+        b.allreduce(next_tag(),
+                    static_cast<int>(rng_.uniform_int(8, 1024)));
+        break;
+    }
+  }
+
+  void emit_compute(ProgramBuilder& b) {
+    b.compute(rng_.uniform(0.1, 2.0 * opts_.mean_compute_cost), "work");
+  }
+
+  /// Pairwise exchange between even rank 2k and odd rank 2k+1.
+  /// Deadlock-free: sends are asynchronous; odd ranks always have an even
+  /// left neighbour; even ranks guard on the right neighbour existing.
+  void emit_even_odd_exchange(ProgramBuilder& b) {
+    const int tag = next_tag();
+    const bool misalign =
+        opts_.misalign_checkpoints && rng_.bernoulli(0.6);
+    const Pred even =
+        Pred::eq(Expr::rank() % Expr::constant(2), Expr::constant(0));
+    b.if_(
+        even,
+        [&](ProgramBuilder& b) {
+          if (misalign) b.checkpoint("misaligned-even");
+          b.if_(Pred::lt(Expr::rank() + Expr::constant(1), Expr::nprocs()),
+                [&](ProgramBuilder& b) {
+                  b.send(Expr::rank() + Expr::constant(1), tag);
+                  b.recv(Expr::rank() + Expr::constant(1), tag);
+                });
+        },
+        [&](ProgramBuilder& b) {
+          b.send(Expr::rank() - Expr::constant(1), tag);
+          b.recv(Expr::rank() - Expr::constant(1), tag);
+          if (misalign) b.checkpoint("misaligned-odd");
+        });
+  }
+
+  /// Every process sends right and receives from the left (mod nprocs).
+  void emit_ring_shift(ProgramBuilder& b) {
+    const int tag = next_tag();
+    b.send((Expr::rank() + Expr::constant(1)) % Expr::nprocs(), tag);
+    b.recv((Expr::rank() - Expr::constant(1) + Expr::nprocs()) %
+               Expr::nprocs(),
+           tag);
+  }
+
+  /// Workers report to rank 0; rank 0 collects one message per worker.
+  void emit_master_gather(ProgramBuilder& b) {
+    const int tag = next_tag();
+    const bool use_any = opts_.allow_irregular && rng_.bernoulli(0.5);
+    b.if_(
+        Pred::eq(Expr::rank(), Expr::constant(0)),
+        [&](ProgramBuilder& b) {
+          b.for_("w", Expr::constant(1), Expr::nprocs(),
+                 [&](ProgramBuilder& b) {
+                   if (use_any) {
+                     b.recv_any(tag);
+                   } else {
+                     b.recv(Expr::loop_var("w"), tag);
+                   }
+                 });
+        },
+        [&](ProgramBuilder& b) { b.send(Expr::constant(0), tag); });
+  }
+
+  /// One-directional pipeline step: rank r sends to r+1 (if present) and
+  /// receives from r-1 (if present).
+  void emit_guarded_shift(ProgramBuilder& b) {
+    const int tag = next_tag();
+    b.if_(Pred::lt(Expr::rank() + Expr::constant(1), Expr::nprocs()),
+          [&](ProgramBuilder& b) {
+            b.send(Expr::rank() + Expr::constant(1), tag);
+          });
+    b.if_(Pred::gt(Expr::rank(), Expr::constant(0)),
+          [&](ProgramBuilder& b) {
+            b.recv(Expr::rank() - Expr::constant(1), tag);
+          });
+  }
+
+  void maybe_checkpoint(ProgramBuilder& b) {
+    if (rng_.bernoulli(opts_.checkpoint_probability)) b.checkpoint();
+  }
+
+  int next_tag() { return tag_counter_++; }
+
+  const GenerateOptions& opts_;
+  util::Rng rng_;
+  int tag_counter_ = 1;
+};
+
+}  // namespace
+
+Program generate_program(const GenerateOptions& opts) {
+  return Generator(opts).run();
+}
+
+}  // namespace acfc::mp

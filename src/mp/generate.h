@@ -1,0 +1,49 @@
+// Random SPMD program generation for property tests and benchmarks.
+//
+// Generated programs are deadlock-free by construction: every communication
+// segment is drawn from a library of complete patterns (even/odd pairwise
+// exchange, ring shift, master gather/scatter, guarded neighbour shift,
+// collectives) in which sends are asynchronous and every blocking receive
+// has a matching send on every execution.
+//
+// The `misalign_checkpoints` knob deliberately places checkpoint statements
+// at causally-ordered positions across branch arms — producing programs
+// whose straight cuts are NOT recovery lines, the input class Phase III
+// must repair.
+#pragma once
+
+#include <cstdint>
+
+#include "mp/stmt.h"
+
+namespace acfc::mp {
+
+struct GenerateOptions {
+  std::uint64_t seed = 1;
+  /// Number of top-level segments to emit.
+  int segments = 6;
+  /// Maximum loop nesting depth (0 = no loops).
+  int max_loop_depth = 2;
+  /// Trip counts of generated loops are drawn from [1, max_trip].
+  int max_trip = 3;
+  /// Probability that a segment is wrapped in a loop.
+  double loop_probability = 0.3;
+  /// Probability of emitting a checkpoint after a segment.
+  double checkpoint_probability = 0.35;
+  /// If true, checkpoints near communication are pushed inside branch arms
+  /// at causally-ordered positions (before the sends on one arm, after the
+  /// receives on the other).
+  bool misalign_checkpoints = false;
+  /// Allow collective statements (barrier/bcast).
+  bool allow_collectives = true;
+  /// Allow irregular (data-dependent) destination patterns on gathers.
+  bool allow_irregular = false;
+  /// Mean cost of compute statements (seconds).
+  double mean_compute_cost = 1.0;
+};
+
+/// Generates a random deadlock-free SPMD program. Same options + seed give
+/// the identical program.
+Program generate_program(const GenerateOptions& opts);
+
+}  // namespace acfc::mp

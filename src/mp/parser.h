@@ -1,0 +1,40 @@
+// Text DSL for MiniMP programs.
+//
+// Grammar (comments start with '#'; `..` ranges are half-open):
+//
+//   program   := 'program' IDENT '{' stmt* '}'
+//   stmt      := simple ';' | if | for | loop
+//   simple    := 'compute' NUMBER ('label' STRING)?
+//              | 'send' 'to' expr ('tag' INT)? ('bytes' INT)?
+//              | 'recv' 'from' ('any' | expr) ('tag' INT)?
+//              | 'checkpoint' STRING?
+//              | 'barrier' ('tag' INT)?
+//              | 'bcast' 'root' expr ('tag' INT)? ('bytes' INT)?
+//   if        := 'if' '(' pred ')' '{' stmt* '}' ('else' '{' stmt* '}')?
+//   for       := 'for' IDENT 'in' expr '..' expr '{' stmt* '}'
+//   loop      := 'loop' expr '{' stmt* '}'          (fresh loop variable)
+//   pred      := and ('||' and)* ; and := not ('&&' not)*
+//   not       := '!' not | 'true' | 'irregular' '(' INT ')'
+//              | expr cmp expr | '(' pred ')'
+//   cmp       := '==' | '!=' | '<' | '<=' | '>' | '>='
+//   expr      := term (('+'|'-') term)* ; term := atom (('*'|'/'|'%') atom)*
+//   atom      := INT | 'rank' | 'nprocs' | 'irregular' '(' INT ')' | IDENT
+//              | '(' expr ')'
+//
+// Parse errors raise util::ProgramError with a line:column location.
+#pragma once
+
+#include <string>
+
+#include "mp/stmt.h"
+
+namespace acfc::mp {
+
+/// Parses a program from DSL source. The result is renumbered and has
+/// checkpoint ids assigned.
+Program parse(const std::string& source);
+
+/// Parses a file; errors mention the path.
+Program parse_file(const std::string& path);
+
+}  // namespace acfc::mp

@@ -1,0 +1,276 @@
+#include "mp/pred.h"
+
+#include "util/error.h"
+
+namespace acfc::mp {
+
+struct Pred::Node {
+  PredKind kind = PredKind::kTrue;
+  CmpOp op = CmpOp::kEq;
+  Expr e_lhs;
+  Expr e_rhs;
+  int irregular_id = 0;
+  std::shared_ptr<const Node> p_lhs;
+  std::shared_ptr<const Node> p_rhs;
+};
+
+Pred::Pred() : Pred(always()) {}
+Pred::Pred(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Pred Pred::always() {
+  auto n = std::make_shared<Node>();
+  n->kind = PredKind::kTrue;
+  return Pred(std::move(n));
+}
+
+Pred Pred::cmp(CmpOp op, Expr lhs, Expr rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = PredKind::kCmp;
+  n->op = op;
+  n->e_lhs = std::move(lhs);
+  n->e_rhs = std::move(rhs);
+  return Pred(std::move(n));
+}
+
+Pred Pred::irregular(int id) {
+  auto n = std::make_shared<Node>();
+  n->kind = PredKind::kIrregular;
+  n->irregular_id = id;
+  return Pred(std::move(n));
+}
+
+Pred Pred::operator!() const {
+  auto n = std::make_shared<Node>();
+  n->kind = PredKind::kNot;
+  n->p_lhs = node_;
+  return Pred(std::move(n));
+}
+
+Pred Pred::operator&&(const Pred& rhs) const {
+  auto n = std::make_shared<Node>();
+  n->kind = PredKind::kAnd;
+  n->p_lhs = node_;
+  n->p_rhs = rhs.node_;
+  return Pred(std::move(n));
+}
+
+Pred Pred::operator||(const Pred& rhs) const {
+  auto n = std::make_shared<Node>();
+  n->kind = PredKind::kOr;
+  n->p_lhs = node_;
+  n->p_rhs = rhs.node_;
+  return Pred(std::move(n));
+}
+
+PredKind Pred::kind() const { return node_->kind; }
+
+CmpOp Pred::cmp_op() const {
+  ACFC_CHECK(node_->kind == PredKind::kCmp);
+  return node_->op;
+}
+
+Expr Pred::cmp_lhs() const {
+  ACFC_CHECK(node_->kind == PredKind::kCmp);
+  return node_->e_lhs;
+}
+
+Expr Pred::cmp_rhs() const {
+  ACFC_CHECK(node_->kind == PredKind::kCmp);
+  return node_->e_rhs;
+}
+
+int Pred::irregular_id() const {
+  ACFC_CHECK(node_->kind == PredKind::kIrregular);
+  return node_->irregular_id;
+}
+
+Pred Pred::child() const {
+  ACFC_CHECK(node_->kind == PredKind::kNot);
+  return Pred(node_->p_lhs);
+}
+
+Pred Pred::lhs() const {
+  ACFC_CHECK(node_->kind == PredKind::kAnd || node_->kind == PredKind::kOr);
+  return Pred(node_->p_lhs);
+}
+
+Pred Pred::rhs() const {
+  ACFC_CHECK(node_->kind == PredKind::kAnd || node_->kind == PredKind::kOr);
+  return Pred(node_->p_rhs);
+}
+
+bool Pred::depends_on_rank() const {
+  switch (node_->kind) {
+    case PredKind::kTrue:
+    case PredKind::kIrregular:
+      return false;
+    case PredKind::kCmp:
+      return node_->e_lhs.depends_on_rank() || node_->e_rhs.depends_on_rank();
+    case PredKind::kNot:
+      return Pred(node_->p_lhs).depends_on_rank();
+    case PredKind::kAnd:
+    case PredKind::kOr:
+      return Pred(node_->p_lhs).depends_on_rank() ||
+             Pred(node_->p_rhs).depends_on_rank();
+  }
+  return false;
+}
+
+bool Pred::has_irregular() const {
+  switch (node_->kind) {
+    case PredKind::kTrue:
+      return false;
+    case PredKind::kIrregular:
+      return true;
+    case PredKind::kCmp:
+      return node_->e_lhs.has_irregular() || node_->e_rhs.has_irregular();
+    case PredKind::kNot:
+      return Pred(node_->p_lhs).has_irregular();
+    case PredKind::kAnd:
+    case PredKind::kOr:
+      return Pred(node_->p_lhs).has_irregular() ||
+             Pred(node_->p_rhs).has_irregular();
+  }
+  return false;
+}
+
+bool Pred::has_loop_var() const {
+  switch (node_->kind) {
+    case PredKind::kTrue:
+    case PredKind::kIrregular:
+      return false;
+    case PredKind::kCmp:
+      return node_->e_lhs.has_loop_var() || node_->e_rhs.has_loop_var();
+    case PredKind::kNot:
+      return Pred(node_->p_lhs).has_loop_var();
+    case PredKind::kAnd:
+    case PredKind::kOr:
+      return Pred(node_->p_lhs).has_loop_var() ||
+             Pred(node_->p_rhs).has_loop_var();
+  }
+  return false;
+}
+
+std::optional<bool> Pred::eval(const EvalCtx& ctx) const {
+  switch (node_->kind) {
+    case PredKind::kTrue:
+      return true;
+    case PredKind::kIrregular: {
+      if (ctx.resolver == nullptr || !*ctx.resolver) return std::nullopt;
+      IrregularRequest req;
+      req.irregular_id = node_->irregular_id;
+      req.rank = ctx.rank;
+      req.nprocs = ctx.nprocs;
+      req.instance = ctx.instance;
+      return (*ctx.resolver)(req) != 0;
+    }
+    case PredKind::kCmp: {
+      auto a = node_->e_lhs.eval(ctx);
+      auto b = node_->e_rhs.eval(ctx);
+      if (!a || !b) return std::nullopt;
+      switch (node_->op) {
+        case CmpOp::kEq:
+          return *a == *b;
+        case CmpOp::kNe:
+          return *a != *b;
+        case CmpOp::kLt:
+          return *a < *b;
+        case CmpOp::kLe:
+          return *a <= *b;
+        case CmpOp::kGt:
+          return *a > *b;
+        case CmpOp::kGe:
+          return *a >= *b;
+      }
+      return std::nullopt;
+    }
+    case PredKind::kNot: {
+      auto v = Pred(node_->p_lhs).eval(ctx);
+      if (!v) return std::nullopt;
+      return !*v;
+    }
+    case PredKind::kAnd: {
+      auto a = Pred(node_->p_lhs).eval(ctx);
+      // Short-circuit on a definite false even if the other side is unknown.
+      if (a && !*a) return false;
+      auto b = Pred(node_->p_rhs).eval(ctx);
+      if (b && !*b) return false;
+      if (!a || !b) return std::nullopt;
+      return true;
+    }
+    case PredKind::kOr: {
+      auto a = Pred(node_->p_lhs).eval(ctx);
+      if (a && *a) return true;
+      auto b = Pred(node_->p_rhs).eval(ctx);
+      if (b && *b) return true;
+      if (!a || !b) return std::nullopt;
+      return false;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+const char* cmp_token(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return " == ";
+    case CmpOp::kNe:
+      return " != ";
+    case CmpOp::kLt:
+      return " < ";
+    case CmpOp::kLe:
+      return " <= ";
+    case CmpOp::kGt:
+      return " > ";
+    case CmpOp::kGe:
+      return " >= ";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Pred::str() const {
+  switch (node_->kind) {
+    case PredKind::kTrue:
+      return "true";
+    case PredKind::kIrregular:
+      return "irregular(" + std::to_string(node_->irregular_id) + ")";
+    case PredKind::kCmp:
+      return node_->e_lhs.str() + cmp_token(node_->op) + node_->e_rhs.str();
+    case PredKind::kNot: {
+      return "!(" + Pred(node_->p_lhs).str() + ")";
+    }
+    case PredKind::kAnd:
+      return "(" + Pred(node_->p_lhs).str() + " && " +
+             Pred(node_->p_rhs).str() + ")";
+    case PredKind::kOr:
+      return "(" + Pred(node_->p_lhs).str() + " || " +
+             Pred(node_->p_rhs).str() + ")";
+  }
+  return "?";
+}
+
+bool Pred::equals(const Pred& other) const {
+  if (node_ == other.node_) return true;
+  if (node_->kind != other.node_->kind) return false;
+  switch (node_->kind) {
+    case PredKind::kTrue:
+      return true;
+    case PredKind::kIrregular:
+      return node_->irregular_id == other.node_->irregular_id;
+    case PredKind::kCmp:
+      return node_->op == other.node_->op &&
+             node_->e_lhs.equals(other.node_->e_lhs) &&
+             node_->e_rhs.equals(other.node_->e_rhs);
+    case PredKind::kNot:
+      return Pred(node_->p_lhs).equals(Pred(other.node_->p_lhs));
+    case PredKind::kAnd:
+    case PredKind::kOr:
+      return Pred(node_->p_lhs).equals(Pred(other.node_->p_lhs)) &&
+             Pred(node_->p_rhs).equals(Pred(other.node_->p_rhs));
+  }
+  return false;
+}
+
+}  // namespace acfc::mp

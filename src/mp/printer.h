@@ -1,0 +1,22 @@
+// Pretty-printing of MiniMP programs back into the DSL grammar accepted by
+// mp::parse (round-trip safe: parse(print(p)) is structurally equal to p).
+#pragma once
+
+#include <string>
+
+#include "mp/stmt.h"
+
+namespace acfc::mp {
+
+struct PrintOptions {
+  int indent_width = 2;
+  /// Annotate checkpoint statements with their ckpt_id as a comment.
+  bool show_checkpoint_ids = false;
+  /// Annotate every statement with its uid as a comment.
+  bool show_uids = false;
+};
+
+std::string print(const Program& program, const PrintOptions& opts = {});
+std::string print(const Stmt& stmt, const PrintOptions& opts = {});
+
+}  // namespace acfc::mp

@@ -1,0 +1,107 @@
+#include "mp/subst.h"
+
+#include "util/error.h"
+
+namespace acfc::mp {
+
+Expr substitute(const Expr& expr, const std::string& var,
+                const Expr& replacement) {
+  switch (expr.kind()) {
+    case ExprKind::kLoopVar:
+      return expr.var_name() == var ? replacement : expr;
+    case ExprKind::kConst:
+    case ExprKind::kRank:
+    case ExprKind::kNProcs:
+    case ExprKind::kIrregular:
+      return expr;
+    case ExprKind::kAdd:
+      return substitute(expr.lhs(), var, replacement) +
+             substitute(expr.rhs(), var, replacement);
+    case ExprKind::kSub:
+      return substitute(expr.lhs(), var, replacement) -
+             substitute(expr.rhs(), var, replacement);
+    case ExprKind::kMul:
+      return substitute(expr.lhs(), var, replacement) *
+             substitute(expr.rhs(), var, replacement);
+    case ExprKind::kDiv:
+      return substitute(expr.lhs(), var, replacement) /
+             substitute(expr.rhs(), var, replacement);
+    case ExprKind::kMod:
+      return substitute(expr.lhs(), var, replacement) %
+             substitute(expr.rhs(), var, replacement);
+  }
+  ACFC_CHECK_MSG(false, "unreachable expression kind");
+}
+
+Pred substitute(const Pred& pred, const std::string& var,
+                const Expr& replacement) {
+  switch (pred.kind()) {
+    case PredKind::kTrue:
+    case PredKind::kIrregular:
+      return pred;
+    case PredKind::kCmp:
+      return Pred::cmp(pred.cmp_op(),
+                       substitute(pred.cmp_lhs(), var, replacement),
+                       substitute(pred.cmp_rhs(), var, replacement));
+    case PredKind::kNot:
+      return !substitute(pred.child(), var, replacement);
+    case PredKind::kAnd:
+      return substitute(pred.lhs(), var, replacement) &&
+             substitute(pred.rhs(), var, replacement);
+    case PredKind::kOr:
+      return substitute(pred.lhs(), var, replacement) ||
+             substitute(pred.rhs(), var, replacement);
+  }
+  ACFC_CHECK_MSG(false, "unreachable predicate kind");
+}
+
+void substitute_in_block(Block& block, const std::string& var,
+                         const Expr& replacement) {
+  for (auto& s : block.stmts) {
+    switch (s->kind()) {
+      case StmtKind::kSend: {
+        auto& send = static_cast<SendStmt&>(*s);
+        send.dest = substitute(send.dest, var, replacement);
+        break;
+      }
+      case StmtKind::kRecv: {
+        auto& recv = static_cast<RecvStmt&>(*s);
+        recv.src = substitute(recv.src, var, replacement);
+        break;
+      }
+      case StmtKind::kBcast: {
+        auto& bcast = static_cast<BcastStmt&>(*s);
+        bcast.root = substitute(bcast.root, var, replacement);
+        break;
+      }
+      case StmtKind::kReduce: {
+        auto& reduce = static_cast<ReduceStmt&>(*s);
+        reduce.root = substitute(reduce.root, var, replacement);
+        break;
+      }
+      case StmtKind::kIf: {
+        auto& iff = static_cast<IfStmt&>(*s);
+        iff.cond = substitute(iff.cond, var, replacement);
+        substitute_in_block(iff.then_body, var, replacement);
+        substitute_in_block(iff.else_body, var, replacement);
+        break;
+      }
+      case StmtKind::kLoop: {
+        auto& loop = static_cast<LoopStmt&>(*s);
+        loop.lo = substitute(loop.lo, var, replacement);
+        loop.hi = substitute(loop.hi, var, replacement);
+        // A nested loop rebinding the same name shadows it.
+        if (loop.var != var)
+          substitute_in_block(loop.body, var, replacement);
+        break;
+      }
+      case StmtKind::kCompute:
+      case StmtKind::kCheckpoint:
+      case StmtKind::kBarrier:
+      case StmtKind::kAllreduce:
+        break;
+    }
+  }
+}
+
+}  // namespace acfc::mp

@@ -1,0 +1,31 @@
+// Variable substitution over MiniMP expressions, predicates, and
+// statement trees — the enabling transformation for Phase I's loop
+// blocking (splitting a long loop into checkpointed blocks rewrites the
+// loop variable as an affine expression of the new block/offset
+// variables).
+#pragma once
+
+#include <string>
+
+#include "mp/expr.h"
+#include "mp/pred.h"
+#include "mp/stmt.h"
+
+namespace acfc::mp {
+
+/// Returns `expr` with every occurrence of loop variable `var` replaced by
+/// `replacement` (which may itself reference other variables).
+Expr substitute(const Expr& expr, const std::string& var,
+                const Expr& replacement);
+
+/// Predicate counterpart.
+Pred substitute(const Pred& pred, const std::string& var,
+                const Expr& replacement);
+
+/// Rewrites every expression and predicate in the block in place.
+/// Substitution does NOT descend into nested loops that rebind `var`
+/// (shadowing).
+void substitute_in_block(Block& block, const std::string& var,
+                         const Expr& replacement);
+
+}  // namespace acfc::mp

@@ -1,0 +1,177 @@
+#include "mp/workloads.h"
+
+#include "mp/builder.h"
+#include "util/error.h"
+
+namespace acfc::mp {
+
+namespace {
+
+Expr rk() { return Expr::rank(); }
+Expr np() { return Expr::nprocs(); }
+Expr c(std::int64_t v) { return Expr::constant(v); }
+
+void jacobi_exchange(ProgramBuilder& b, int tag, int bytes) {
+  b.if_(
+      Pred::eq(rk() % c(2), c(0)),
+      [&](ProgramBuilder& b) {
+        b.if_(Pred::lt(rk() + c(1), np()), [&](ProgramBuilder& b) {
+          b.send(rk() + c(1), tag, bytes);
+          b.recv(rk() + c(1), tag);
+        });
+      },
+      [&](ProgramBuilder& b) {
+        b.send(rk() - c(1), tag, bytes);
+        b.recv(rk() - c(1), tag);
+      });
+}
+
+}  // namespace
+
+Program jacobi_aligned(const WorkloadParams& params) {
+  ProgramBuilder b("jacobi_aligned");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    if (params.checkpoints) b.checkpoint();
+    b.compute(params.compute_cost, "sweep");
+    jacobi_exchange(b, 1, params.message_bytes);
+  });
+  return b.take();
+}
+
+Program jacobi_misaligned(const WorkloadParams& params) {
+  ProgramBuilder b("jacobi_misaligned");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    b.compute(params.compute_cost, "sweep");
+    b.if_(
+        Pred::eq(rk() % c(2), c(0)),
+        [&](ProgramBuilder& b) {
+          if (params.checkpoints) b.checkpoint("even");
+          b.if_(Pred::lt(rk() + c(1), np()), [&](ProgramBuilder& b) {
+            b.send(rk() + c(1), 1, params.message_bytes);
+            b.recv(rk() + c(1), 1);
+          });
+        },
+        [&](ProgramBuilder& b) {
+          b.send(rk() - c(1), 1, params.message_bytes);
+          b.recv(rk() - c(1), 1);
+          if (params.checkpoints) b.checkpoint("odd");
+        });
+  });
+  return b.take();
+}
+
+Program ring(const WorkloadParams& params) {
+  ProgramBuilder b("ring");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    b.compute(params.compute_cost, "work");
+    if (params.checkpoints) b.checkpoint();
+    b.send((rk() + c(1)) % np(), 1, params.message_bytes);
+    b.recv((rk() - c(1) + np()) % np(), 1);
+  });
+  return b.take();
+}
+
+Program master_worker(const WorkloadParams& params) {
+  ProgramBuilder b("master_worker");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    b.if_(
+        Pred::eq(rk(), c(0)),
+        [&](ProgramBuilder& b) {
+          if (params.checkpoints) b.checkpoint("master");
+          b.for_("w", c(1), np(), [&](ProgramBuilder& b) {
+            b.send(Expr::loop_var("w"), 1, params.message_bytes);
+          });
+          b.for_("w", c(1), np(), [&](ProgramBuilder& b) {
+            b.recv_any(2);
+          });
+        },
+        [&](ProgramBuilder& b) {
+          b.recv(c(0), 1);
+          b.compute(params.compute_cost, "task");
+          b.send(c(0), 2, params.message_bytes / 4);
+          if (params.checkpoints) b.checkpoint("worker");
+        });
+  });
+  return b.take();
+}
+
+Program pipeline(const WorkloadParams& params) {
+  ProgramBuilder b("pipeline");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    b.loop(4, [&](ProgramBuilder& b) {
+      b.if_(Pred::gt(rk(), c(0)),
+            [&](ProgramBuilder& b) { b.recv(rk() - c(1), 1); });
+      b.compute(params.compute_cost / 4.0, "stage");
+      b.if_(Pred::lt(rk() + c(1), np()), [&](ProgramBuilder& b) {
+        b.send(rk() + c(1), 1, params.message_bytes);
+      });
+    });
+    if (params.checkpoints) b.checkpoint();
+  });
+  return b.take();
+}
+
+Program butterfly(const WorkloadParams& params) {
+  // Static unroll of up to 6 rounds (supports nprocs ≤ 64); rounds with
+  // bit ≥ nprocs are no-ops through their guards.
+  ProgramBuilder b("butterfly");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    b.compute(params.compute_cost, "local");
+    for (int round = 0; round < 6; ++round) {
+      const std::int64_t bit = 1LL << round;
+      const std::int64_t block = bit << 1;
+      const int tag = 10 + round;
+      b.if_(
+          Pred::lt(rk() % c(block), c(bit)),
+          [&](ProgramBuilder& b) {
+            // Lower half of the block: partner above (if it exists).
+            b.if_(Pred::lt(rk() + c(bit), np()), [&](ProgramBuilder& b) {
+              b.send(rk() + c(bit), tag, params.message_bytes);
+              b.recv(rk() + c(bit), tag);
+            });
+          },
+          [&](ProgramBuilder& b) {
+            // Upper half: partner below always exists and participates.
+            b.send(rk() - c(bit), tag, params.message_bytes);
+            b.recv(rk() - c(bit), tag);
+          });
+    }
+    if (params.checkpoints) b.checkpoint();
+  });
+  return b.take();
+}
+
+Program stencil_two_phase(const WorkloadParams& params) {
+  ProgramBuilder b("stencil_two_phase");
+  b.loop(params.iterations, [&](ProgramBuilder& b) {
+    b.compute(params.compute_cost / 2.0, "red");
+    b.send((rk() + c(1)) % np(), 1, params.message_bytes);
+    b.recv((rk() - c(1) + np()) % np(), 1);
+    b.compute(params.compute_cost / 2.0, "black");
+    b.send((rk() - c(1) + np()) % np(), 2, params.message_bytes);
+    b.recv((rk() + c(1)) % np(), 2);
+    if (params.checkpoints) b.checkpoint();
+    b.reduce(c(0), 9, 64);
+  });
+  return b.take();
+}
+
+Program workload_by_name(const std::string& name,
+                         const WorkloadParams& params) {
+  if (name == "jacobi_aligned") return jacobi_aligned(params);
+  if (name == "jacobi_misaligned") return jacobi_misaligned(params);
+  if (name == "ring") return ring(params);
+  if (name == "master_worker") return master_worker(params);
+  if (name == "pipeline") return pipeline(params);
+  if (name == "butterfly") return butterfly(params);
+  if (name == "stencil_two_phase") return stencil_two_phase(params);
+  throw util::ProgramError("unknown workload: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  return {"jacobi_aligned", "jacobi_misaligned", "ring",
+          "master_worker",  "pipeline",          "butterfly",
+          "stencil_two_phase"};
+}
+
+}  // namespace acfc::mp

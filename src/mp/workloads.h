@@ -1,0 +1,55 @@
+// Canonical SPMD workloads, programmatically parameterized — the named
+// communication patterns the benchmarks, examples, and tests share
+// (instead of scattering DSL strings).
+//
+// All workloads are deadlock-free for every nprocs ≥ 2 and, unless noted,
+// ship with aligned checkpoint statements (safe placements); the
+// *_misaligned variants reproduce the paper's Figure-2 pathology.
+#pragma once
+
+#include "mp/stmt.h"
+
+namespace acfc::mp {
+
+struct WorkloadParams {
+  int iterations = 8;
+  double compute_cost = 10.0;
+  int message_bytes = 1024;
+  /// Insert a checkpoint statement once per iteration.
+  bool checkpoints = true;
+};
+
+/// 1-D Jacobi neighbour exchange, checkpoint at the top of the body
+/// (paper Figure 1).
+Program jacobi_aligned(const WorkloadParams& params = {});
+
+/// The same exchange with parity-misaligned checkpoints (paper Figure 2).
+Program jacobi_misaligned(const WorkloadParams& params = {});
+
+/// Ring shift: send right, receive left, compute.
+Program ring(const WorkloadParams& params = {});
+
+/// Master/worker scatter-gather with any-source collection at the master.
+Program master_worker(const WorkloadParams& params = {});
+
+/// One-directional pipeline (stage r feeds r+1).
+Program pipeline(const WorkloadParams& params = {});
+
+/// Butterfly (hypercube) exchange: ⌈log₂ n⌉ rounds, partner = rank XOR 2^k,
+/// expressed with arithmetic guards (ranks beyond the largest power of two
+/// sit rounds out). A hard case for Algorithm 3.1's matching: every round
+/// has two symmetric guarded send/recv pairs.
+Program butterfly(const WorkloadParams& params = {});
+
+/// Red/black two-phase stencil with a periodic reduction.
+Program stencil_two_phase(const WorkloadParams& params = {});
+
+/// All of the above by name (for CLI/bench parameterization); throws
+/// util::ProgramError for unknown names.
+Program workload_by_name(const std::string& name,
+                         const WorkloadParams& params = {});
+
+/// Names accepted by workload_by_name.
+std::vector<std::string> workload_names();
+
+}  // namespace acfc::mp

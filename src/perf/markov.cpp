@@ -1,0 +1,134 @@
+#include "perf/markov.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acfc::perf {
+
+int MarkovChain::add_state(std::string name) {
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void MarkovChain::add_transition(int from, int to, double prob, double cost) {
+  ACFC_CHECK(from >= 0 && from < state_count());
+  ACFC_CHECK(to >= 0 && to < state_count());
+  ACFC_CHECK_MSG(prob >= 0.0 && prob <= 1.0 + 1e-12,
+                 "transition probability out of [0,1]");
+  out_[static_cast<size_t>(from)].push_back({to, prob, cost});
+}
+
+bool MarkovChain::is_absorbing(int state) const {
+  return out_.at(static_cast<size_t>(state)).empty();
+}
+
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b) {
+  const size_t n = b.size();
+  ACFC_CHECK_MSG(a.size() == n, "matrix/vector size mismatch");
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    if (std::abs(a[pivot][col]) < 1e-300)
+      throw util::ProgramError("singular linear system in Markov solve");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double f = a[row][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (size_t k = col; k < n; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t k = row + 1; k < n; ++k) sum -= a[row][k] * x[k];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+std::vector<double> MarkovChain::expected_cost_to_absorption() const {
+  const int n = state_count();
+  // Identify transient states and validate stochasticity.
+  std::vector<int> transient;
+  std::vector<int> index_of(static_cast<size_t>(n), -1);
+  for (int s = 0; s < n; ++s) {
+    if (is_absorbing(s)) continue;
+    double total = 0.0;
+    for (const auto& t : out_[static_cast<size_t>(s)]) total += t.prob;
+    if (std::abs(total - 1.0) > 1e-9)
+      throw util::ProgramError("probabilities out of state '" +
+                               names_[static_cast<size_t>(s)] +
+                               "' sum to " + std::to_string(total));
+    index_of[static_cast<size_t>(s)] = static_cast<int>(transient.size());
+    transient.push_back(s);
+  }
+
+  const size_t m = transient.size();
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  std::vector<double> c(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const int s = transient[i];
+    a[i][i] = 1.0;
+    for (const auto& t : out_[static_cast<size_t>(s)]) {
+      c[i] += t.prob * t.cost;
+      if (!is_absorbing(t.to))
+        a[i][static_cast<size_t>(index_of[static_cast<size_t>(t.to)])] -=
+            t.prob;
+    }
+  }
+  std::vector<double> e;
+  try {
+    e = solve_linear(std::move(a), std::move(c));
+  } catch (const util::ProgramError&) {
+    throw util::ProgramError(
+        "chain has transient states that cannot reach absorption");
+  }
+
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  for (size_t i = 0; i < m; ++i)
+    out[static_cast<size_t>(transient[i])] = e[i];
+  return out;
+}
+
+double MarkovChain::expected_visits(int start, int target) const {
+  ACFC_CHECK(start >= 0 && start < state_count());
+  ACFC_CHECK(target >= 0 && target < state_count());
+  // Fundamental-matrix column: N = (I − Q)^{-1}; visits(start, target) =
+  // N[start][target]. Solve (I − Qᵀ)·x = e_target over transient states.
+  std::vector<int> transient;
+  std::vector<int> index_of(static_cast<size_t>(state_count()), -1);
+  for (int s = 0; s < state_count(); ++s) {
+    if (is_absorbing(s)) continue;
+    index_of[static_cast<size_t>(s)] = static_cast<int>(transient.size());
+    transient.push_back(s);
+  }
+  if (index_of[static_cast<size_t>(target)] < 0 ||
+      index_of[static_cast<size_t>(start)] < 0)
+    return start == target ? 1.0 : 0.0;
+
+  const size_t m = transient.size();
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  std::vector<double> b(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const int s = transient[i];
+    a[i][i] += 1.0;
+    for (const auto& t : out_[static_cast<size_t>(s)]) {
+      if (is_absorbing(t.to)) continue;
+      // (I − Qᵀ) row for column variables: coefficient on x[to].
+      a[static_cast<size_t>(index_of[static_cast<size_t>(t.to)])][i] -=
+          t.prob;
+    }
+  }
+  b[static_cast<size_t>(index_of[static_cast<size_t>(target)])] = 1.0;
+  const auto x = solve_linear(std::move(a), std::move(b));
+  return x[static_cast<size_t>(index_of[static_cast<size_t>(start)])];
+}
+
+}  // namespace acfc::perf

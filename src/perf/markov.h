@@ -1,0 +1,60 @@
+// Generic absorbing Markov chains with per-transition costs — the
+// substrate of the paper's Section 4 analysis (Figure 7's 3-state chain),
+// implemented generally and solved exactly so the closed-form Γ can be
+// cross-checked numerically.
+//
+// For each non-absorbing state s with transitions (s → t, prob P_st,
+// cost W_st), the expected cost to absorption E[s] satisfies
+//     E[s] = Σ_t P_st · (W_st + E[t]),
+// a linear system (I − P)·E = c with c_s = Σ_t P_st·W_st, solved by
+// Gaussian elimination with partial pivoting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acfc::perf {
+
+class MarkovChain {
+ public:
+  /// Adds a state and returns its id.
+  int add_state(std::string name);
+
+  /// Adds a transition. Probabilities out of each non-absorbing state must
+  /// sum to 1 (validated by solve).
+  void add_transition(int from, int to, double prob, double cost);
+
+  int state_count() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int state) const {
+    return names_.at(static_cast<size_t>(state));
+  }
+
+  /// True if the state has no outgoing transitions.
+  bool is_absorbing(int state) const;
+
+  /// Expected cost to absorption from every state. Throws
+  /// util::ProgramError when probabilities do not sum to 1, or when some
+  /// state cannot reach absorption.
+  std::vector<double> expected_cost_to_absorption() const;
+
+  /// Expected number of visits to `target` before absorption, starting
+  /// from `start` (counts the visit at time 0 if start == target).
+  double expected_visits(int start, int target) const;
+
+ private:
+  struct Transition {
+    int to;
+    double prob;
+    double cost;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<Transition>> out_;
+};
+
+/// Solves A·x = b by Gaussian elimination with partial pivoting (dense,
+/// small systems). Throws util::ProgramError on singular systems.
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b);
+
+}  // namespace acfc::perf

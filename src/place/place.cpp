@@ -1,0 +1,473 @@
+#include "place/place.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mp/subst.h"
+#include "util/error.h"
+
+namespace acfc::place {
+
+// ===========================================================================
+// Phase I
+// ===========================================================================
+
+double optimal_interval(const InsertOptions& opts) {
+  if (opts.target_interval > 0.0) return opts.target_interval;
+  ACFC_CHECK_MSG(opts.lambda > 0.0 && opts.checkpoint_overhead > 0.0,
+                 "interval rule needs positive lambda and overhead");
+  // Young's first-order optimum.
+  return std::sqrt(2.0 * opts.checkpoint_overhead / opts.lambda);
+}
+
+namespace {
+
+double stmt_cost(const mp::Stmt& stmt, const InsertOptions& opts);
+
+double block_cost(const mp::Block& block, const InsertOptions& opts) {
+  double total = 0.0;
+  for (const auto& s : block.stmts) total += stmt_cost(*s, opts);
+  return total;
+}
+
+std::int64_t loop_trips(const mp::LoopStmt& loop, const InsertOptions& opts) {
+  mp::EvalCtx ctx;  // nprocs=1: constants only
+  const auto lo = loop.lo.eval(ctx);
+  const auto hi = loop.hi.eval(ctx);
+  if (lo && hi && loop.lo.kind() == mp::ExprKind::kConst &&
+      loop.hi.kind() == mp::ExprKind::kConst)
+    return std::max<std::int64_t>(0, *hi - *lo);
+  return opts.assumed_trip_count;
+}
+
+double stmt_cost(const mp::Stmt& stmt, const InsertOptions& opts) {
+  switch (stmt.kind()) {
+    case mp::StmtKind::kCompute:
+      return static_cast<const mp::ComputeStmt&>(stmt).cost;
+    case mp::StmtKind::kSend:
+    case mp::StmtKind::kRecv:
+      return opts.est_message_delay;
+    case mp::StmtKind::kBarrier:
+    case mp::StmtKind::kBcast:
+    case mp::StmtKind::kReduce:
+    case mp::StmtKind::kAllreduce:
+      return 2.0 * opts.est_message_delay;
+    case mp::StmtKind::kCheckpoint:
+      return 0.0;
+    case mp::StmtKind::kIf: {
+      const auto& iff = static_cast<const mp::IfStmt&>(stmt);
+      return std::max(block_cost(iff.then_body, opts),
+                      block_cost(iff.else_body, opts));
+    }
+    case mp::StmtKind::kLoop: {
+      const auto& loop = static_cast<const mp::LoopStmt&>(stmt);
+      return static_cast<double>(loop_trips(loop, opts)) *
+             block_cost(loop.body, opts);
+    }
+  }
+  return 0.0;
+}
+
+class Inserter {
+ public:
+  Inserter(const InsertOptions& opts)
+      : opts_(opts), interval_(optimal_interval(opts)) {}
+
+  int run(mp::Block& block) {
+    acc_ = 0.0;
+    walk(block);
+    return inserted_;
+  }
+
+ private:
+  /// Walks a block, inserting checkpoints at unconditional boundaries
+  /// whenever the running cost crosses the interval.
+  void walk(mp::Block& block) {
+    for (std::size_t i = 0; i < block.stmts.size(); ++i) {
+      mp::Stmt& stmt = *block.stmts[i];
+      if (auto* loop = dynamic_cast<mp::LoopStmt*>(&stmt)) {
+        const double per_iter = block_cost(loop->body, opts_);
+        const auto trips = loop_trips(*loop, opts_);
+        const double total = static_cast<double>(trips) * per_iter;
+        if (per_iter >= interval_ / 2.0) {
+          // Heavy loop body: place checkpoints inside it (one per crossing
+          // of the interval within the body).
+          walk(loop->body);
+          continue;
+        }
+        if (opts_.enable_loop_blocking && total >= interval_ &&
+            try_block_loop(block, i, *loop, per_iter)) {
+          continue;  // i now indexes the blocked outer loop; move on
+        }
+        acc_ += total;
+      } else {
+        acc_ += stmt_cost(stmt, opts_);
+      }
+      if (acc_ >= interval_) {
+        auto ckpt = std::make_unique<mp::CheckpointStmt>("auto");
+        block.stmts.insert(
+            block.stmts.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+            std::move(ckpt));
+        ++i;  // skip the checkpoint we just inserted
+        ++inserted_;
+        acc_ = 0.0;
+      }
+    }
+  }
+
+  /// Splits a cheap-bodied, constant-bound loop spanning several intervals
+  /// into checkpointed blocks:
+  ///
+  ///   for v in lo..hi { B }
+  ///     ⇓  with k = ⌊interval / body-cost⌋, q = trips/k, r = trips%k
+  ///   for _blk in 0..q { for _off in 0..k { B[v := lo+_blk·k+_off] }
+  ///                      checkpoint; }
+  ///   for _tail in 0..r { B[v := lo+q·k+_tail] }
+  ///
+  /// Returns false (leaving the loop untouched) when the bounds are not
+  /// compile-time constants or blocking is not worthwhile.
+  bool try_block_loop(mp::Block& block, std::size_t index,
+                      const mp::LoopStmt& loop, double per_iter) {
+    if (loop.lo.kind() != mp::ExprKind::kConst ||
+        loop.hi.kind() != mp::ExprKind::kConst)
+      return false;
+    const std::int64_t lo = loop.lo.const_value();
+    const std::int64_t hi = loop.hi.const_value();
+    const std::int64_t trips = hi - lo;
+    if (trips < 2 || per_iter <= 0.0) return false;
+    const auto k = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(interval_ / per_iter), 1, trips);
+    const std::int64_t q = trips / k;
+    const std::int64_t r = trips % k;
+    if (q < 1 || (q == 1 && r == 0 && k == trips)) return false;
+
+    const std::string blk = fresh_var("_blk");
+    const std::string off = fresh_var("_off");
+    const mp::Expr rewritten = mp::Expr::constant(lo) +
+                               mp::Expr::loop_var(blk) * mp::Expr::constant(k) +
+                               mp::Expr::loop_var(off);
+
+    auto inner = std::make_unique<mp::LoopStmt>(off, mp::Expr::constant(0),
+                                                mp::Expr::constant(k));
+    inner->body = loop.body.clone();
+    mp::substitute_in_block(inner->body, loop.var, rewritten);
+
+    auto outer = std::make_unique<mp::LoopStmt>(blk, mp::Expr::constant(0),
+                                                mp::Expr::constant(q));
+    outer->body.stmts.push_back(std::move(inner));
+    outer->body.stmts.push_back(
+        std::make_unique<mp::CheckpointStmt>("auto-block"));
+    ++inserted_;
+
+    std::unique_ptr<mp::Stmt> tail;
+    if (r > 0) {
+      const std::string tv = fresh_var("_tail");
+      auto tail_loop = std::make_unique<mp::LoopStmt>(
+          tv, mp::Expr::constant(0), mp::Expr::constant(r));
+      tail_loop->body = loop.body.clone();
+      mp::substitute_in_block(
+          tail_loop->body, loop.var,
+          mp::Expr::constant(lo + q * k) + mp::Expr::loop_var(tv));
+      tail = std::move(tail_loop);
+    }
+
+    block.stmts[index] = std::move(outer);
+    if (tail)
+      block.stmts.insert(
+          block.stmts.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+          std::move(tail));
+    // Work since the last checkpoint is the unblocked tail.
+    acc_ = static_cast<double>(r) * per_iter;
+    return true;
+  }
+
+  std::string fresh_var(const char* prefix) {
+    return std::string(prefix) + std::to_string(fresh_counter_++);
+  }
+
+  const InsertOptions& opts_;
+  double interval_;
+  double acc_ = 0.0;
+  int inserted_ = 0;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+double estimated_cost(const mp::Program& program, const InsertOptions& opts) {
+  return block_cost(program.body, opts);
+}
+
+int insert_checkpoints(mp::Program& program, const InsertOptions& opts) {
+  Inserter inserter(opts);
+  const int inserted = inserter.run(program.body);
+  program.renumber();
+  program.assign_checkpoint_ids();
+  return inserted;
+}
+
+namespace {
+
+/// Equalizes arms bottom-up; returns the checkpoint count of the block
+/// along any single path through it, accumulating additions.
+int equalize_block(mp::Block& block, int& added) {
+  int total = 0;
+  for (auto& s : block.stmts) {
+    if (s->kind() == mp::StmtKind::kCheckpoint) {
+      ++total;
+    } else if (auto* iff = dynamic_cast<mp::IfStmt*>(s.get())) {
+      int then_count = equalize_block(iff->then_body, added);
+      int else_count = equalize_block(iff->else_body, added);
+      while (then_count < else_count) {
+        iff->then_body.stmts.push_back(
+            std::make_unique<mp::CheckpointStmt>("equalize"));
+        ++then_count;
+        ++added;
+      }
+      while (else_count < then_count) {
+        iff->else_body.stmts.push_back(
+            std::make_unique<mp::CheckpointStmt>("equalize"));
+        ++else_count;
+        ++added;
+      }
+      total += then_count;
+    } else if (auto* loop = dynamic_cast<mp::LoopStmt*>(s.get())) {
+      total += equalize_block(loop->body, added);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int equalize_checkpoints(mp::Program& program) {
+  int added = 0;
+  equalize_block(program.body, added);
+  program.renumber();
+  program.assign_checkpoint_ids();
+  return added;
+}
+
+// ===========================================================================
+// Phase III
+// ===========================================================================
+
+CheckResult check_condition1(const match::ExtendedCfg& ext,
+                             const CheckOptions& opts) {
+  const cfg::Cfg& graph = ext.graph();
+  const cfg::CheckpointIndexing indexing = graph.index_checkpoints();
+  CheckResult out;
+  for (int i = 1; i <= indexing.max_index(); ++i) {
+    const auto& collection = indexing.collections[static_cast<size_t>(i - 1)];
+    for (const cfg::NodeId a : collection) {
+      for (const cfg::NodeId b : collection) {
+        const match::PathClass pc =
+            opts.attribute_refinement
+                ? ext.classify_paths_refined(a, b, opts.refine)
+                : ext.classify_paths(a, b);
+        if (!pc.has_message_path) continue;
+        Violation v;
+        v.index = i;
+        v.from = a;
+        v.to = b;
+        v.from_ckpt_id =
+            static_cast<const mp::CheckpointStmt*>(graph.node(a).stmt)->ckpt_id;
+        v.to_ckpt_id =
+            static_cast<const mp::CheckpointStmt*>(graph.node(b).stmt)->ckpt_id;
+        v.hard = pc.message_path_without_back_edge;
+        out.violations.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Finds the uid of a checkpoint statement with ckpt_id inside a block
+/// subtree, or -1.
+int find_checkpoint_uid(const mp::Block& block, int ckpt_id) {
+  int found = -1;
+  mp::for_each_stmt(block, [&](const mp::Stmt& s) {
+    if (const auto* c = dynamic_cast<const mp::CheckpointStmt*>(&s))
+      if (c->ckpt_id == ckpt_id) found = s.uid();
+  });
+  return found;
+}
+
+/// Collects (ckpt_id, uid) of all checkpoints in a subtree.
+std::vector<std::pair<int, int>> checkpoints_in(const mp::Block& block) {
+  std::vector<std::pair<int, int>> out;
+  mp::for_each_stmt(block, [&out](const mp::Stmt& s) {
+    if (const auto* c = dynamic_cast<const mp::CheckpointStmt*>(&s))
+      out.emplace_back(c->ckpt_id, s.uid());
+  });
+  return out;
+}
+
+struct MoveOutcome {
+  bool moved = false;
+  bool merged = false;
+  bool hoisted = false;
+  std::string description;
+};
+
+/// Applies one backward structural move to the checkpoint with `ckpt_uid`.
+/// `ext` is the extended CFG of the CURRENT program (used to look up
+/// same-index counterparts for arm merges).
+MoveOutcome move_back_one(mp::Program& program, int ckpt_uid,
+                          const match::ExtendedCfg& ext, int target_index) {
+  MoveOutcome out;
+  auto loc = mp::locate(program, ckpt_uid);
+  ACFC_CHECK_MSG(loc.has_value(), "checkpoint to move has vanished");
+
+  if (loc->index > 0) {
+    // Swap with the previous sibling.
+    const mp::Stmt& prev = *loc->block->stmts[loc->index - 1];
+    const int prev_uid = prev.uid();
+    auto stmt = mp::remove_stmt(program, ckpt_uid);
+    mp::insert_before(program, prev_uid, std::move(stmt));
+    out.moved = true;
+    out.description = "moved checkpoint back across '" +
+                      std::string(mp::stmt_kind_name(prev.kind())) + "'";
+    return out;
+  }
+
+  if (loc->ancestors.empty()) {
+    out.description = "checkpoint already at program start; cannot move";
+    return out;
+  }
+
+  mp::Stmt* enclosing = loc->ancestors.back();
+  if (auto* loop = dynamic_cast<mp::LoopStmt*>(enclosing)) {
+    // Hoist out of the loop body; per-path checkpoint counts are
+    // unaffected (each path traverses the body once in the enumeration).
+    auto stmt = mp::remove_stmt(program, ckpt_uid);
+    program.renumber();
+    mp::insert_before(program, loop->uid(), std::move(stmt));
+    out.hoisted = true;
+    out.description = "hoisted checkpoint out of loop over '" + loop->var + "'";
+    return out;
+  }
+
+  auto* iff = dynamic_cast<mp::IfStmt*>(enclosing);
+  ACFC_CHECK_MSG(iff != nullptr, "enclosing statement is neither loop nor if");
+
+  // Merge: the target and its same-index counterpart in the sibling arm
+  // both retract to a single checkpoint before the branch. Balance is
+  // preserved (each path through the if carried one member of S_i inside
+  // the arms and now carries one before the branch instead).
+  bool in_then = false;
+  mp::for_each_stmt(iff->then_body, [&](const mp::Stmt& s) {
+    if (s.uid() == ckpt_uid) in_then = true;
+  });
+  const mp::Block& other_arm = in_then ? iff->else_body : iff->then_body;
+
+  // Identify the same-index counterpart in the other arm by its stable
+  // ckpt_id, using the CFG checkpoint indexing of the CURRENT program.
+  const cfg::CheckpointIndexing indexing = ext.graph().index_checkpoints();
+  int counterpart_ckpt_id = -1;
+  for (const auto& [cid, uid] : checkpoints_in(other_arm)) {
+    const auto node = ext.graph().node_for_stmt(uid);
+    if (!node) continue;
+    const auto it = indexing.index_of.find(*node);
+    if (it != indexing.index_of.end() && it->second == target_index) {
+      counterpart_ckpt_id = cid;
+      break;
+    }
+  }
+
+  auto stmt = mp::remove_stmt(program, ckpt_uid);
+  program.renumber();
+  // `iff` stays valid (only a descendant was detached); its uid was
+  // refreshed by the renumber above.
+  mp::insert_before(program, iff->uid(), std::move(stmt));
+  program.renumber();
+
+  if (counterpart_ckpt_id >= 0) {
+    const int counterpart_uid =
+        find_checkpoint_uid(program.body, counterpart_ckpt_id);
+    ACFC_CHECK_MSG(counterpart_uid >= 0, "merge counterpart vanished");
+    mp::remove_stmt(program, counterpart_uid);
+    program.renumber();
+    out.merged = true;
+    out.description =
+        "merged same-index arm checkpoints into one before the branch";
+  } else {
+    out.moved = true;
+    out.description = "hoisted checkpoint out of if-arm";
+  }
+  return out;
+}
+
+}  // namespace
+
+RepairReport repair_placement(mp::Program& program, const RepairOptions& opts) {
+  RepairReport report;
+  program.renumber();
+  program.assign_checkpoint_ids();
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const match::ExtendedCfg ext = match::build_extended_cfg(program, opts.match);
+    CheckResult check = check_condition1(ext, opts.check);
+    if (iter == 0) {
+      report.initial_hard = check.hard_count();
+      report.initial_total = static_cast<int>(check.violations.size());
+    }
+
+    // Pick the first violation in the policy's class, hard ones first.
+    const Violation* chosen = nullptr;
+    for (const auto& v : check.violations) {
+      if (v.hard) {
+        chosen = &v;
+        break;
+      }
+      if (opts.policy == RepairPolicy::kStrict && chosen == nullptr)
+        chosen = &v;
+    }
+    if (chosen == nullptr) {
+      report.success = true;
+      report.final_check = std::move(check);
+      return report;
+    }
+
+    const int target_uid = ext.graph().node(chosen->to).stmt_uid;
+    MoveOutcome outcome =
+        move_back_one(program, target_uid, ext, chosen->index);
+    if (!outcome.moved && !outcome.merged && !outcome.hoisted) {
+      report.log.push_back("stuck: " + outcome.description);
+      report.final_check = std::move(check);
+      return report;
+    }
+    report.moves += outcome.moved ? 1 : 0;
+    report.merges += outcome.merged ? 1 : 0;
+    report.hoists += outcome.hoisted ? 1 : 0;
+    if (opts.verbose_log) {
+      std::ostringstream os;
+      os << "S_" << chosen->index << ": ckpt#" << chosen->from_ckpt_id
+         << " ⇝ ckpt#" << chosen->to_ckpt_id
+         << (chosen->hard ? " [hard]" : " [loop-carried]") << " — "
+         << outcome.description;
+      report.log.push_back(os.str());
+    }
+    program.renumber();
+    program.assign_checkpoint_ids();
+  }
+
+  report.log.push_back("max_iterations exceeded");
+  const match::ExtendedCfg ext = match::build_extended_cfg(program, opts.match);
+  report.final_check = check_condition1(ext, opts.check);
+  return report;
+}
+
+RepairReport analyze_and_place(mp::Program& program,
+                               const InsertOptions& insert_opts,
+                               const RepairOptions& repair_opts) {
+  if (mp::checkpoint_count(program) == 0)
+    insert_checkpoints(program, insert_opts);
+  equalize_checkpoints(program);
+  return repair_placement(program, repair_opts);
+}
+
+}  // namespace acfc::place

@@ -1,0 +1,57 @@
+#include "proto/cic.h"
+
+#include <algorithm>
+
+namespace acfc::proto {
+
+void CicDriver::on_start(sim::Engine& engine) {
+  const double first = opts_.first_round_at >= 0.0 ? opts_.first_round_at
+                                                   : opts_.interval;
+  for (int p = 0; p < engine.nprocs(); ++p)
+    engine.schedule_timer(p, first, /*timer_id=*/0);
+}
+
+void CicDriver::on_timer(sim::Engine& engine, int proc, int /*timer_id*/) {
+  if (engine.is_done(proc)) return;  // no reschedule after exit
+  engine.force_checkpoint(proc);
+  engine.schedule_timer(proc, engine.now() + opts_.interval, 0);
+}
+
+long CicDriver::piggyback(sim::Engine& engine, int src) {
+  return engine.checkpoint_count(src);
+}
+
+void CicDriver::before_delivery(sim::Engine& engine, int dst, int /*src*/,
+                                long piggyback_value) {
+  // BCS rule: receiving from a "newer" interval forces a checkpoint so
+  // the receive lands in an interval at least as new as the send's.
+  while (engine.checkpoint_count(dst) < piggyback_value)
+    engine.force_checkpoint(dst);
+}
+
+void UncoordinatedDriver::on_start(sim::Engine& engine) {
+  for (int p = 0; p < engine.nprocs(); ++p) {
+    const double first = opts_.first_round_at >= 0.0
+                             ? opts_.first_round_at
+                             : interval_of(p, engine.nprocs());
+    engine.schedule_timer(p, first, /*timer_id=*/0);
+  }
+}
+
+double UncoordinatedDriver::interval_of(int proc, int nprocs) const {
+  // Staggered periods model independent clocks drifting apart.
+  return opts_.interval *
+         (1.0 + opts_.stagger * static_cast<double>(proc) /
+                    static_cast<double>(std::max(1, nprocs)));
+}
+
+void UncoordinatedDriver::on_timer(sim::Engine& engine, int proc,
+                                   int /*timer_id*/) {
+  if (engine.is_done(proc)) return;  // no reschedule after exit
+  engine.force_checkpoint(proc);
+  engine.schedule_timer(proc,
+                        engine.now() + interval_of(proc, engine.nprocs()),
+                        0);
+}
+
+}  // namespace acfc::proto

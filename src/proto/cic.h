@@ -1,0 +1,47 @@
+// Communication-induced checkpointing (index-based, BCS-style
+// [Briatico–Ciuffoletti–Simoncini]).
+//
+// Every process takes basic checkpoints on a local timer and piggybacks
+// its checkpoint index on every application message. Delivering a message
+// whose piggybacked index exceeds the receiver's index FORCES a checkpoint
+// before delivery, which keeps every "same index" cut consistent without
+// any control messages — the coordination cost shows up as forced
+// checkpoints and piggyback bytes instead.
+#pragma once
+
+#include "proto/protocols.h"
+#include "sim/driver.h"
+
+namespace acfc::proto {
+
+class CicDriver final : public sim::ProtocolDriver {
+ public:
+  explicit CicDriver(const ProtocolOptions& opts) : opts_(opts) {}
+
+  void on_start(sim::Engine& engine) override;
+  void on_timer(sim::Engine& engine, int proc, int timer_id) override;
+  long piggyback(sim::Engine& engine, int src) override;
+  void before_delivery(sim::Engine& engine, int dst, int src,
+                       long piggyback_value) override;
+
+ private:
+  ProtocolOptions opts_;
+};
+
+/// Fully uncoordinated timer-driven checkpointing: each process
+/// checkpoints on its own (staggered) period; no piggybacking, no control
+/// messages, no forced checkpoints — and no consistency guarantee, which
+/// the domino-effect benchmarks quantify.
+class UncoordinatedDriver final : public sim::ProtocolDriver {
+ public:
+  explicit UncoordinatedDriver(const ProtocolOptions& opts) : opts_(opts) {}
+
+  void on_start(sim::Engine& engine) override;
+  void on_timer(sim::Engine& engine, int proc, int timer_id) override;
+
+ private:
+  double interval_of(int proc, int nprocs) const;
+  ProtocolOptions opts_;
+};
+
+}  // namespace acfc::proto

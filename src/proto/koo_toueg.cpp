@@ -1,0 +1,90 @@
+#include "proto/koo_toueg.h"
+
+namespace acfc::proto {
+
+void KooTouegDriver::on_start(sim::Engine& engine) {
+  dependency_.assign(static_cast<size_t>(engine.nprocs()), {});
+  const double first = opts_.first_round_at >= 0.0 ? opts_.first_round_at
+                                                   : opts_.interval;
+  engine.schedule_timer(opts_.coordinator, first, /*timer_id=*/0);
+}
+
+void KooTouegDriver::before_delivery(sim::Engine& engine, int dst, int src,
+                                     long /*piggyback*/) {
+  (void)engine;
+  dependency_[static_cast<size_t>(dst)].insert(src);
+}
+
+long KooTouegDriver::join_round(sim::Engine& engine, int proc) {
+  tentative_[static_cast<size_t>(proc)] = 1;
+  engine.force_checkpoint(proc);
+  engine.request_pause(proc);  // blocking variant: no sends until COMMIT
+  long issued = 0;
+  for (const int sender : dependency_[static_cast<size_t>(proc)]) {
+    if (tentative_[static_cast<size_t>(sender)]) continue;
+    // Mark immediately so concurrent cascades do not double-request.
+    tentative_[static_cast<size_t>(sender)] = 1;
+    engine.send_control(proc, sender, opts_.control_bytes, kRequest);
+    ++issued;
+  }
+  // The dependency set is captured by this checkpoint; reset for the next
+  // interval.
+  dependency_[static_cast<size_t>(proc)].clear();
+  return issued;
+}
+
+void KooTouegDriver::on_timer(sim::Engine& engine, int proc,
+                              int /*timer_id*/) {
+  if (round_active_) return;
+  if (engine.is_done(opts_.coordinator) || engine.all_done()) return;
+  round_active_ = true;
+  tentative_.assign(static_cast<size_t>(engine.nprocs()), 0);
+  outstanding_ = join_round(engine, proc);
+  maybe_commit(engine);
+}
+
+void KooTouegDriver::on_control(sim::Engine& engine, int dst, int /*src*/,
+                                int kind, long payload) {
+  switch (kind) {
+    case kRequest: {
+      // First (and only) request this round: join and report the cascade
+      // size to the initiator. tentative_ was pre-marked by the sender.
+      const long issued = join_round(engine, dst);
+      engine.send_control(dst, opts_.coordinator, opts_.control_bytes, kAck,
+                          issued);
+      return;
+    }
+    case kAck:
+      // One request acknowledged; `payload` new ones entered flight.
+      outstanding_ += payload - 1;
+      maybe_commit(engine);
+      return;
+    case kCommit:
+      engine.resume(dst);
+      return;
+  }
+}
+
+void KooTouegDriver::maybe_commit(sim::Engine& engine) {
+  if (!round_active_ || outstanding_ > 0) return;
+  // Commit: resume every participant.
+  int participants = 0;
+  for (int q = 0; q < engine.nprocs(); ++q) {
+    if (!tentative_[static_cast<size_t>(q)]) continue;
+    ++participants;
+    if (q == opts_.coordinator) {
+      engine.resume(q);
+    } else {
+      engine.send_control(opts_.coordinator, q, opts_.control_bytes,
+                          kCommit);
+    }
+  }
+  last_round_participants_ = participants;
+  round_active_ = false;
+  ++rounds_completed_;
+  if (!engine.all_done())
+    engine.schedule_timer(opts_.coordinator, engine.now() + opts_.interval,
+                          0);
+}
+
+}  // namespace acfc::proto

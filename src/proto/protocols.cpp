@@ -1,0 +1,82 @@
+#include "proto/protocols.h"
+
+#include "proto/chandy_lamport.h"
+#include "proto/cic.h"
+#include "proto/koo_toueg.h"
+#include "proto/sync_and_stop.h"
+#include "util/error.h"
+
+namespace acfc::proto {
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAppDriven:
+      return "appl-driven";
+    case Protocol::kSyncAndStop:
+      return "SaS";
+    case Protocol::kChandyLamport:
+      return "C-L";
+    case Protocol::kKooToueg:
+      return "K-T";
+    case Protocol::kCic:
+      return "CIC";
+    case Protocol::kUncoordinated:
+      return "uncoord";
+  }
+  return "?";
+}
+
+std::unique_ptr<sim::ProtocolDriver> make_driver(Protocol protocol,
+                                                 const ProtocolOptions& opts) {
+  switch (protocol) {
+    case Protocol::kAppDriven:
+      return nullptr;
+    case Protocol::kSyncAndStop:
+      return std::make_unique<SyncAndStopDriver>(opts);
+    case Protocol::kChandyLamport:
+      return std::make_unique<ChandyLamportDriver>(opts);
+    case Protocol::kKooToueg:
+      return std::make_unique<KooTouegDriver>(opts);
+    case Protocol::kCic:
+      return std::make_unique<CicDriver>(opts);
+    case Protocol::kUncoordinated:
+      return std::make_unique<UncoordinatedDriver>(opts);
+  }
+  ACFC_CHECK_MSG(false, "unknown protocol");
+}
+
+ProtocolRunResult run_protocol(const mp::Program& program, Protocol protocol,
+                               const sim::SimOptions& sim_opts,
+                               const ProtocolOptions& proto_opts) {
+  ProtocolRunResult out;
+  out.protocol = protocol;
+  auto driver = make_driver(protocol, proto_opts);
+  sim::Engine engine(program, sim_opts, driver.get());
+  out.sim = engine.run();
+  if (const auto* sas = dynamic_cast<SyncAndStopDriver*>(driver.get()))
+    out.rounds_completed = sas->rounds_completed();
+  if (const auto* cl = dynamic_cast<ChandyLamportDriver*>(driver.get()))
+    out.rounds_completed = cl->rounds_completed();
+  if (const auto* kt = dynamic_cast<KooTouegDriver*>(driver.get()))
+    out.rounds_completed = kt->rounds_completed();
+  return out;
+}
+
+long expected_control_messages(Protocol protocol, int nprocs) {
+  const long n = nprocs;
+  switch (protocol) {
+    case Protocol::kSyncAndStop:
+      return 5 * (n - 1);
+    case Protocol::kChandyLamport:
+      return 2 * n * (n - 1);
+    case Protocol::kKooToueg:
+      return 3 * (n - 1);  // dense worst case
+    case Protocol::kAppDriven:
+    case Protocol::kCic:
+    case Protocol::kUncoordinated:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace acfc::proto

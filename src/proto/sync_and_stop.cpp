@@ -1,0 +1,110 @@
+#include "proto/sync_and_stop.h"
+
+namespace acfc::proto {
+
+void SyncAndStopDriver::on_start(sim::Engine& engine) {
+  const double first = opts_.first_round_at >= 0.0 ? opts_.first_round_at
+                                                   : opts_.interval;
+  engine.schedule_timer(opts_.coordinator, first, /*timer_id=*/0);
+}
+
+void SyncAndStopDriver::on_timer(sim::Engine& engine, int proc,
+                                 int /*timer_id*/) {
+  if (round_active_) return;  // previous round still draining
+  if (engine.is_done(opts_.coordinator) || engine.all_done()) return;
+
+  round_active_ = true;
+  const auto n = static_cast<size_t>(engine.nprocs());
+  acked_.assign(n, 0);
+  done_.assign(n, 0);
+  ack_count_ = 0;
+  done_count_ = 0;
+  participants_ = engine.nprocs();
+
+  // Phase 1: STOP everyone. The coordinator halts itself directly.
+  for (int q = 0; q < engine.nprocs(); ++q) {
+    if (q == proc) continue;
+    engine.send_control(proc, q, opts_.control_bytes, kStop);
+  }
+  engine.request_pause(proc);
+}
+
+void SyncAndStopDriver::on_paused(sim::Engine& engine, int proc) {
+  if (!round_active_ || acked_[static_cast<size_t>(proc)]) return;
+  acked_[static_cast<size_t>(proc)] = 1;
+  ++ack_count_;
+  if (proc != opts_.coordinator)
+    engine.send_control(proc, opts_.coordinator, opts_.control_bytes, kAck);
+  else
+    maybe_advance_to_checkpoint(engine);
+}
+
+void SyncAndStopDriver::on_control(sim::Engine& engine, int dst, int src,
+                                   int kind, long /*payload*/) {
+  switch (kind) {
+    case kStop:
+      if (engine.is_done(dst)) {
+        // Finished processes are quiescent forever: ack on their behalf.
+        if (!acked_[static_cast<size_t>(dst)]) {
+          acked_[static_cast<size_t>(dst)] = 1;
+          ++ack_count_;
+          engine.send_control(dst, opts_.coordinator, opts_.control_bytes,
+                              kAck);
+        }
+        return;
+      }
+      engine.request_pause(dst);
+      return;
+    case kAck:
+      maybe_advance_to_checkpoint(engine);
+      return;
+    case kCkpt:
+      engine.force_checkpoint(dst);
+      engine.send_control(dst, opts_.coordinator, opts_.control_bytes,
+                          kDone);
+      return;
+    case kDone:
+      note_done(engine, src);
+      return;
+    case kResume:
+      engine.resume(dst);
+      return;
+  }
+}
+
+void SyncAndStopDriver::maybe_advance_to_checkpoint(sim::Engine& engine) {
+  if (!round_active_ || ack_count_ < participants_) return;
+  if (done_count_ > 0) return;  // already in phase 2
+  // Phase 2: everyone checkpoints.
+  engine.force_checkpoint(opts_.coordinator);
+  done_[static_cast<size_t>(opts_.coordinator)] = 1;
+  ++done_count_;
+  for (int q = 0; q < engine.nprocs(); ++q) {
+    if (q == opts_.coordinator) continue;
+    engine.send_control(opts_.coordinator, q, opts_.control_bytes, kCkpt);
+  }
+  if (done_count_ >= participants_) finish_round(engine);
+}
+
+void SyncAndStopDriver::note_done(sim::Engine& engine, int proc) {
+  if (!round_active_ || done_[static_cast<size_t>(proc)]) return;
+  done_[static_cast<size_t>(proc)] = 1;
+  ++done_count_;
+  if (done_count_ >= participants_) finish_round(engine);
+}
+
+void SyncAndStopDriver::finish_round(sim::Engine& engine) {
+  // Phase 3: RESUME everyone.
+  for (int q = 0; q < engine.nprocs(); ++q) {
+    if (q == opts_.coordinator) continue;
+    engine.send_control(opts_.coordinator, q, opts_.control_bytes, kResume);
+  }
+  engine.resume(opts_.coordinator);
+  round_active_ = false;
+  ++rounds_completed_;
+  if (!engine.all_done())
+    engine.schedule_timer(opts_.coordinator, engine.now() + opts_.interval,
+                          0);
+}
+
+}  // namespace acfc::proto

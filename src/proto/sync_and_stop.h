@@ -1,0 +1,53 @@
+// Sync-and-Stop (SaS) coordinated checkpointing [Plank'93].
+//
+// Round protocol, coordinator c, every `interval` seconds:
+//   1. c broadcasts STOP (n−1 msgs); every process halts at its next
+//      action boundary and replies ACK (n−1 msgs). Blocked processes are
+//      already quiescent and acknowledge immediately.
+//   2. When all ACKed, c broadcasts CKPT (n−1); each process takes a
+//      forced checkpoint and replies DONE (n−1).
+//   3. When all DONE, c broadcasts RESUME (n−1) and everyone continues.
+//
+// Total: 5(n−1) control messages per round — the paper's M(SaS).
+// Consistency: no process sends application messages between its STOP ack
+// and RESUME, so no checkpoint can record a receive whose send postdates
+// the sender's checkpoint.
+#pragma once
+
+#include <vector>
+
+#include "proto/protocols.h"
+#include "sim/driver.h"
+
+namespace acfc::proto {
+
+class SyncAndStopDriver final : public sim::ProtocolDriver {
+ public:
+  explicit SyncAndStopDriver(const ProtocolOptions& opts) : opts_(opts) {}
+
+  void on_start(sim::Engine& engine) override;
+  void on_timer(sim::Engine& engine, int proc, int timer_id) override;
+  void on_control(sim::Engine& engine, int dst, int src, int kind,
+                  long payload) override;
+  void on_paused(sim::Engine& engine, int proc) override;
+
+  int rounds_completed() const { return rounds_completed_; }
+
+ private:
+  enum ControlKind { kStop = 1, kAck, kCkpt, kDone, kResume };
+
+  void maybe_advance_to_checkpoint(sim::Engine& engine);
+  void note_done(sim::Engine& engine, int proc);
+  void finish_round(sim::Engine& engine);
+
+  ProtocolOptions opts_;
+  bool round_active_ = false;
+  std::vector<char> acked_;
+  std::vector<char> done_;
+  int ack_count_ = 0;
+  int done_count_ = 0;
+  int participants_ = 0;
+  int rounds_completed_ = 0;
+};
+
+}  // namespace acfc::proto

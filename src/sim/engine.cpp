@@ -1,0 +1,882 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "cfg/cfg.h"
+#include "util/error.h"
+
+namespace acfc::sim {
+
+// ===========================================================================
+// Internal structures
+// ===========================================================================
+
+struct Engine::Process {
+  enum class Status {
+    kReady,
+    kComputing,     ///< waiting on a wake (compute or checkpoint overhead)
+    kBlockedRecv,
+    kBlockedColl,
+    kPaused,
+    kDone,
+  };
+
+  std::unique_ptr<Vm> vm;
+  Status status = Status::kReady;
+  std::optional<ActionRecv> pending_recv;
+  int pending_compute_uid = -1;  ///< -1 when the wake ends a checkpoint
+  bool pause_requested = false;
+  double paused_since = 0.0;
+};
+
+struct Engine::CollRound {
+  enum class Kind { kNone, kBarrier, kBcast, kReduce, kAllreduce };
+  Kind kind = Kind::kNone;
+  int bytes = 0;
+  int root = -1;
+  bool root_joined = false;
+  double root_ready = 0.0;       ///< time the bcast becomes deliverable
+  trace::VClock root_vc;
+  std::vector<char> joined;      ///< barrier participants present
+  std::vector<double> join_time;
+  std::vector<trace::VClock> join_vc;
+  std::vector<int> stmt_uid;     ///< per-proc issuing statement
+  int joined_count = 0;
+  bool released = false;
+};
+
+namespace {
+
+/// Default resolver: a pure hash of (id, rank, instance) mapped into
+/// [0, nprocs) — deterministic across replays by construction.
+mp::IrregularResolver default_resolver() {
+  return [](const mp::IrregularRequest& req) -> std::int64_t {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 29;
+    };
+    mix(static_cast<std::uint64_t>(req.irregular_id));
+    mix(static_cast<std::uint64_t>(req.rank));
+    mix(static_cast<std::uint64_t>(req.instance));
+    const int n = std::max(1, req.nprocs);
+    return static_cast<std::int64_t>(h % static_cast<std::uint64_t>(n));
+  };
+}
+
+}  // namespace
+
+// ===========================================================================
+// Construction / bootstrap
+// ===========================================================================
+
+Engine::Engine(const mp::Program& program, SimOptions opts,
+               ProtocolDriver* driver)
+    : program_(program), opts_(std::move(opts)), driver_(driver) {
+  ACFC_CHECK_MSG(opts_.nprocs >= 2, "simulation needs at least 2 processes");
+  resolver_ = opts_.irregular ? opts_.irregular : default_resolver();
+  net_rng_ = util::Rng(opts_.seed ^ 0xdead5eedULL);
+
+  trace_.nprocs = opts_.nprocs;
+  const auto n = static_cast<size_t>(opts_.nprocs);
+  channel_last_deliver_.assign(n * n, 0.0);
+  control_last_deliver_.assign(n * n, 0.0);
+  inbox_.assign(n * n, {});
+
+  // Static index of each checkpoint statement (when placement is balanced).
+  try {
+    const cfg::Cfg graph = cfg::build_cfg(program_);
+    const auto indexing = graph.index_checkpoints();
+    for (const auto& [node, index] : indexing.index_of) {
+      const auto* stmt = static_cast<const mp::CheckpointStmt*>(
+          graph.node(node).stmt);
+      ckpt_static_index_[stmt->ckpt_id] = index;
+    }
+  } catch (const util::ProgramError&) {
+    // Unbalanced placement: static indices stay unknown (-1); straight-cut
+    // analyses are not meaningful, but simulation still runs.
+  }
+
+  for (int p = 0; p < opts_.nprocs; ++p) {
+    auto proc = std::make_unique<Process>();
+    proc->vm = std::make_unique<Vm>(&program_, p, opts_.nprocs, opts_.seed,
+                                    &resolver_);
+    procs_.push_back(std::move(proc));
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::push_event(double time, EvKind kind, int proc, long a) {
+  queue_.push(Ev{time, event_seq_++, kind, proc, a, epoch_});
+}
+
+void Engine::bootstrap() {
+  for (int p = 0; p < opts_.nprocs; ++p) push_event(0.0, EvKind::kWake, p);
+  for (size_t i = 0; i < opts_.failures.size(); ++i)
+    push_event(opts_.failures[i].time, EvKind::kFailure,
+               opts_.failures[i].proc, static_cast<long>(i));
+  if (driver_ != nullptr) driver_->on_start(*this);
+}
+
+// ===========================================================================
+// Main loop
+// ===========================================================================
+
+SimResult Engine::run() {
+  bootstrap();
+  while (!queue_.empty() && stats_.events_processed < opts_.max_events) {
+    const Ev ev = queue_.top();
+    queue_.pop();
+    ++stats_.events_processed;
+    ACFC_CHECK_MSG(ev.time + 1e-12 >= now_, "time went backwards");
+    now_ = std::max(now_, ev.time);
+    dispatch(ev);
+  }
+  trace_.end_time = now_;
+  trace_.completed = true;
+  trace_.final_digest.assign(static_cast<size_t>(opts_.nprocs), 0);
+  for (int p = 0; p < opts_.nprocs; ++p) {
+    trace_.final_digest[static_cast<size_t>(p)] =
+        procs_[static_cast<size_t>(p)]->vm->state().digest;
+    if (procs_[static_cast<size_t>(p)]->status != Process::Status::kDone)
+      trace_.completed = false;
+  }
+  SimResult result;
+  result.trace = std::move(trace_);
+  result.stats = stats_;
+  return result;
+}
+
+void Engine::dispatch(const Ev& ev) {
+  switch (ev.kind) {
+    case EvKind::kWake: {
+      if (ev.epoch != epoch_) return;  // pre-rollback residue
+      Process& proc = *procs_[static_cast<size_t>(ev.proc)];
+      if (proc.status == Process::Status::kComputing) {
+        if (proc.pending_compute_uid >= 0) {
+          proc.vm->tick();
+          trace::EventRec rec;
+          rec.kind = trace::EventKind::kCompute;
+          rec.proc = ev.proc;
+          rec.time = now_;
+          rec.vc = proc.vm->clock();
+          rec.stmt_uid = proc.pending_compute_uid;
+          trace_.events.push_back(std::move(rec));
+          proc.pending_compute_uid = -1;
+        }
+        proc.status = Process::Status::kReady;
+      }
+      if (proc.status == Process::Status::kReady) advance(ev.proc);
+      return;
+    }
+    case EvKind::kDeliver: {
+      if (ev.epoch != epoch_) return;
+      deliver(ev.a);
+      return;
+    }
+    case EvKind::kTimer: {
+      if (ev.epoch != epoch_) return;
+      if (driver_ != nullptr)
+        driver_->on_timer(*this, ev.proc, static_cast<int>(ev.a));
+      return;
+    }
+    case EvKind::kFailure: {
+      handle_failure(opts_.failures.at(static_cast<size_t>(ev.a)));
+      return;
+    }
+  }
+}
+
+double Engine::message_delay(int bytes) {
+  double d = opts_.delay.base(bytes);
+  if (opts_.delay.jitter > 0.0)
+    d += net_rng_.uniform(0.0, opts_.delay.jitter);
+  return d;
+}
+
+// ===========================================================================
+// Process advancement
+// ===========================================================================
+
+void Engine::advance(int p) {
+  Process& proc = *procs_[static_cast<size_t>(p)];
+  while (true) {
+    if (proc.status != Process::Status::kReady) return;
+    if (proc.pause_requested) {
+      proc.pause_requested = false;
+      proc.status = Process::Status::kPaused;
+      proc.paused_since = now_;
+      if (driver_ != nullptr) driver_->on_paused(*this, p);
+      return;
+    }
+    const Action action = proc.vm->next();
+
+    if (std::holds_alternative<ActionDone>(action)) {
+      proc.status = Process::Status::kDone;
+      trace::EventRec rec;
+      rec.kind = trace::EventKind::kFinish;
+      rec.proc = p;
+      rec.time = now_;
+      rec.vc = proc.vm->clock();
+      trace_.events.push_back(std::move(rec));
+      return;
+    }
+
+    if (const auto* compute = std::get_if<ActionCompute>(&action)) {
+      double duration = compute->duration;
+      if (!opts_.compute_speed.empty()) {
+        const double speed = opts_.compute_speed.at(static_cast<size_t>(p));
+        ACFC_CHECK_MSG(speed > 0.0, "compute_speed must be positive");
+        duration /= speed;
+      }
+      if (opts_.compute_jitter > 0.0)
+        duration *= 1.0 + net_rng_.uniform(0.0, opts_.compute_jitter);
+      proc.status = Process::Status::kComputing;
+      proc.pending_compute_uid = compute->stmt_uid;
+      push_event(now_ + duration, EvKind::kWake, p);
+      return;
+    }
+
+    if (const auto* send = std::get_if<ActionSend>(&action)) {
+      proc.vm->tick();
+      const long seq = proc.vm->note_send(send->dest);
+      trace::MsgRec msg;
+      msg.id = static_cast<long>(trace_.messages.size());
+      msg.src = p;
+      msg.dst = send->dest;
+      msg.tag = send->tag;
+      msg.bytes = send->bytes;
+      msg.seq = seq;
+      msg.send_time = now_;
+      msg.send_stmt_uid = send->stmt_uid;
+      msg.send_vc = proc.vm->clock();
+      if (driver_ != nullptr) msg.piggyback = driver_->piggyback(*this, p);
+      const size_t chan = static_cast<size_t>(p) *
+                              static_cast<size_t>(opts_.nprocs) +
+                          static_cast<size_t>(send->dest);
+      double deliver_at = now_ + message_delay(send->bytes);
+      deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
+      channel_last_deliver_[chan] = deliver_at;
+      msg.deliver_time = deliver_at;
+      trace_.messages.push_back(msg);
+      push_event(deliver_at, EvKind::kDeliver, send->dest, msg.id);
+
+      ++stats_.app_messages;
+      stats_.app_bytes += send->bytes;
+      trace::EventRec rec;
+      rec.kind = trace::EventKind::kSend;
+      rec.proc = p;
+      rec.time = now_;
+      rec.vc = proc.vm->clock();
+      rec.stmt_uid = send->stmt_uid;
+      rec.msg_id = msg.id;
+      rec.peer = send->dest;
+      rec.tag = send->tag;
+      trace_.events.push_back(std::move(rec));
+      continue;  // sends are asynchronous
+    }
+
+    if (const auto* recv = std::get_if<ActionRecv>(&action)) {
+      const auto match = find_matching(p, *recv);
+      if (match) {
+        proc.pending_recv = *recv;  // complete_recv reads the statement uid
+        complete_recv(p, *match);
+        continue;
+      }
+      proc.status = Process::Status::kBlockedRecv;
+      proc.pending_recv = *recv;
+      return;
+    }
+
+    if (const auto* ckpt = std::get_if<ActionCheckpoint>(&action)) {
+      const double overhead =
+          take_checkpoint(p, ckpt->ckpt_id, /*forced=*/false);
+      if (overhead > 0.0) {
+        proc.status = Process::Status::kComputing;
+        proc.pending_compute_uid = -1;
+        push_event(now_ + overhead, EvKind::kWake, p);
+        return;
+      }
+      continue;
+    }
+
+    // Collective (barrier or bcast).
+    start_collective(p, action);
+    if (proc.status != Process::Status::kReady) return;
+  }
+}
+
+std::optional<long> Engine::find_matching(int p, const ActionRecv& want) {
+  const auto n = static_cast<size_t>(opts_.nprocs);
+  auto scan_channel = [&](int src) -> std::optional<long> {
+    const size_t chan = static_cast<size_t>(src) * n + static_cast<size_t>(p);
+    for (const long idx : inbox_[chan]) {
+      const auto& m = trace_.messages[static_cast<size_t>(idx)];
+      if (m.tag == want.tag) return idx;
+    }
+    return std::nullopt;
+  };
+  if (!want.any_source) return scan_channel(want.src);
+  std::optional<long> best;
+  for (int src = 0; src < opts_.nprocs; ++src) {
+    if (src == p) continue;
+    const auto cand = scan_channel(src);
+    if (!cand) continue;
+    if (!best ||
+        trace_.messages[static_cast<size_t>(*cand)].deliver_time <
+            trace_.messages[static_cast<size_t>(*best)].deliver_time)
+      best = cand;
+  }
+  return best;
+}
+
+void Engine::complete_recv(int p, long msg_index) {
+  Process& proc = *procs_[static_cast<size_t>(p)];
+  auto& msg = trace_.messages[static_cast<size_t>(msg_index)];
+  const size_t chan = static_cast<size_t>(msg.src) *
+                          static_cast<size_t>(opts_.nprocs) +
+                      static_cast<size_t>(p);
+  auto& box = inbox_[chan];
+  box.erase(std::find(box.begin(), box.end(), msg_index));
+
+  proc.vm->tick();
+  proc.vm->merge_clock(msg.send_vc);
+  proc.vm->note_recv(msg.src);
+  proc.vm->fold_digest(
+      (static_cast<std::uint64_t>(msg.src) << 40) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(msg.tag))
+       << 16) ^
+      static_cast<std::uint64_t>(msg.seq));
+  msg.consumed = true;
+  msg.recv_time = now_;
+  msg.recv_vc = proc.vm->clock();
+  msg.recv_stmt_uid = proc.pending_recv ? proc.pending_recv->stmt_uid : -1;
+
+  trace::EventRec rec;
+  rec.kind = trace::EventKind::kRecv;
+  rec.proc = p;
+  rec.time = now_;
+  rec.vc = proc.vm->clock();
+  rec.stmt_uid = msg.recv_stmt_uid;
+  rec.msg_id = msg.id;
+  rec.peer = msg.src;
+  rec.tag = msg.tag;
+  trace_.events.push_back(std::move(rec));
+  proc.pending_recv.reset();
+}
+
+void Engine::deliver(long msg_index) {
+  auto& msg = trace_.messages[static_cast<size_t>(msg_index)];
+
+  if (msg.control) {
+    trace::EventRec rec;
+    rec.kind = trace::EventKind::kControlRecv;
+    rec.proc = msg.dst;
+    rec.time = now_;
+    rec.vc = procs_[static_cast<size_t>(msg.dst)]->vm->clock();
+    rec.msg_id = msg.id;
+    rec.peer = msg.src;
+    rec.tag = msg.tag;
+    trace_.events.push_back(std::move(rec));
+    msg.consumed = true;
+    msg.recv_time = now_;
+    if (driver_ != nullptr)
+      driver_->on_control(*this, msg.dst, msg.src, msg.tag, msg.piggyback);
+    return;
+  }
+
+  if (driver_ != nullptr)
+    driver_->before_delivery(*this, msg.dst, msg.src, msg.piggyback);
+
+  const size_t chan = static_cast<size_t>(msg.src) *
+                          static_cast<size_t>(opts_.nprocs) +
+                      static_cast<size_t>(msg.dst);
+  inbox_[chan].push_back(msg_index);
+
+  Process& proc = *procs_[static_cast<size_t>(msg.dst)];
+  if (proc.status == Process::Status::kBlockedRecv) {
+    const auto match = find_matching(msg.dst, *proc.pending_recv);
+    if (match) {
+      proc.status = Process::Status::kReady;
+      complete_recv(msg.dst, *match);
+      advance(msg.dst);
+    }
+  }
+}
+
+// ===========================================================================
+// Checkpoints
+// ===========================================================================
+
+double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
+  Process& proc = *procs_[static_cast<size_t>(p)];
+  proc.vm->tick();
+
+  int static_index = -1;
+  if (const auto it = ckpt_static_index_.find(ckpt_id);
+      it != ckpt_static_index_.end())
+    static_index = it->second;
+
+  const long instance = proc.vm->note_checkpoint_instance(static_index);
+
+  double overhead = forced ? 0.0 : opts_.checkpoint_overhead;
+  double latency = opts_.checkpoint_latency;
+  if (opts_.checkpoint_cost_fn) {
+    const auto [o, l] = opts_.checkpoint_cost_fn(p);
+    overhead = forced ? 0.0 : o;
+    latency = l;
+  }
+
+  trace::CkptRec rec;
+  rec.proc = p;
+  rec.ckpt_id = ckpt_id;
+  rec.static_index = static_index;
+  rec.instance = instance;
+  rec.t_begin = now_;
+  rec.t_end = now_ + overhead;
+  rec.t_commit = now_ + std::max(latency, overhead);
+  rec.vc = proc.vm->clock();
+  rec.forced = forced;
+  if (opts_.keep_snapshots) {
+    rec.snapshot = static_cast<int>(snapshots_.size());
+    snapshots_.push_back(
+        EngineSnapshot{proc.vm->snapshot(), proc.pending_recv});
+  }
+  trace_.checkpoints.push_back(rec);
+
+  trace::EventRec ev;
+  ev.kind = trace::EventKind::kCheckpoint;
+  ev.proc = p;
+  ev.time = rec.t_end;
+  ev.vc = rec.vc;
+  ev.ckpt_id = ckpt_id;
+  ev.ckpt_instance = instance;
+  ev.forced = forced;
+  trace_.events.push_back(std::move(ev));
+
+  (forced ? stats_.forced_checkpoints : stats_.statement_checkpoints)++;
+  if (driver_ != nullptr) driver_->on_checkpoint(*this, p, forced);
+  return overhead;
+}
+
+// ===========================================================================
+// Collectives (sequence-matched, MPI style)
+// ===========================================================================
+
+void Engine::start_collective(int p, const Action& action) {
+  Process& proc = *procs_[static_cast<size_t>(p)];
+  const long round_index = proc.vm->state().collectives_done;
+  proc.vm->note_collective();
+  while (rounds_.size() <= static_cast<size_t>(round_index))
+    rounds_.push_back(std::make_unique<CollRound>());
+  CollRound& round = *rounds_[static_cast<size_t>(round_index)];
+  if (round.kind == CollRound::Kind::kNone) {
+    round.joined.assign(static_cast<size_t>(opts_.nprocs), 0);
+    round.join_time.assign(static_cast<size_t>(opts_.nprocs), 0.0);
+    round.join_vc.assign(static_cast<size_t>(opts_.nprocs),
+                         trace::VClock(opts_.nprocs));
+    round.stmt_uid.assign(static_cast<size_t>(opts_.nprocs), -1);
+  }
+
+  proc.vm->tick();
+  int stmt_uid = -1;
+  if (const auto* barrier = std::get_if<ActionBarrier>(&action)) {
+    stmt_uid = barrier->stmt_uid;
+    if (round.kind == CollRound::Kind::kNone)
+      round.kind = CollRound::Kind::kBarrier;
+    if (round.kind != CollRound::Kind::kBarrier)
+      throw util::ProgramError(
+          "collective mismatch: barrier joined a non-barrier round");
+  } else if (const auto* allreduce = std::get_if<ActionAllreduce>(&action)) {
+    stmt_uid = allreduce->stmt_uid;
+    if (round.kind == CollRound::Kind::kNone) {
+      round.kind = CollRound::Kind::kAllreduce;
+      round.bytes = allreduce->bytes;
+    }
+    if (round.kind != CollRound::Kind::kAllreduce)
+      throw util::ProgramError(
+          "collective mismatch: allreduce joined a different round");
+  } else if (const auto* reduce = std::get_if<ActionReduce>(&action)) {
+    stmt_uid = reduce->stmt_uid;
+    if (round.kind == CollRound::Kind::kNone) {
+      round.kind = CollRound::Kind::kReduce;
+      round.root = reduce->root;
+      round.bytes = reduce->bytes;
+    }
+    if (round.kind != CollRound::Kind::kReduce ||
+        round.root != reduce->root)
+      throw util::ProgramError(
+          "collective mismatch: inconsistent reduce round");
+  } else {
+    const auto& bcast = std::get<ActionBcast>(action);
+    stmt_uid = bcast.stmt_uid;
+    if (round.kind == CollRound::Kind::kNone) {
+      round.kind = CollRound::Kind::kBcast;
+      round.root = bcast.root;
+      round.bytes = bcast.bytes;
+    }
+    if (round.kind != CollRound::Kind::kBcast || round.root != bcast.root)
+      throw util::ProgramError(
+          "collective mismatch: inconsistent bcast round");
+  }
+
+  round.joined[static_cast<size_t>(p)] = 1;
+  round.join_time[static_cast<size_t>(p)] = now_;
+  round.join_vc[static_cast<size_t>(p)] = proc.vm->clock();
+  round.stmt_uid[static_cast<size_t>(p)] = stmt_uid;
+  ++round.joined_count;
+
+  auto record_collective = [this](int proc_id, double time, int uid,
+                                  const trace::VClock& vc) {
+    trace::EventRec rec;
+    rec.kind = trace::EventKind::kCollective;
+    rec.proc = proc_id;
+    rec.time = time;
+    rec.vc = vc;
+    rec.stmt_uid = uid;
+    trace_.events.push_back(std::move(rec));
+  };
+
+  if (round.kind == CollRound::Kind::kReduce) {
+    // Contributors proceed immediately; the root blocks for everyone.
+    auto record_root = [&](double release) {
+      Process& root_proc = *procs_[static_cast<size_t>(round.root)];
+      trace::VClock merged(opts_.nprocs);
+      for (int q = 0; q < opts_.nprocs; ++q)
+        if (round.joined[static_cast<size_t>(q)])
+          merged.merge(round.join_vc[static_cast<size_t>(q)]);
+      root_proc.vm->merge_clock(merged);
+      root_proc.vm->fold_digest(0x5edce000ULL +
+                                static_cast<std::uint64_t>(round_index));
+      record_collective(round.root, release,
+                        round.stmt_uid[static_cast<size_t>(round.root)],
+                        root_proc.vm->clock());
+      root_proc.status = Process::Status::kComputing;
+      root_proc.pending_compute_uid = -1;
+      push_event(release, EvKind::kWake, round.root);
+      round.released = true;
+    };
+    if (p != round.root) {
+      proc.vm->fold_digest(0x5edce001ULL +
+                           static_cast<std::uint64_t>(round_index));
+      record_collective(p, now_, stmt_uid, proc.vm->clock());
+      // Contribution sent asynchronously; this process keeps running.
+      if (round.joined_count == opts_.nprocs &&
+          procs_[static_cast<size_t>(round.root)]->status ==
+              Process::Status::kBlockedColl) {
+        double release = 0.0;
+        for (const double t : round.join_time)
+          release = std::max(release, t);
+        record_root(release + message_delay(round.bytes));
+      }
+      return;  // stays kReady; advance() loop continues
+    }
+    if (round.joined_count == opts_.nprocs) {
+      double release = 0.0;
+      for (const double t : round.join_time) release = std::max(release, t);
+      record_root(release + message_delay(round.bytes));
+      return;
+    }
+    proc.status = Process::Status::kBlockedColl;
+    return;
+  }
+
+  if (round.kind == CollRound::Kind::kBarrier ||
+      round.kind == CollRound::Kind::kAllreduce) {
+    proc.status = Process::Status::kBlockedColl;
+    if (round.joined_count == opts_.nprocs) {
+      double release = 0.0;
+      for (const double t : round.join_time) release = std::max(release, t);
+      release += message_delay(round.bytes);
+      trace::VClock merged(opts_.nprocs);
+      for (const auto& vc : round.join_vc) merged.merge(vc);
+      for (int q = 0; q < opts_.nprocs; ++q) {
+        Process& member = *procs_[static_cast<size_t>(q)];
+        member.vm->tick();
+        member.vm->merge_clock(merged);
+        member.vm->fold_digest(0xbaff1e00ULL + static_cast<std::uint64_t>(
+                                                   round_index));
+        record_collective(q, release, round.stmt_uid[static_cast<size_t>(q)],
+                          member.vm->clock());
+        // Resume at the release time (the wake flips kComputing → kReady).
+        member.status = Process::Status::kComputing;
+        member.pending_compute_uid = -1;
+        push_event(release, EvKind::kWake, q);
+      }
+      round.released = true;
+    }
+    return;
+  }
+
+  // Bcast: the root proceeds immediately; receivers wait for the root.
+  if (p == round.root) {
+    round.root_joined = true;
+    round.root_ready = now_ + message_delay(round.bytes);
+    round.root_vc = proc.vm->clock();
+    proc.vm->fold_digest(0xbca57000ULL +
+                         static_cast<std::uint64_t>(round_index));
+    record_collective(p, now_, stmt_uid, proc.vm->clock());
+    // Release receivers that were already waiting.
+    for (int q = 0; q < opts_.nprocs; ++q) {
+      if (q == p || !round.joined[static_cast<size_t>(q)]) continue;
+      Process& member = *procs_[static_cast<size_t>(q)];
+      if (member.status != Process::Status::kBlockedColl) continue;
+      const double release =
+          std::max(round.join_time[static_cast<size_t>(q)], round.root_ready);
+      member.vm->merge_clock(round.root_vc);
+      member.vm->fold_digest(0xbca57001ULL +
+                             static_cast<std::uint64_t>(round_index));
+      record_collective(q, release, round.stmt_uid[static_cast<size_t>(q)],
+                        member.vm->clock());
+      member.status = Process::Status::kComputing;
+      member.pending_compute_uid = -1;
+      push_event(release, EvKind::kWake, q);
+    }
+    // The root continues synchronously (advance() keeps looping).
+    proc.status = Process::Status::kReady;
+    return;
+  }
+
+  if (round.root_joined) {
+    const double release = std::max(now_, round.root_ready);
+    proc.vm->merge_clock(round.root_vc);
+    proc.vm->fold_digest(0xbca57001ULL +
+                         static_cast<std::uint64_t>(round_index));
+    record_collective(p, release, stmt_uid, proc.vm->clock());
+    if (release > now_) {
+      proc.status = Process::Status::kComputing;
+      proc.pending_compute_uid = -1;
+      push_event(release, EvKind::kWake, p);
+    }
+    return;  // if release == now_, stays kReady and advance() continues
+  }
+
+  proc.status = Process::Status::kBlockedColl;
+}
+
+// ===========================================================================
+// Failures and recovery
+// ===========================================================================
+
+void Engine::handle_failure(const FailureEvent& failure) {
+  bool all_done = true;
+  for (const auto& proc : procs_)
+    if (proc->status != Process::Status::kDone) all_done = false;
+  if (all_done) return;
+
+  for (const auto& round : rounds_)
+    if (round->kind != CollRound::Kind::kNone && !round->released)
+      throw util::ProgramError(
+          "failure injection with in-flight native collectives is not "
+          "supported — lower collectives first (mp::lower_collectives)");
+
+  ++stats_.restarts;
+  trace::EventRec fail_rec;
+  fail_rec.kind = trace::EventKind::kFailure;
+  fail_rec.proc = failure.proc;
+  fail_rec.time = now_;
+  fail_rec.vc = procs_[static_cast<size_t>(failure.proc)]->vm->clock();
+  trace_.events.push_back(std::move(fail_rec));
+
+  // Select the maximal recovery line over everything on stable storage.
+  const trace::RecoveryLine line = trace::max_recovery_line(trace_, now_);
+  ACFC_CHECK_MSG(line.consistent, "recovery line selection failed");
+
+  ++epoch_;
+  for (auto& box : inbox_) box.clear();
+  const double resume_at = now_ + opts_.recovery_overhead;
+  std::fill(channel_last_deliver_.begin(), channel_last_deliver_.end(),
+            resume_at);
+  std::fill(control_last_deliver_.begin(), control_last_deliver_.end(),
+            resume_at);
+
+  // Restore every process.
+  for (int p = 0; p < opts_.nprocs; ++p) {
+    Process& proc = *procs_[static_cast<size_t>(p)];
+    const int member = line.cut.member[static_cast<size_t>(p)];
+    if (member < 0) {
+      proc.vm = std::make_unique<Vm>(&program_, p, opts_.nprocs, opts_.seed,
+                                     &resolver_);
+      proc.pending_recv.reset();
+    } else {
+      const auto& ckpt = trace_.checkpoints[static_cast<size_t>(member)];
+      ACFC_CHECK_MSG(ckpt.snapshot >= 0,
+                     "recovery needs keep_snapshots=true");
+      const EngineSnapshot& snap =
+          snapshots_[static_cast<size_t>(ckpt.snapshot)];
+      proc.vm->restore(snap.vm);
+      proc.pending_recv = snap.pending_recv;
+    }
+    proc.pending_compute_uid = -1;
+    proc.pause_requested = false;
+    proc.status = proc.pending_recv ? Process::Status::kBlockedRecv
+                                    : Process::Status::kReady;
+    trace::EventRec rec;
+    rec.kind = trace::EventKind::kRestart;
+    rec.proc = p;
+    rec.time = resume_at;
+    rec.vc = proc.vm->clock();
+    trace_.events.push_back(std::move(rec));
+    if (proc.status == Process::Status::kReady)
+      push_event(resume_at, EvKind::kWake, p);
+  }
+
+  // Sender-based message log replay: re-inject messages that were sent
+  // before the sender's cut point but not consumed before the receiver's
+  // (in-transit across the recovery line). Channel sequence numbers from
+  // the snapshots identify them exactly.
+  for (int src = 0; src < opts_.nprocs; ++src) {
+    for (int dst = 0; dst < opts_.nprocs; ++dst) {
+      if (src == dst) continue;
+      const long sent = procs_[static_cast<size_t>(src)]
+                            ->vm->state()
+                            .sends_per_channel[static_cast<size_t>(dst)];
+      const long consumed = procs_[static_cast<size_t>(dst)]
+                                ->vm->state()
+                                .recvs_per_channel[static_cast<size_t>(src)];
+      for (long seq = consumed + 1; seq <= sent; ++seq) {
+        // Latest log entry for (src, dst, seq) — re-sends after earlier
+        // rollbacks carry identical logical content.
+        const trace::MsgRec* logged = nullptr;
+        for (const auto& m : trace_.messages)
+          if (!m.control && m.src == src && m.dst == dst && m.seq == seq)
+            logged = &m;
+        ACFC_CHECK_MSG(logged != nullptr, "message log miss during replay");
+        trace::MsgRec copy = *logged;
+        copy.id = static_cast<long>(trace_.messages.size());
+        copy.consumed = false;
+        copy.recv_time = -1.0;
+        copy.recv_stmt_uid = -1;
+        copy.replayed = true;
+        const size_t chan = static_cast<size_t>(src) *
+                                static_cast<size_t>(opts_.nprocs) +
+                            static_cast<size_t>(dst);
+        double deliver_at = resume_at + message_delay(copy.bytes);
+        deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
+        channel_last_deliver_[chan] = deliver_at;
+        copy.deliver_time = deliver_at;
+        trace_.messages.push_back(copy);
+        push_event(deliver_at, EvKind::kDeliver, dst,
+                   static_cast<long>(trace_.messages.size()) - 1);
+      }
+    }
+  }
+}
+
+// ===========================================================================
+// Driver API
+// ===========================================================================
+
+void Engine::schedule_timer(int proc, double time, int timer_id) {
+  push_event(std::max(time, now_), EvKind::kTimer, proc, timer_id);
+}
+
+void Engine::send_control(int src, int dst, int bytes, int kind,
+                          long payload) {
+  ACFC_CHECK_MSG(src != dst, "control self-send");
+  trace::MsgRec msg;
+  msg.id = static_cast<long>(trace_.messages.size());
+  msg.src = src;
+  msg.dst = dst;
+  msg.tag = kind;
+  msg.bytes = bytes;
+  msg.control = true;
+  msg.piggyback = payload;
+  msg.send_time = now_;
+  msg.send_vc = procs_[static_cast<size_t>(src)]->vm->clock();
+  const size_t chan = static_cast<size_t>(src) *
+                          static_cast<size_t>(opts_.nprocs) +
+                      static_cast<size_t>(dst);
+  double deliver_at = now_ + message_delay(bytes);
+  deliver_at = std::max(deliver_at, control_last_deliver_[chan]);
+  control_last_deliver_[chan] = deliver_at;
+  msg.deliver_time = deliver_at;
+  trace_.messages.push_back(msg);
+  push_event(deliver_at, EvKind::kDeliver, dst, msg.id);
+
+  ++stats_.control_messages;
+  stats_.control_bytes += bytes;
+  trace::EventRec rec;
+  rec.kind = trace::EventKind::kControlSend;
+  rec.proc = src;
+  rec.time = now_;
+  rec.vc = msg.send_vc;
+  rec.msg_id = msg.id;
+  rec.peer = dst;
+  rec.tag = kind;
+  trace_.events.push_back(std::move(rec));
+}
+
+void Engine::force_checkpoint(int proc) {
+  take_checkpoint(proc, /*ckpt_id=*/-1, /*forced=*/true);
+}
+
+long Engine::checkpoint_count(int proc) const {
+  long n = 0;
+  for (const auto& c : trace_.checkpoints)
+    if (c.proc == proc) ++n;
+  return n;
+}
+
+void Engine::request_pause(int proc) {
+  Process& p = *procs_[static_cast<size_t>(proc)];
+  if (p.status == Process::Status::kDone ||
+      p.status == Process::Status::kPaused)
+    return;
+  if (p.status == Process::Status::kReady) {
+    // Not mid-action: pause immediately.
+    p.status = Process::Status::kPaused;
+    p.paused_since = now_;
+    if (driver_ != nullptr) driver_->on_paused(*this, proc);
+    return;
+  }
+  if (p.status == Process::Status::kBlockedRecv ||
+      p.status == Process::Status::kBlockedColl) {
+    // Blocked processes are already quiescent: acknowledge now, but also
+    // arm the boundary pause so that an unblocking delivery does not let
+    // the process run on mid-round. Drivers must deduplicate on_paused.
+    p.pause_requested = true;
+    p.paused_since = now_;
+    if (driver_ != nullptr) driver_->on_paused(*this, proc);
+    return;
+  }
+  p.pause_requested = true;  // pause at the next action boundary
+}
+
+void Engine::resume(int proc) {
+  Process& p = *procs_[static_cast<size_t>(proc)];
+  if (p.status == Process::Status::kPaused) {
+    stats_.paused_time += now_ - p.paused_since;
+    p.status = Process::Status::kReady;
+    push_event(now_, EvKind::kWake, proc);
+  }
+  p.pause_requested = false;
+}
+
+bool Engine::is_paused(int proc) const {
+  return procs_[static_cast<size_t>(proc)]->status ==
+         Process::Status::kPaused;
+}
+
+bool Engine::is_done(int proc) const {
+  return procs_[static_cast<size_t>(proc)]->status == Process::Status::kDone;
+}
+
+bool Engine::all_done() const {
+  for (const auto& proc : procs_)
+    if (proc->status != Process::Status::kDone) return false;
+  return true;
+}
+
+SimResult simulate(const mp::Program& program, int nprocs,
+                   std::uint64_t seed) {
+  SimOptions opts;
+  opts.nprocs = nprocs;
+  opts.seed = seed;
+  Engine engine(program, std::move(opts));
+  return engine.run();
+}
+
+}  // namespace acfc::sim

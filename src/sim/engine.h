@@ -1,0 +1,207 @@
+// The discrete-event simulation engine: asynchronous reliable FIFO message
+// passing between n interpreted processes, exactly the system model of
+// Section 2 of the paper (blocking receives, per-channel FIFO delivery,
+// deterministic per-process automata).
+//
+// Capabilities beyond plain execution:
+//  * vector-clock instrumentation of every event → trace::Trace;
+//  * checkpoint statements snapshot the full process state into a
+//    checkpoint store;
+//  * failure injection with whole-application rollback to the maximal
+//    recovery line, sender-based message logging for in-transit replay,
+//    and deterministic re-execution (validated by execution digests);
+//  * protocol-driver hooks (timers, control messages, forced checkpoints,
+//    pause/resume, piggybacking) for the baseline protocols.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "mp/stmt.h"
+#include "sim/driver.h"
+#include "sim/vm.h"
+#include "trace/analysis.h"
+#include "trace/trace.h"
+
+namespace acfc::sim {
+
+/// Message latency: setup + per_byte·bytes (the w_m and w_b of Section 4),
+/// plus optional uniform jitter in [0, jitter).
+struct DelayModel {
+  double setup = 1e-3;
+  double per_byte = 1e-6;
+  double jitter = 0.0;
+
+  double base(int bytes) const {
+    return setup + per_byte * static_cast<double>(bytes);
+  }
+};
+
+struct FailureEvent {
+  int proc = 0;
+  double time = 0.0;
+};
+
+struct SimOptions {
+  int nprocs = 4;
+  std::uint64_t seed = 1;
+  DelayModel delay;
+  /// o: time a process is blocked while taking one checkpoint.
+  double checkpoint_overhead = 0.0;
+  /// l: time until the checkpoint is durable on stable storage (commit).
+  /// The process resumes after o; recovery can only use checkpoints whose
+  /// commit time precedes the failure. 0 means l = o.
+  double checkpoint_latency = 0.0;
+  /// Per-checkpoint cost override: (proc) → {overhead o, latency l}.
+  /// When set, it takes precedence over the constants above — e.g. a
+  /// store::StableStore deriving costs from state size and incremental
+  /// chains. Must be deterministic for replay.
+  std::function<std::pair<double, double>(int proc)> checkpoint_cost_fn;
+  /// R: restart delay applied to all processes on recovery.
+  double recovery_overhead = 0.0;
+  /// Multiplicative jitter on compute durations, uniform in [0, x).
+  double compute_jitter = 0.0;
+  /// Per-process relative compute speed (duration /= speed); empty means
+  /// homogeneous 1.0. Models heterogeneous grid nodes.
+  std::vector<double> compute_speed;
+  std::vector<FailureEvent> failures;
+  /// Retain VM snapshots for checkpoints (needed for failures/restart).
+  bool keep_snapshots = true;
+  /// Runaway guard.
+  long max_events = 5'000'000;
+  /// Resolver for irregular expressions; when empty, a deterministic
+  /// hash-based resolver is installed (values in [0, nprocs)).
+  mp::IrregularResolver irregular;
+};
+
+struct SimStats {
+  long app_messages = 0;
+  long app_bytes = 0;
+  long control_messages = 0;
+  long control_bytes = 0;
+  long statement_checkpoints = 0;
+  long forced_checkpoints = 0;
+  long events_processed = 0;
+  int restarts = 0;
+  /// Time processes spent paused by a protocol (summed over processes).
+  double paused_time = 0.0;
+  /// Messages recorded as channel state by a C-L-style protocol.
+  long channel_logged_messages = 0;
+};
+
+struct SimResult {
+  trace::Trace trace;
+  SimStats stats;
+};
+
+class Engine {
+ public:
+  /// `program` must outlive the engine and stay unmutated; `driver` may be
+  /// nullptr (the coordination-free app-driven runtime).
+  Engine(const mp::Program& program, SimOptions opts,
+         ProtocolDriver* driver = nullptr);
+  ~Engine();
+
+  /// Runs to completion (all processes finish) or until max_events.
+  SimResult run();
+
+  // -- Driver API ----------------------------------------------------------
+  double now() const { return now_; }
+  int nprocs() const { return opts_.nprocs; }
+  void schedule_timer(int proc, double time, int timer_id);
+  void send_control(int src, int dst, int bytes, int kind, long payload = 0);
+  /// Snapshots `proc` immediately (a protocol-forced checkpoint).
+  void force_checkpoint(int proc);
+  /// Number of checkpoints `proc` has completed (the CIC index).
+  long checkpoint_count(int proc) const;
+  /// Asks `proc` to halt at its next action boundary (on_paused fires).
+  void request_pause(int proc);
+  void resume(int proc);
+  bool is_paused(int proc) const;
+  /// True once `proc` reached program exit.
+  bool is_done(int proc) const;
+  /// True once every process reached program exit — protocol drivers must
+  /// stop rescheduling timers then, or the event loop never drains.
+  bool all_done() const;
+  /// Lets a C-L driver account a logged channel-state message.
+  void note_channel_logged() { ++stats_.channel_logged_messages; }
+
+ private:
+  struct Process;
+
+  enum class EvKind { kWake, kDeliver, kTimer, kFailure };
+
+  struct Ev {
+    double time = 0.0;
+    long seq = 0;  ///< tie-break: FIFO among simultaneous events
+    EvKind kind = EvKind::kWake;
+    int proc = -1;
+    long a = -1;    ///< msg index / timer id / failure index
+    int epoch = 0;  ///< wake/deliver events from pre-rollback epochs drop
+  };
+
+  struct EvCmp {
+    bool operator()(const Ev& x, const Ev& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  void bootstrap();
+  void dispatch(const Ev& ev);
+  /// Drives `proc` forward from the current time until it blocks.
+  void advance(int proc);
+  void complete_recv(int proc, long msg_index);
+  std::optional<long> find_matching(int proc, const ActionRecv& want);
+  void deliver(long msg_index);
+  /// Returns the blocking overhead charged to the process.
+  double take_checkpoint(int proc, int ckpt_id, bool forced);
+  void start_collective(int proc, const Action& action);
+  void handle_failure(const FailureEvent& failure);
+  double message_delay(int bytes);
+  void push_event(double time, EvKind kind, int proc, long a = -1);
+
+  const mp::Program& program_;
+  SimOptions opts_;
+  ProtocolDriver* driver_;
+  mp::IrregularResolver resolver_;
+
+  /// A restorable checkpoint image: VM state plus any outstanding blocking
+  /// receive (a protocol may force a checkpoint while a process is blocked,
+  /// in which case the receive is still pending in the restored state).
+  struct EngineSnapshot {
+    VmSnapshot vm;
+    std::optional<ActionRecv> pending_recv;
+  };
+
+  double now_ = 0.0;
+  long event_seq_ = 0;
+  int epoch_ = 0;
+  SimStats stats_;
+  trace::Trace trace_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<EngineSnapshot> snapshots_;
+  /// ckpt_id → static index (S_i), when the placement is balanced.
+  std::map<int, int> ckpt_static_index_;
+
+  // Channels: (src, dst) → FIFO bookkeeping.
+  std::vector<double> channel_last_deliver_;   // app channels
+  std::vector<double> control_last_deliver_;
+  std::vector<std::vector<long>> inbox_;       // delivered, unconsumed (msg idx)
+
+  // Collective rounds (sequence-matched like MPI).
+  struct CollRound;
+  std::vector<std::unique_ptr<CollRound>> rounds_;
+
+  std::priority_queue<Ev, std::vector<Ev>, EvCmp> queue_;
+  util::Rng net_rng_{0x5eedULL};
+};
+
+/// Convenience: simulate `program` on `nprocs` processes with default
+/// options (no failures, no protocol) and return the trace.
+SimResult simulate(const mp::Program& program, int nprocs,
+                   std::uint64_t seed = 1);
+
+}  // namespace acfc::sim

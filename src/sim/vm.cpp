@@ -1,0 +1,185 @@
+#include "sim/vm.h"
+
+#include "util/error.h"
+
+namespace acfc::sim {
+
+Vm::Vm(const mp::Program* program, int rank, int nprocs, std::uint64_t seed,
+       const mp::IrregularResolver* resolver)
+    : program_(program), rank_(rank), nprocs_(nprocs), resolver_(resolver) {
+  ACFC_CHECK(program_ != nullptr);
+  ACFC_CHECK_MSG(rank >= 0 && rank < nprocs, "rank out of range");
+  state_.rng = util::Rng(seed ^ (static_cast<std::uint64_t>(rank) * 0x9e3779b97f4a7c15ULL));
+  state_.vc = trace::VClock(nprocs);
+  state_.sends_per_channel.assign(static_cast<size_t>(nprocs), 0);
+  state_.recvs_per_channel.assign(static_cast<size_t>(nprocs), 0);
+  if (!program_->body.empty())
+    state_.stack.push_back(Frame{&program_->body, 0, nullptr, 0, 0});
+}
+
+void Vm::fold_digest(std::uint64_t value) {
+  // FNV-1a over the 8 bytes of `value`.
+  for (int i = 0; i < 8; ++i) {
+    state_.digest ^= (value >> (i * 8)) & 0xff;
+    state_.digest *= 1099511628211ULL;
+  }
+}
+
+long Vm::note_send(int dest) {
+  return ++state_.sends_per_channel.at(static_cast<size_t>(dest));
+}
+
+void Vm::note_recv(int src) {
+  ++state_.recvs_per_channel.at(static_cast<size_t>(src));
+}
+
+long Vm::note_checkpoint_instance(int static_index) {
+  return state_.ckpt_instances[static_index]++;
+}
+
+mp::EvalCtx Vm::make_ctx() {
+  mp::EvalCtx ctx;
+  ctx.rank = rank_;
+  ctx.nprocs = nprocs_;
+  for (const Frame& f : state_.stack)
+    if (f.loop != nullptr) ctx.env.emplace_back(f.loop->var, f.loop_value);
+  return ctx;
+}
+
+std::int64_t Vm::eval_or_throw(const mp::Expr& expr, const char* what) {
+  mp::EvalCtx ctx = make_ctx();
+  // Wrap the engine resolver so each irregular site consumes a fresh,
+  // snapshot-tracked instance number (pure-replay determinism).
+  mp::IrregularResolver wrapper;
+  if (resolver_ != nullptr && *resolver_) {
+    wrapper = [this](const mp::IrregularRequest& req) {
+      mp::IrregularRequest numbered = req;
+      numbered.instance = state_.irregular_counts[req.irregular_id]++;
+      return (*resolver_)(numbered);
+    };
+  }
+  ctx.resolver = &wrapper;
+  const auto v = expr.eval(ctx);
+  if (!v)
+    throw util::ProgramError(std::string("rank ") + std::to_string(rank_) +
+                             ": cannot evaluate " + what + ": " + expr.str());
+  fold_digest(static_cast<std::uint64_t>(*v) ^ 0xe7037ed1a0b428dbULL);
+  return *v;
+}
+
+bool Vm::eval_pred(const mp::Pred& pred) {
+  mp::EvalCtx ctx = make_ctx();
+  mp::IrregularResolver wrapper;
+  if (resolver_ != nullptr && *resolver_) {
+    wrapper = [this](const mp::IrregularRequest& req) {
+      mp::IrregularRequest numbered = req;
+      numbered.instance = state_.irregular_counts[req.irregular_id]++;
+      return (*resolver_)(numbered);
+    };
+  }
+  ctx.resolver = &wrapper;
+  const auto v = pred.eval(ctx);
+  if (!v)
+    throw util::ProgramError(std::string("rank ") + std::to_string(rank_) +
+                             ": cannot evaluate condition: " + pred.str());
+  fold_digest(*v ? 0x51ed270b7a03f2c1ULL : 0x0d742fc937a3bb01ULL);
+  return *v;
+}
+
+Action Vm::next() {
+  while (true) {
+    if (state_.stack.empty()) return ActionDone{};
+    Frame& frame = state_.stack.back();
+    if (frame.index >= frame.block->stmts.size()) {
+      if (frame.loop != nullptr) {
+        ++frame.loop_value;
+        if (frame.loop_value < frame.loop_hi) {
+          frame.index = 0;
+          continue;
+        }
+      }
+      state_.stack.pop_back();
+      continue;
+    }
+    const mp::Stmt& stmt = *frame.block->stmts[frame.index];
+    ++frame.index;  // consume; yielded actions refer to `stmt`
+    switch (stmt.kind()) {
+      case mp::StmtKind::kCompute: {
+        const auto& c = static_cast<const mp::ComputeStmt&>(stmt);
+        return ActionCompute{c.cost, stmt.uid()};
+      }
+      case mp::StmtKind::kSend: {
+        const auto& c = static_cast<const mp::SendStmt&>(stmt);
+        const auto dest = eval_or_throw(c.dest, "send destination");
+        if (dest < 0 || dest >= nprocs_)
+          throw util::ProgramError(
+              "rank " + std::to_string(rank_) + ": send destination " +
+              std::to_string(dest) + " out of range [0, " +
+              std::to_string(nprocs_) + ") at stmt uid " +
+              std::to_string(stmt.uid()));
+        if (dest == rank_)
+          throw util::ProgramError("rank " + std::to_string(rank_) +
+                                   ": self-send is not modelled (stmt uid " +
+                                   std::to_string(stmt.uid()) + ")");
+        return ActionSend{static_cast<int>(dest), c.tag, c.bytes, stmt.uid()};
+      }
+      case mp::StmtKind::kRecv: {
+        const auto& c = static_cast<const mp::RecvStmt&>(stmt);
+        if (c.any_source) return ActionRecv{true, -1, c.tag, stmt.uid()};
+        const auto src = eval_or_throw(c.src, "recv source");
+        if (src < 0 || src >= nprocs_ || src == rank_)
+          throw util::ProgramError(
+              "rank " + std::to_string(rank_) + ": recv source " +
+              std::to_string(src) + " invalid at stmt uid " +
+              std::to_string(stmt.uid()));
+        return ActionRecv{false, static_cast<int>(src), c.tag, stmt.uid()};
+      }
+      case mp::StmtKind::kCheckpoint: {
+        const auto& c = static_cast<const mp::CheckpointStmt&>(stmt);
+        return ActionCheckpoint{c.ckpt_id, stmt.uid()};
+      }
+      case mp::StmtKind::kBarrier:
+        return ActionBarrier{stmt.uid()};
+      case mp::StmtKind::kBcast: {
+        const auto& c = static_cast<const mp::BcastStmt&>(stmt);
+        const auto root = eval_or_throw(c.root, "bcast root");
+        if (root < 0 || root >= nprocs_)
+          throw util::ProgramError("rank " + std::to_string(rank_) +
+                                   ": bcast root out of range");
+        return ActionBcast{static_cast<int>(root), c.tag, c.bytes,
+                           stmt.uid()};
+      }
+      case mp::StmtKind::kReduce: {
+        const auto& c = static_cast<const mp::ReduceStmt&>(stmt);
+        const auto root = eval_or_throw(c.root, "reduce root");
+        if (root < 0 || root >= nprocs_)
+          throw util::ProgramError("rank " + std::to_string(rank_) +
+                                   ": reduce root out of range");
+        return ActionReduce{static_cast<int>(root), c.tag, c.bytes,
+                            stmt.uid()};
+      }
+      case mp::StmtKind::kAllreduce: {
+        const auto& c = static_cast<const mp::AllreduceStmt&>(stmt);
+        return ActionAllreduce{c.tag, c.bytes, stmt.uid()};
+      }
+      case mp::StmtKind::kIf: {
+        const auto& c = static_cast<const mp::IfStmt&>(stmt);
+        const mp::Block& chosen =
+            eval_pred(c.cond) ? c.then_body : c.else_body;
+        if (!chosen.empty())
+          state_.stack.push_back(Frame{&chosen, 0, nullptr, 0, 0});
+        continue;
+      }
+      case mp::StmtKind::kLoop: {
+        const auto& c = static_cast<const mp::LoopStmt&>(stmt);
+        const auto lo = eval_or_throw(c.lo, "loop lower bound");
+        const auto hi = eval_or_throw(c.hi, "loop upper bound");
+        if (lo < hi && !c.body.empty())
+          state_.stack.push_back(Frame{&c.body, 0, &c, lo, hi});
+        continue;
+      }
+    }
+  }
+}
+
+}  // namespace acfc::sim

@@ -1,0 +1,147 @@
+// The per-process virtual machine: an interpreter over the MiniMP AST with
+// fully copyable state.
+//
+// The VM advances through control flow (if/for bookkeeping costs no
+// simulated time) and yields Actions — compute, send, recv, checkpoint,
+// collective — for the discrete-event engine to schedule. Its entire
+// mutable state (control stack, RNG, vector clock, channel counters,
+// irregular-resolution counters, execution digest) lives in a VmSnapshot
+// value, which the engine stores on checkpoint and restores on rollback;
+// because the resolver is a pure function of (site, rank, instance),
+// re-execution from a snapshot reproduces the original run exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "mp/stmt.h"
+#include "trace/vclock.h"
+#include "util/rng.h"
+
+namespace acfc::sim {
+
+/// One entry of the control stack: position inside a block; for loop-body
+/// frames, the loop statement and the current/bound values of its variable.
+struct Frame {
+  const mp::Block* block = nullptr;
+  std::size_t index = 0;
+  const mp::LoopStmt* loop = nullptr;
+  std::int64_t loop_value = 0;
+  std::int64_t loop_hi = 0;
+};
+
+/// Complete copyable process state.
+struct VmSnapshot {
+  std::vector<Frame> stack;
+  util::Rng rng;
+  trace::VClock vc;
+  /// FNV-1a digest of the logical execution (control decisions, message
+  /// identities) — replay validation compares digests, never times.
+  std::uint64_t digest = 1469598103934665603ULL;
+  /// Per irregular-site invocation counters (deterministic resolution).
+  std::map<int, std::int64_t> irregular_counts;
+  /// Messages sent so far per destination (channel sequence numbers).
+  std::vector<long> sends_per_channel;
+  /// Messages consumed so far per source.
+  std::vector<long> recvs_per_channel;
+  /// Collective operations completed (MPI-style sequence matching).
+  long collectives_done = 0;
+  /// Checkpoint-statement completions per static index (instances).
+  std::map<int, long> ckpt_instances;
+};
+
+struct ActionCompute {
+  double duration = 0.0;
+  int stmt_uid = -1;
+};
+struct ActionSend {
+  int dest = -1;
+  int tag = 0;
+  int bytes = 0;
+  int stmt_uid = -1;
+};
+struct ActionRecv {
+  bool any_source = false;
+  int src = -1;
+  int tag = 0;
+  int stmt_uid = -1;
+};
+struct ActionCheckpoint {
+  int ckpt_id = -1;
+  int stmt_uid = -1;
+};
+struct ActionBarrier {
+  int stmt_uid = -1;
+};
+struct ActionBcast {
+  int root = -1;
+  int tag = 0;
+  int bytes = 0;
+  int stmt_uid = -1;
+};
+struct ActionReduce {
+  int root = -1;
+  int tag = 0;
+  int bytes = 0;
+  int stmt_uid = -1;
+};
+struct ActionAllreduce {
+  int tag = 0;
+  int bytes = 0;
+  int stmt_uid = -1;
+};
+struct ActionDone {};
+
+using Action = std::variant<ActionCompute, ActionSend, ActionRecv,
+                            ActionCheckpoint, ActionBarrier, ActionBcast,
+                            ActionReduce, ActionAllreduce, ActionDone>;
+
+class Vm {
+ public:
+  /// `program` and `resolver` must outlive the VM. The resolver must be a
+  /// pure function (replay determinism).
+  Vm(const mp::Program* program, int rank, int nprocs, std::uint64_t seed,
+     const mp::IrregularResolver* resolver);
+
+  int rank() const { return rank_; }
+  int nprocs() const { return nprocs_; }
+
+  /// Advances control flow to the next blocking action and returns it.
+  /// The program counter already points past the yielded statement.
+  /// Throws util::ProgramError on runtime errors (send out of range,
+  /// unresolvable expressions).
+  Action next();
+
+  bool done() const { return state_.stack.empty(); }
+
+  const VmSnapshot& state() const { return state_; }
+  VmSnapshot snapshot() const { return state_; }
+  void restore(const VmSnapshot& snapshot) { state_ = snapshot; }
+
+  // -- Engine callbacks -------------------------------------------------
+  void tick() { state_.vc.tick(rank_); }
+  void merge_clock(const trace::VClock& other) { state_.vc.merge(other); }
+  const trace::VClock& clock() const { return state_.vc; }
+  void fold_digest(std::uint64_t value);
+  long note_send(int dest);  ///< increments and returns the channel seq
+  void note_recv(int src);
+  void note_collective() { ++state_.collectives_done; }
+  long note_checkpoint_instance(int static_index);
+
+ private:
+  /// Evaluates with the current loop-variable environment and the
+  /// deterministic irregular resolver; throws on unresolvable values.
+  std::int64_t eval_or_throw(const mp::Expr& expr, const char* what);
+  bool eval_pred(const mp::Pred& pred);
+  mp::EvalCtx make_ctx();
+
+  const mp::Program* program_;
+  int rank_;
+  int nprocs_;
+  const mp::IrregularResolver* resolver_;
+  VmSnapshot state_;
+};
+
+}  // namespace acfc::sim

@@ -1,0 +1,129 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acfc::store {
+
+StableStore::StableStore(StorageModel model, CheckpointMode mode, int nprocs)
+    : model_(model), mode_(mode),
+      per_proc_(static_cast<size_t>(nprocs)),
+      since_full_(static_cast<size_t>(nprocs), 0) {
+  ACFC_CHECK_MSG(nprocs > 0, "store needs at least one process");
+  ACFC_CHECK_MSG(model_.write_bandwidth > 0 && model_.read_bandwidth > 0,
+                 "storage bandwidths must be positive");
+  ACFC_CHECK_MSG(model_.full_every >= 1, "full_every must be >= 1");
+}
+
+WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
+                                        double time) {
+  ACFC_CHECK_MSG(state_bytes >= 0, "negative state size");
+  auto& records = per_proc_.at(static_cast<size_t>(proc));
+  int& since_full = since_full_.at(static_cast<size_t>(proc));
+
+  WriteCost cost;
+  const bool full = mode_ == CheckpointMode::kFull || records.empty() ||
+                    since_full + 1 >= model_.full_every;
+  if (full) {
+    cost.bytes = state_bytes;
+    cost.full_image = true;
+    since_full = 0;
+  } else {
+    cost.bytes = static_cast<long>(
+                     std::ceil(static_cast<double>(state_bytes) *
+                               model_.dirty_fraction)) +
+                 model_.delta_metadata_bytes;
+    cost.full_image = false;
+    ++since_full;
+  }
+  cost.seconds = model_.write_latency +
+                 static_cast<double>(cost.bytes) / model_.write_bandwidth;
+  records.push_back(Record{proc, time, cost.bytes, cost.full_image});
+  return cost;
+}
+
+int StableStore::chain_length(int proc) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  if (records.empty()) return 0;
+  int length = 0;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    ++length;
+    if (it->full_image) break;
+  }
+  return length;
+}
+
+double StableStore::restore_seconds(int proc) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  if (records.empty()) return 0.0;
+  double seconds = 0.0;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    seconds += model_.read_latency +
+               static_cast<double>(it->bytes) / model_.read_bandwidth;
+    if (it->full_image) break;
+  }
+  return seconds;
+}
+
+long StableStore::collect_garbage(int keep_last) {
+  ACFC_CHECK_MSG(keep_last >= 1, "must keep at least one restore point");
+  long reclaimed = 0;
+  for (auto& records : per_proc_) {
+    if (static_cast<int>(records.size()) <= keep_last) continue;
+    // The oldest restore point we must keep.
+    const size_t oldest_kept = records.size() - static_cast<size_t>(keep_last);
+    // Walk back from it to the full image its chain starts at.
+    size_t chain_base = oldest_kept;
+    while (chain_base > 0 && !records[chain_base].full_image) --chain_base;
+    for (size_t i = 0; i < chain_base; ++i) reclaimed += records[i].bytes;
+    records.erase(records.begin(),
+                  records.begin() + static_cast<std::ptrdiff_t>(chain_base));
+  }
+  return reclaimed;
+}
+
+long StableStore::bytes_stored() const {
+  long total = 0;
+  for (size_t p = 0; p < per_proc_.size(); ++p)
+    total += bytes_stored(static_cast<int>(p));
+  return total;
+}
+
+long StableStore::bytes_stored(int proc) const {
+  long total = 0;
+  for (const auto& r : per_proc_.at(static_cast<size_t>(proc)))
+    total += r.bytes;
+  return total;
+}
+
+int StableStore::record_count(int proc) const {
+  return static_cast<int>(per_proc_.at(static_cast<size_t>(proc)).size());
+}
+
+std::vector<StableStore::Record> StableStore::records_of(int proc) const {
+  return per_proc_.at(static_cast<size_t>(proc));
+}
+
+DerivedParams derive_checkpoint_params(const StorageModel& model,
+                                       CheckpointMode mode, long state_bytes,
+                                       bool async_drain) {
+  DerivedParams out;
+  double bytes = static_cast<double>(state_bytes);
+  if (mode == CheckpointMode::kIncremental) {
+    // Steady-state average: (full_every − 1) deltas then one full image.
+    const double delta =
+        bytes * model.dirty_fraction +
+        static_cast<double>(model.delta_metadata_bytes);
+    bytes = (delta * (model.full_every - 1) + bytes) /
+            static_cast<double>(model.full_every);
+  }
+  const double transfer = bytes / model.write_bandwidth;
+  out.latency = model.write_latency + transfer;
+  // Synchronous writes block the process for the full latency; with an
+  // asynchronous drain (copy-on-write fork, background flush) the process
+  // only pays the snapshot fence.
+  out.overhead = async_drain ? model.write_latency : out.latency;
+  return out;
+}
+
+}  // namespace acfc::store

@@ -1,0 +1,104 @@
+// Recovery-line analyses over execution traces.
+//
+// Consistency of a cut of checkpoints {C_p} uses the no-orphan
+// characterization: the cut is consistent iff for every ordered pair
+// (p, q), VC(C_q)[p] ≤ VC(C_p)[p] — process q's checkpoint has not seen
+// more of p than p had executed at its own checkpoint. This is equivalent
+// to the paper's Definition 2.1 (no two members ordered by happened-before)
+// and additionally identifies the orphan messages when it fails.
+//
+// Also provided:
+//  * straight cuts (Definition 2.3 instanced per iteration),
+//  * the maximal recovery line at a failure time via greedy demotion
+//    (the classic rollback-propagation computation; on app-driven
+//    placements it stops at the latest checkpoints, on uncoordinated ones
+//    it may cascade — the domino effect, which we quantify),
+//  * Wang-style rollback-dependency graphs, and
+//  * Netzer–Xu zigzag-cycle detection of useless checkpoints.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace acfc::trace {
+
+/// One checkpoint per process, as indices into trace.checkpoints;
+/// -1 denotes the process's initial state.
+struct Cut {
+  std::vector<int> member;
+};
+
+struct CutAnalysis {
+  bool consistent = false;
+  /// (p, q) pairs where q saw more of p than p had checkpointed.
+  std::vector<std::pair<int, int>> orphan_pairs;
+  /// App messages received before the receiver's cut but sent after the
+  /// sender's cut (the witnesses of inconsistency).
+  std::vector<long> orphan_msgs;
+  /// App messages sent before the sender's cut and not received before the
+  /// receiver's cut — lost on rollback unless sender-logged.
+  std::vector<long> in_transit_msgs;
+};
+
+/// Analyzes an arbitrary cut. The cut must have one entry per process.
+CutAnalysis analyze_cut(const Trace& trace, const Cut& cut);
+
+/// The straight cut R_i at dynamic instance k: each process's k-th
+/// completion of a static-index-i checkpoint. nullopt if some process
+/// never completed that instance.
+std::optional<Cut> straight_cut(const Trace& trace, int static_index,
+                                long instance);
+
+/// All fully-populated straight cuts (every static index × instance).
+std::vector<Cut> all_straight_cuts(const Trace& trace);
+
+/// Per-process latest checkpoint completed at or before `t` (-1 if none).
+Cut latest_cut_at(const Trace& trace, double t);
+
+/// Per-process latest completion of a static-index-`static_index`
+/// checkpoint at or before `t`; nullopt unless every process has one.
+/// Under the strict placement policy this cut is always a recovery line,
+/// regardless of instance skew between processes.
+std::optional<Cut> latest_straight_cut_at(const Trace& trace,
+                                          int static_index, double t);
+
+struct RecoveryLine {
+  Cut cut;
+  bool consistent = false;
+  /// Per process: how many checkpoints it was demoted below its latest —
+  /// 0 everywhere means "roll back to the latest checkpoint", the paper's
+  /// coordinated-quality recovery.
+  std::vector<int> rollbacks;
+  /// Σ_p (t_fail − completion time of p's cut member); the work lost.
+  double lost_work = 0.0;
+};
+
+/// Computes the maximal consistent cut dominated by the latest checkpoints
+/// at `at_time`, by greedy demotion of orphan-receiving members (standard
+/// rollback propagation). Always terminates — the all-initial cut is
+/// consistent.
+RecoveryLine max_recovery_line(const Trace& trace, double at_time);
+
+/// Rollback-dependency graph over checkpoint intervals. Interval (p, k)
+/// covers events after p's (k-1)-th checkpoint completion and before its
+/// k-th (k ranges 0..K_p, where K_p = number of checkpoints of p; interval
+/// K_p is the open tail).
+struct RGraph {
+  int nprocs = 0;
+  std::vector<int> intervals_per_proc;  ///< K_p + 1
+  /// Edges (p, k) → (q, l): a message sent in (p,k) was received in (q,l).
+  struct REdge {
+    int from_proc, from_interval, to_proc, to_interval;
+  };
+  std::vector<REdge> edges;
+};
+
+RGraph build_rgraph(const Trace& trace);
+
+/// Indices (into trace.checkpoints) of checkpoints lying on a zigzag cycle
+/// — Netzer–Xu "useless" checkpoints that can belong to no consistent cut.
+std::vector<int> useless_checkpoints(const Trace& trace);
+
+}  // namespace acfc::trace

@@ -1,0 +1,525 @@
+#include "trace/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acfc::trace {
+
+namespace {
+
+// ===========================================================================
+// Writer
+// ===========================================================================
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+  } else {
+    os << (v > 0 ? "1e999" : "-1e999");  // never produced in practice
+  }
+}
+
+void write_vc(std::ostream& os, const VClock& vc) {
+  os << '[';
+  for (int i = 0; i < vc.size(); ++i) {
+    if (i) os << ',';
+    os << vc[i];
+  }
+  os << ']';
+}
+
+const char* kEventKindNames[] = {"compute",  "send",     "recv",
+                                 "checkpoint", "collective", "ctl-send",
+                                 "ctl-recv", "failure",  "restart",
+                                 "finish"};
+
+EventKind event_kind_from_name(const std::string& name) {
+  for (size_t i = 0; i < std::size(kEventKindNames); ++i)
+    if (name == kEventKindNames[i]) return static_cast<EventKind>(i);
+  throw util::ProgramError("unknown event kind in trace JSON: " + name);
+}
+
+}  // namespace
+
+void write_json(const Trace& trace, std::ostream& os) {
+  os << "{\"nprocs\":" << trace.nprocs << ",\"end_time\":";
+  write_double(os, trace.end_time);
+  os << ",\"completed\":" << (trace.completed ? "true" : "false");
+  os << ",\"final_digest\":[";
+  for (size_t i = 0; i < trace.final_digest.size(); ++i) {
+    if (i) os << ',';
+    os << trace.final_digest[i];
+  }
+  os << "],\"events\":[";
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const auto& e = trace.events[i];
+    if (i) os << ',';
+    os << "{\"kind\":";
+    write_escaped(os, event_kind_name(e.kind));
+    os << ",\"proc\":" << e.proc << ",\"time\":";
+    write_double(os, e.time);
+    os << ",\"vc\":";
+    write_vc(os, e.vc);
+    os << ",\"stmt_uid\":" << e.stmt_uid << ",\"msg_id\":" << e.msg_id
+       << ",\"peer\":" << e.peer << ",\"tag\":" << e.tag
+       << ",\"ckpt_id\":" << e.ckpt_id
+       << ",\"ckpt_instance\":" << e.ckpt_instance
+       << ",\"forced\":" << (e.forced ? "true" : "false") << '}';
+  }
+  os << "],\"messages\":[";
+  for (size_t i = 0; i < trace.messages.size(); ++i) {
+    const auto& m = trace.messages[i];
+    if (i) os << ',';
+    os << "{\"id\":" << m.id << ",\"src\":" << m.src << ",\"dst\":" << m.dst
+       << ",\"tag\":" << m.tag << ",\"bytes\":" << m.bytes
+       << ",\"seq\":" << m.seq << ",\"send_time\":";
+    write_double(os, m.send_time);
+    os << ",\"deliver_time\":";
+    write_double(os, m.deliver_time);
+    os << ",\"recv_time\":";
+    write_double(os, m.recv_time);
+    os << ",\"send_stmt_uid\":" << m.send_stmt_uid
+       << ",\"recv_stmt_uid\":" << m.recv_stmt_uid << ",\"send_vc\":";
+    write_vc(os, m.send_vc);
+    os << ",\"recv_vc\":";
+    write_vc(os, m.recv_vc);
+    os << ",\"consumed\":" << (m.consumed ? "true" : "false")
+       << ",\"control\":" << (m.control ? "true" : "false")
+       << ",\"piggyback\":" << m.piggyback
+       << ",\"replayed\":" << (m.replayed ? "true" : "false") << '}';
+  }
+  os << "],\"checkpoints\":[";
+  for (size_t i = 0; i < trace.checkpoints.size(); ++i) {
+    const auto& c = trace.checkpoints[i];
+    if (i) os << ',';
+    os << "{\"proc\":" << c.proc << ",\"ckpt_id\":" << c.ckpt_id
+       << ",\"static_index\":" << c.static_index
+       << ",\"instance\":" << c.instance << ",\"t_begin\":";
+    write_double(os, c.t_begin);
+    os << ",\"t_end\":";
+    write_double(os, c.t_end);
+    os << ",\"t_commit\":";
+    write_double(os, c.t_commit);
+    os << ",\"vc\":";
+    write_vc(os, c.vc);
+    os << ",\"forced\":" << (c.forced ? "true" : "false")
+       << ",\"snapshot\":" << c.snapshot << '}';
+  }
+  os << "]}";
+}
+
+std::string to_json(const Trace& trace) {
+  std::ostringstream os;
+  write_json(trace, os);
+  return os.str();
+}
+
+void save_json(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw util::Error("cannot open JSON output file: " + path);
+  write_json(trace, out);
+}
+
+// ===========================================================================
+// Reader (minimal standard-JSON recursive descent)
+// ===========================================================================
+
+namespace {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Raw token text for numbers, so 64-bit integers (digests, clock
+  /// components) can be re-parsed exactly rather than through a double.
+  std::string raw;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  std::uint64_t exact_u64() const {
+    try {
+      return std::stoull(raw);
+    } catch (const std::exception&) {
+      return static_cast<std::uint64_t>(number);
+    }
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    const JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size())
+      fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw util::ProgramError("trace JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + msg);
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  void literal(const char* text) {
+    const size_t len = std::strlen(text);
+    if (text_.compare(pos_, len, text) != 0) fail("bad literal");
+    pos_ += len;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.raw = text_.substr(start, pos_ - start);
+    try {
+      v.number = std::stod(v.raw);
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad unicode escape");
+            const int code =
+                std::stoi(text_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            // ASCII-only escapes are produced by our writer.
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (accept(']')) return v;
+    while (true) {
+      v.array->push_back(value());
+      if (accept(']')) return v;
+      skip_ws();
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonObject>();
+    skip_ws();
+    if (accept('}')) return v;
+    while (true) {
+      skip_ws();
+      const std::string key = string();
+      skip_ws();
+      expect(':');
+      (*v.object)[key] = value();
+      if (accept('}')) return v;
+      skip_ws();
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// -- typed accessors ---------------------------------------------------------
+
+const JsonValue& field(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end())
+    throw util::ProgramError("trace JSON missing field: " + key);
+  return it->second;
+}
+
+double num(const JsonObject& obj, const std::string& key) {
+  const auto& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kNumber)
+    throw util::ProgramError("trace JSON field is not a number: " + key);
+  return v.number;
+}
+
+long lng(const JsonObject& obj, const std::string& key) {
+  return static_cast<long>(num(obj, key));
+}
+
+int integer(const JsonObject& obj, const std::string& key) {
+  return static_cast<int>(num(obj, key));
+}
+
+bool boolean(const JsonObject& obj, const std::string& key) {
+  const auto& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kBool)
+    throw util::ProgramError("trace JSON field is not a bool: " + key);
+  return v.boolean;
+}
+
+std::string str(const JsonObject& obj, const std::string& key) {
+  const auto& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kString)
+    throw util::ProgramError("trace JSON field is not a string: " + key);
+  return v.string;
+}
+
+const JsonArray& arr(const JsonObject& obj, const std::string& key) {
+  const auto& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kArray)
+    throw util::ProgramError("trace JSON field is not an array: " + key);
+  return *v.array;
+}
+
+const JsonObject& obj_of(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kObject)
+    throw util::ProgramError("trace JSON element is not an object");
+  return *v.object;
+}
+
+VClock vc_of(const JsonObject& obj, const std::string& key, int nprocs) {
+  const auto& elems = arr(obj, key);
+  if (static_cast<int>(elems.size()) != nprocs)
+    throw util::ProgramError("trace JSON vector clock of wrong size");
+  VClock vc(nprocs);
+  for (int p = 0; p < nprocs; ++p)
+    vc.set(p, elems[static_cast<size_t>(p)].exact_u64());
+  return vc;
+}
+
+}  // namespace
+
+Trace from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).run();
+  const JsonObject& top = obj_of(root);
+
+  Trace trace;
+  trace.nprocs = integer(top, "nprocs");
+  if (trace.nprocs <= 0)
+    throw util::ProgramError("trace JSON has nonpositive nprocs");
+  trace.end_time = num(top, "end_time");
+  trace.completed = boolean(top, "completed");
+  for (const auto& d : arr(top, "final_digest"))
+    trace.final_digest.push_back(d.exact_u64());
+
+  for (const auto& ev : arr(top, "events")) {
+    const JsonObject& e = obj_of(ev);
+    EventRec rec;
+    rec.kind = event_kind_from_name(str(e, "kind"));
+    rec.proc = integer(e, "proc");
+    rec.time = num(e, "time");
+    rec.vc = vc_of(e, "vc", trace.nprocs);
+    rec.stmt_uid = integer(e, "stmt_uid");
+    rec.msg_id = lng(e, "msg_id");
+    rec.peer = integer(e, "peer");
+    rec.tag = integer(e, "tag");
+    rec.ckpt_id = integer(e, "ckpt_id");
+    rec.ckpt_instance = lng(e, "ckpt_instance");
+    rec.forced = boolean(e, "forced");
+    trace.events.push_back(std::move(rec));
+  }
+
+  for (const auto& mv : arr(top, "messages")) {
+    const JsonObject& m = obj_of(mv);
+    MsgRec rec;
+    rec.id = lng(m, "id");
+    rec.src = integer(m, "src");
+    rec.dst = integer(m, "dst");
+    rec.tag = integer(m, "tag");
+    rec.bytes = integer(m, "bytes");
+    rec.seq = lng(m, "seq");
+    rec.send_time = num(m, "send_time");
+    rec.deliver_time = num(m, "deliver_time");
+    rec.recv_time = num(m, "recv_time");
+    rec.send_stmt_uid = integer(m, "send_stmt_uid");
+    rec.recv_stmt_uid = integer(m, "recv_stmt_uid");
+    rec.send_vc = vc_of(m, "send_vc", trace.nprocs);
+    rec.recv_vc = vc_of(m, "recv_vc", trace.nprocs);
+    rec.consumed = boolean(m, "consumed");
+    rec.control = boolean(m, "control");
+    rec.piggyback = lng(m, "piggyback");
+    rec.replayed = boolean(m, "replayed");
+    trace.messages.push_back(std::move(rec));
+  }
+
+  for (const auto& cv : arr(top, "checkpoints")) {
+    const JsonObject& c = obj_of(cv);
+    CkptRec rec;
+    rec.proc = integer(c, "proc");
+    rec.ckpt_id = integer(c, "ckpt_id");
+    rec.static_index = integer(c, "static_index");
+    rec.instance = lng(c, "instance");
+    rec.t_begin = num(c, "t_begin");
+    rec.t_end = num(c, "t_end");
+    rec.t_commit = num(c, "t_commit");
+    rec.vc = vc_of(c, "vc", trace.nprocs);
+    rec.forced = boolean(c, "forced");
+    rec.snapshot = integer(c, "snapshot");
+    trace.checkpoints.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+Trace load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::ProgramError("cannot open trace JSON: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+}  // namespace acfc::trace

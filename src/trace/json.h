@@ -1,0 +1,34 @@
+// JSON export/import of execution traces — lets external tooling (plotting,
+// notebook analysis) consume simulator output, and lets the test suite
+// verify lossless round-trips.
+//
+// The format is a single JSON object:
+//   { "nprocs": N, "end_time": t, "completed": bool,
+//     "final_digest": [..],
+//     "events":      [{"kind": "...", "proc": p, "time": t, "vc": [..], ...}],
+//     "messages":    [{...}],
+//     "checkpoints": [{...}] }
+//
+// The writer emits canonical, deterministic output (fixed key order, 17
+// significant digits for doubles); the reader is a small recursive-descent
+// JSON parser accepting any standard JSON, so hand-edited files load too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace acfc::trace {
+
+/// Serializes the trace as canonical JSON.
+std::string to_json(const Trace& trace);
+void write_json(const Trace& trace, std::ostream& os);
+void save_json(const Trace& trace, const std::string& path);
+
+/// Parses a trace from JSON. Throws util::ProgramError on malformed input
+/// or missing required fields.
+Trace from_json(const std::string& json);
+Trace load_json(const std::string& path);
+
+}  // namespace acfc::trace

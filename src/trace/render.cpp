@@ -1,0 +1,76 @@
+#include "trace/render.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acfc::trace {
+
+std::string render_spacetime(const Trace& trace, const RenderOptions& opts) {
+  ACFC_CHECK_MSG(opts.width >= 10, "diagram too narrow");
+  const double t0 = opts.t_begin;
+  const double t1 = opts.t_end >= 0.0 ? opts.t_end
+                                      : std::max(trace.end_time, 1e-9);
+  ACFC_CHECK_MSG(t1 > t0, "empty time window");
+
+  const int width = opts.width;
+  auto column = [&](double t) {
+    const double frac = (t - t0) / (t1 - t0);
+    const int col = static_cast<int>(frac * (width - 1));
+    return std::clamp(col, 0, width - 1);
+  };
+
+  std::vector<std::string> rows(static_cast<size_t>(trace.nprocs),
+                                std::string(static_cast<size_t>(width), '-'));
+
+  auto mark = [&](int proc, double t, char symbol) {
+    if (proc < 0 || proc >= trace.nprocs || t < t0 || t > t1) return;
+    char& cell = rows[static_cast<size_t>(proc)]
+                     [static_cast<size_t>(column(t))];
+    // Checkpoints and failures dominate; otherwise first marker wins.
+    if (cell == '-' || symbol == 'C' || symbol == 'X') cell = symbol;
+  };
+
+  for (const auto& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::kSend:
+        mark(e.proc, e.time, 's');
+        break;
+      case EventKind::kRecv:
+        mark(e.proc, e.time, 'r');
+        break;
+      case EventKind::kCheckpoint:
+        mark(e.proc, e.time, 'C');
+        break;
+      case EventKind::kCollective:
+        mark(e.proc, e.time, 'B');
+        break;
+      case EventKind::kFailure:
+        mark(e.proc, e.time, 'X');
+        break;
+      case EventKind::kRestart:
+        mark(e.proc, e.time, '^');
+        break;
+      case EventKind::kFinish:
+        mark(e.proc, e.time, '|');
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::ostringstream os;
+  for (int p = 0; p < trace.nprocs; ++p)
+    os << 'P' << p << (p < 10 ? " " : "") << ' '
+       << rows[static_cast<size_t>(p)] << '\n';
+  if (opts.legend) {
+    os << "    t ∈ [" << t0 << ", " << t1
+       << "]   C=checkpoint s=send r=recv B=collective X=failure "
+          "^=restart |=finish\n";
+  }
+  return os.str();
+}
+
+}  // namespace acfc::trace

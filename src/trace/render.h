@@ -1,0 +1,32 @@
+// ASCII space-time diagrams of executions — the classic figures of the
+// distributed-checkpointing literature (the paper's Figures 3, 5, 6),
+// rendered from a real trace. One row per process, time flowing right:
+//
+//   P0 ──C──s───────C──s──r──▓▓─
+//   P1 ─────r──C──────s──r──C───
+//
+//   C checkpoint   s send   r recv   B collective   X failure
+//   ▓ paused       · idle/blocked
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace acfc::trace {
+
+struct RenderOptions {
+  /// Total character columns for the time axis.
+  int width = 96;
+  /// Include a legend line.
+  bool legend = true;
+  /// Restrict to [t_begin, t_end]; negative t_end means trace end.
+  double t_begin = 0.0;
+  double t_end = -1.0;
+};
+
+/// Renders the trace as an ASCII space-time diagram.
+std::string render_spacetime(const Trace& trace,
+                             const RenderOptions& opts = {});
+
+}  // namespace acfc::trace

@@ -1,0 +1,58 @@
+#include "trace/trace.h"
+
+#include <sstream>
+
+namespace acfc::trace {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCompute:
+      return "compute";
+    case EventKind::kSend:
+      return "send";
+    case EventKind::kRecv:
+      return "recv";
+    case EventKind::kCheckpoint:
+      return "checkpoint";
+    case EventKind::kCollective:
+      return "collective";
+    case EventKind::kControlSend:
+      return "ctl-send";
+    case EventKind::kControlRecv:
+      return "ctl-recv";
+    case EventKind::kFailure:
+      return "failure";
+    case EventKind::kRestart:
+      return "restart";
+    case EventKind::kFinish:
+      return "finish";
+  }
+  return "?";
+}
+
+std::vector<CkptRec> Trace::checkpoints_of(int proc) const {
+  std::vector<CkptRec> out;
+  for (const auto& c : checkpoints)
+    if (c.proc == proc) out.push_back(c);
+  return out;
+}
+
+std::vector<MsgRec> Trace::app_messages() const {
+  std::vector<MsgRec> out;
+  for (const auto& m : messages)
+    if (!m.control) out.push_back(m);
+  return out;
+}
+
+std::string Trace::summary() const {
+  std::ostringstream os;
+  long app = 0, ctl = 0;
+  for (const auto& m : messages) (m.control ? ctl : app)++;
+  os << "trace: " << nprocs << " procs, " << events.size() << " events, "
+     << app << " app msgs, " << ctl << " control msgs, "
+     << checkpoints.size() << " checkpoints, end=" << end_time
+     << (completed ? " (completed)" : " (incomplete)");
+  return os.str();
+}
+
+}  // namespace acfc::trace

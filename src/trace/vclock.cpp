@@ -1,0 +1,41 @@
+#include "trace/vclock.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace acfc::trace {
+
+void VClock::merge(const VClock& other) {
+  ACFC_CHECK_MSG(c_.size() == other.c_.size(), "vector clock size mismatch");
+  for (size_t i = 0; i < c_.size(); ++i) c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+bool VClock::happened_before(const VClock& other) const {
+  ACFC_CHECK_MSG(c_.size() == other.c_.size(), "vector clock size mismatch");
+  bool strictly_less = false;
+  for (size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] > other.c_[i]) return false;
+    if (c_[i] < other.c_[i]) strictly_less = true;
+  }
+  return strictly_less;
+}
+
+bool VClock::concurrent_with(const VClock& other) const {
+  return !happened_before(other) && !other.happened_before(*this) &&
+         !(*this == other);
+}
+
+std::string VClock::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < c_.size(); ++i) {
+    if (i) os << ' ';
+    os << c_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace acfc::trace

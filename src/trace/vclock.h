@@ -1,0 +1,48 @@
+// Vector clocks — the happened-before oracle of the execution substrate.
+//
+// Every simulated event carries the vector clock of its process at the
+// time it occurred; e happened-before f iff VC(e) < VC(f) componentwise
+// (Mattern/Fidge characterization of Lamport's relation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acfc::trace {
+
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(int nprocs) : c_(static_cast<size_t>(nprocs), 0) {}
+
+  int size() const { return static_cast<int>(c_.size()); }
+  std::uint64_t operator[](int i) const { return c_.at(static_cast<size_t>(i)); }
+
+  /// Advances this process's component (call on every local event).
+  void tick(int proc) { ++c_.at(static_cast<size_t>(proc)); }
+
+  /// Sets a component directly (deserialization only).
+  void set(int proc, std::uint64_t value) {
+    c_.at(static_cast<size_t>(proc)) = value;
+  }
+
+  /// Componentwise max (call on message receipt with the sender's clock).
+  void merge(const VClock& other);
+
+  /// True iff this clock is componentwise ≤ other and ≠ other: the event
+  /// stamped with *this happened before the event stamped with other.
+  bool happened_before(const VClock& other) const;
+
+  /// Neither happened_before the other (and not equal): concurrent.
+  bool concurrent_with(const VClock& other) const;
+
+  bool operator==(const VClock& other) const { return c_ == other.c_; }
+
+  std::string str() const;
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace acfc::trace

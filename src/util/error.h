@@ -1,0 +1,59 @@
+// Error types shared across the acfc libraries.
+//
+// The library reports programmer/usage errors (malformed programs, analysis
+// preconditions) by throwing acfc::util::Error with a descriptive message.
+// Internal invariant violations use ACFC_CHECK, which throws InternalError so
+// tests can assert on misuse without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acfc::util {
+
+/// Base class for all errors raised by the acfc libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input program is malformed (parse error, unbalanced
+/// checkpoints, send to out-of-range rank, ...).
+class ProgramError : public Error {
+ public:
+  explicit ProgramError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a library invariant is violated; indicates a bug in acfc
+/// itself or severe misuse of the API.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ACFC_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace acfc::util
+
+/// Invariant check that throws InternalError (never compiled out; the
+/// checks guard algorithmic invariants, not hot paths).
+#define ACFC_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::acfc::util::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+#define ACFC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::acfc::util::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,48 @@
+// Column-aligned text tables and CSV emission.
+//
+// Every benchmark harness prints its results both as a human-readable table
+// (the "rows the paper reports") and, optionally, as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acfc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with `precision` significant digits.
+  void add_row_numeric(const std::vector<double>& values, int precision = 6);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Pretty-prints with padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes the CSV to `path`, creating/truncating the file.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `significant` significant digits (used by tables
+/// and by test diagnostics).
+std::string format_double(double v, int significant = 6);
+
+}  // namespace acfc::util

@@ -1,0 +1,260 @@
+// Unit tests for the attribute domain: attribute extraction from program
+// structure, satisfiability, and the Algorithm-3.1 contradiction test
+// (find_match) on the paper's communication idioms.
+#include <gtest/gtest.h>
+
+#include "attr/attr.h"
+#include "mp/parser.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace acfc;
+using attr::MatchQuery;
+using attr::PathAttribute;
+using attr::SatOptions;
+using mp::Expr;
+using mp::Pred;
+
+int first_uid_of_kind(const mp::Program& p, mp::StmtKind kind, int skip = 0) {
+  int uid = -1;
+  int seen = 0;
+  mp::for_each_stmt(p, [&](const mp::Stmt& s) {
+    if (s.kind() == kind && uid < 0) {
+      if (seen++ == skip) uid = s.uid();
+    }
+  });
+  return uid;
+}
+
+TEST(Attr, TopLevelStatementHasEmptyAttribute) {
+  const mp::Program p = mp::parse("program t { compute 1.0; }");
+  const PathAttribute a = attr::attribute_of(p, 0);
+  EXPECT_TRUE(a.guards.empty());
+  EXPECT_TRUE(a.loops.empty());
+  EXPECT_EQ(a.describe(), "⊤");
+}
+
+TEST(Attr, ThenArmHasPositiveGuard) {
+  const mp::Program p =
+      mp::parse("program t { if (rank == 0) { compute 1.0; } }");
+  const int uid = first_uid_of_kind(p, mp::StmtKind::kCompute);
+  const PathAttribute a = attr::attribute_of(p, uid);
+  ASSERT_EQ(a.guards.size(), 1u);
+  EXPECT_TRUE(a.guards[0].second);
+  EXPECT_EQ(a.describe(), "rank == 0");
+}
+
+TEST(Attr, ElseArmHasNegatedGuard) {
+  const mp::Program p = mp::parse(
+      "program t { if (rank == 0) { compute 1.0; } else { compute 2.0; } }");
+  const int uid = first_uid_of_kind(p, mp::StmtKind::kCompute, 1);
+  const PathAttribute a = attr::attribute_of(p, uid);
+  ASSERT_EQ(a.guards.size(), 1u);
+  EXPECT_FALSE(a.guards[0].second);
+  EXPECT_EQ(a.describe(), "¬(rank == 0)");
+}
+
+TEST(Attr, NestedGuardsAccumulate) {
+  const mp::Program p = mp::parse(
+      "program t { if (rank % 2 == 0) { if (rank > 0) { compute 1.0; } } }");
+  const int uid = first_uid_of_kind(p, mp::StmtKind::kCompute);
+  const PathAttribute a = attr::attribute_of(p, uid);
+  EXPECT_EQ(a.guards.size(), 2u);
+}
+
+TEST(Attr, LoopBindingRecorded) {
+  const mp::Program p =
+      mp::parse("program t { for w in 1 .. nprocs { send to w; } }");
+  const int uid = first_uid_of_kind(p, mp::StmtKind::kSend);
+  const PathAttribute a = attr::attribute_of(p, uid);
+  ASSERT_EQ(a.loops.size(), 1u);
+  EXPECT_EQ(a.loops[0].var, "w");
+  EXPECT_NE(a.describe().find("w ∈ [1, nprocs)"), std::string::npos);
+}
+
+TEST(Attr, MissingUidThrows) {
+  const mp::Program p = mp::parse("program t { compute 1.0; }");
+  EXPECT_THROW(attr::attribute_of(p, 99), acfc::util::ProgramError);
+}
+
+TEST(AttrSat, EmptyAttributeSatisfiable) {
+  EXPECT_TRUE(attr::satisfiable(PathAttribute{}));
+}
+
+TEST(AttrSat, ContradictoryGuardsUnsatisfiable) {
+  PathAttribute a;
+  a.guards.emplace_back(Pred::eq(Expr::rank(), Expr::constant(0)), true);
+  a.guards.emplace_back(Pred::eq(Expr::rank(), Expr::constant(0)), false);
+  EXPECT_FALSE(attr::satisfiable(a));
+}
+
+TEST(AttrSat, RankParityGuardSatisfiable) {
+  PathAttribute a;
+  a.guards.emplace_back(
+      Pred::eq(Expr::rank() % Expr::constant(2), Expr::constant(0)), true);
+  EXPECT_TRUE(attr::satisfiable(a));
+}
+
+TEST(AttrSat, ImpossibleRankBoundUnsatisfiable) {
+  // rank >= nprocs can never hold.
+  PathAttribute a;
+  a.guards.emplace_back(Pred::ge(Expr::rank(), Expr::nprocs()), true);
+  EXPECT_FALSE(attr::satisfiable(a));
+}
+
+TEST(AttrSat, IrregularGuardIsConservativelySatisfiable) {
+  PathAttribute a;
+  a.guards.emplace_back(Pred::irregular(1), true);
+  EXPECT_TRUE(attr::satisfiable(a));
+}
+
+TEST(AttrSat, EmptyLoopRangeUnsatisfiable) {
+  // A statement inside `for i in 5 .. 3` never executes.
+  PathAttribute a;
+  a.loops.push_back({"i", Expr::constant(5), Expr::constant(3)});
+  EXPECT_FALSE(attr::satisfiable(a));
+}
+
+MatchQuery even_odd_query() {
+  // Sender: even ranks, dest = rank + 1. Receiver: odd ranks, src = rank-1.
+  MatchQuery q;
+  q.sender_attr.guards.emplace_back(
+      Pred::eq(Expr::rank() % Expr::constant(2), Expr::constant(0)), true);
+  q.dest = Expr::rank() + Expr::constant(1);
+  q.recv_attr.guards.emplace_back(
+      Pred::eq(Expr::rank() % Expr::constant(2), Expr::constant(0)), false);
+  q.src = Expr::rank() - Expr::constant(1);
+  return q;
+}
+
+TEST(AttrMatch, EvenToOddNeighbourMatches) {
+  const auto w = attr::find_match(even_odd_query());
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->sender % 2, 0);
+  EXPECT_EQ(w->receiver, w->sender + 1);
+}
+
+TEST(AttrMatch, EvenToEvenContradicts) {
+  // Sender even, dest = rank + 1 (odd); receiver ALSO even, src = rank - 1.
+  MatchQuery q = even_odd_query();
+  q.recv_attr.guards[0].second = true;  // receiver now even
+  // src = rank - 1 at an even receiver names an odd sender, but the sender
+  // attribute requires even: contradiction.
+  EXPECT_FALSE(attr::find_match(q).has_value());
+}
+
+TEST(AttrMatch, DestParameterMismatchContradicts) {
+  // Sender sends to rank + 1 but receiver expects from rank + 1 as well
+  // (i.e. src names a process above the receiver — impossible pairing).
+  MatchQuery q = even_odd_query();
+  q.src = Expr::rank() + Expr::constant(1);
+  // sender p (even), q = p+1 (odd); src at q names q+1 = p+2 ≠ p.
+  EXPECT_FALSE(attr::find_match(q).has_value());
+}
+
+TEST(AttrMatch, RingShiftMatches) {
+  MatchQuery q;
+  q.dest = (Expr::rank() + Expr::constant(1)) % Expr::nprocs();
+  q.src = (Expr::rank() - Expr::constant(1) + Expr::nprocs()) % Expr::nprocs();
+  const auto w = attr::find_match(q);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ((w->sender + 1) % w->nprocs, w->receiver);
+}
+
+TEST(AttrMatch, AnySourceMatchesRegardlessOfSrc) {
+  MatchQuery q;
+  q.dest = Expr::constant(0);
+  q.src_any = true;
+  q.sender_attr.guards.emplace_back(
+      Pred::ne(Expr::rank(), Expr::constant(0)), true);
+  q.recv_attr.guards.emplace_back(Pred::eq(Expr::rank(), Expr::constant(0)),
+                                  true);
+  EXPECT_TRUE(attr::find_match(q).has_value());
+}
+
+TEST(AttrMatch, IrregularDestIsWildcard) {
+  MatchQuery q;
+  q.dest = Expr::irregular(1);
+  q.src = Expr::irregular(2);
+  EXPECT_TRUE(attr::find_match(q).has_value());
+}
+
+TEST(AttrMatch, SelfMessageExcludedByDefault) {
+  // dest = rank would be a self-send; no witness without self-messages.
+  MatchQuery q;
+  q.dest = Expr::rank();
+  q.src = Expr::rank();
+  EXPECT_FALSE(attr::find_match(q).has_value());
+  SatOptions opts;
+  opts.allow_self_messages = true;
+  EXPECT_TRUE(attr::find_match(q, opts).has_value());
+}
+
+TEST(AttrMatch, MasterGatherViaLoopVariable) {
+  // Master (rank 0) receives from loop variable w in [1, nprocs);
+  // workers (rank != 0) send to 0.
+  MatchQuery q;
+  q.sender_attr.guards.emplace_back(
+      Pred::ne(Expr::rank(), Expr::constant(0)), true);
+  q.dest = Expr::constant(0);
+  q.recv_attr.guards.emplace_back(Pred::eq(Expr::rank(), Expr::constant(0)),
+                                  true);
+  q.recv_attr.loops.push_back({"w", Expr::constant(1), Expr::nprocs()});
+  q.src = Expr::loop_var("w");
+  const auto w = attr::find_match(q);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->receiver, 0);
+  EXPECT_NE(w->sender, 0);
+}
+
+TEST(AttrMatch, LoopVariableRangeExcludesZero) {
+  // Receiver src = w with w in [1, nprocs): rank 0 can never be the
+  // sender, so a sender attribute of rank == 0 contradicts.
+  MatchQuery q;
+  q.sender_attr.guards.emplace_back(Pred::eq(Expr::rank(), Expr::constant(0)),
+                                    true);
+  q.dest = Expr::constant(0);  // sends to master
+  q.recv_attr.guards.emplace_back(Pred::eq(Expr::rank(), Expr::constant(0)),
+                                  true);
+  q.recv_attr.loops.push_back({"w", Expr::constant(1), Expr::nprocs()});
+  q.src = Expr::loop_var("w");
+  // Sender is rank 0 sending to rank 0: self-message, excluded; and even
+  // with a witness attempt, src=w ∈ [1,nprocs) never names rank 0.
+  EXPECT_FALSE(attr::find_match(q).has_value());
+}
+
+TEST(AttrMatch, GuardedEdgeNeighbourRespectsBounds) {
+  // Sender: rank + 1 < nprocs sends right. Receiver: rank > 0 receives
+  // from rank - 1. Should match with receiver = sender + 1.
+  MatchQuery q;
+  q.sender_attr.guards.emplace_back(
+      Pred::lt(Expr::rank() + Expr::constant(1), Expr::nprocs()), true);
+  q.dest = Expr::rank() + Expr::constant(1);
+  q.recv_attr.guards.emplace_back(Pred::gt(Expr::rank(), Expr::constant(0)),
+                                  true);
+  q.src = Expr::rank() - Expr::constant(1);
+  const auto w = attr::find_match(q);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->receiver, w->sender + 1);
+  EXPECT_LT(w->receiver, w->nprocs);
+}
+
+TEST(AttrMatch, BudgetExhaustionIsConservative) {
+  SatOptions opts;
+  opts.budget = 1;  // force exhaustion immediately
+  MatchQuery q = even_odd_query();
+  q.recv_attr.guards[0].second = true;  // would contradict with full budget
+  EXPECT_TRUE(attr::find_match(q, opts).has_value());
+}
+
+TEST(AttrMatch, TagIndependentHere) {
+  // find_match knows nothing about tags (handled by the match module);
+  // identical attributes with compatible parameters always match.
+  MatchQuery q;
+  q.dest = (Expr::rank() + Expr::constant(1)) % Expr::nprocs();
+  q.src = (Expr::rank() + Expr::nprocs() - Expr::constant(1)) % Expr::nprocs();
+  EXPECT_TRUE(attr::find_match(q).has_value());
+}
+
+}  // namespace

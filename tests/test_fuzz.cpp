@@ -1,0 +1,134 @@
+// Robustness fuzzing: mutated program sources must either parse cleanly
+// or raise util::ProgramError — never crash, hang, or corrupt state. The
+// analyzer and simulator are additionally exercised on every mutant that
+// still parses.
+#include <gtest/gtest.h>
+
+#include "match/match.h"
+#include "mp/generate.h"
+#include "mp/parser.h"
+#include "mp/printer.h"
+#include "place/place.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace acfc;
+
+std::string mutate(const std::string& source, util::Rng& rng) {
+  std::string out = source;
+  const int edits = static_cast<int>(rng.uniform_int(1, 4));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const auto pos = static_cast<size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // delete a character
+        out.erase(pos, 1);
+        break;
+      case 1:  // duplicate a character
+        out.insert(pos, 1, out[pos]);
+        break;
+      case 2: {  // replace with a random printable character
+        out[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      }
+      case 3: {  // swap two characters
+        const auto pos2 = static_cast<size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+        std::swap(out[pos], out[pos2]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Fuzz, MutatedSourcesNeverCrashTheParser) {
+  util::Rng rng(2026);
+  int parsed = 0, rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    mp::GenerateOptions gopts;
+    gopts.seed = static_cast<std::uint64_t>(round % 10) + 1;
+    gopts.segments = 5;
+    const std::string source = mp::print(mp::generate_program(gopts));
+    const std::string mutant = mutate(source, rng);
+    try {
+      const mp::Program p = mp::parse(mutant);
+      ++parsed;
+      // A parsed mutant must survive printing and re-parsing.
+      EXPECT_NO_THROW({ mp::parse(mp::print(p)); });
+    } catch (const util::ProgramError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  // Sanity: the mutator produces both outcomes.
+  EXPECT_GT(parsed, 10);
+  EXPECT_GT(rejected, 10);
+}
+
+TEST(Fuzz, ParsedMutantsNeverCrashTheAnalyzer) {
+  util::Rng rng(777);
+  int analyzed = 0;
+  for (int round = 0; round < 150 || analyzed < 20; ++round) {
+    if (round > 2000) break;
+    mp::GenerateOptions gopts;
+    gopts.seed = static_cast<std::uint64_t>(round % 7) + 1;
+    gopts.segments = 4;
+    gopts.misalign_checkpoints = true;
+    const std::string mutant =
+        mutate(mp::print(mp::generate_program(gopts)), rng);
+    try {
+      mp::Program p = mp::parse(mutant);
+      // Any structured failure is fine; crashes are not.
+      const match::ExtendedCfg ext = match::build_extended_cfg(p);
+      (void)place::check_condition1(ext);
+      ++analyzed;
+    } catch (const util::Error&) {
+      // ProgramError (parse/balance) or InternalError guard — acceptable.
+    }
+  }
+  EXPECT_GT(analyzed, 0);
+}
+
+TEST(Fuzz, ParsedMutantsNeverCrashTheSimulator) {
+  util::Rng rng(4242);
+  int simulated = 0;
+  for (int round = 0; round < 150; ++round) {
+    mp::GenerateOptions gopts;
+    gopts.seed = static_cast<std::uint64_t>(round % 7) + 1;
+    gopts.segments = 4;
+    const std::string mutant =
+        mutate(mp::print(mp::generate_program(gopts)), rng);
+    try {
+      const mp::Program p = mp::parse(mutant);
+      sim::SimOptions opts;
+      opts.nprocs = 3;
+      opts.max_events = 50'000;  // mutants may loop more; keep bounded
+      sim::Engine engine(p, opts);
+      (void)engine.run();  // completed or not — just must return
+      ++simulated;
+    } catch (const util::Error&) {
+      // Structured rejection (bad destination, unresolvable expr, ...).
+    }
+  }
+  EXPECT_GT(simulated, 0);
+}
+
+TEST(Fuzz, GarbageInputsRejectedStructurally) {
+  util::Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const auto len = rng.uniform_int(0, 200);
+    for (std::int64_t i = 0; i < len; ++i)
+      garbage += static_cast<char>(rng.uniform_int(9, 126));
+    try {
+      (void)mp::parse(garbage);
+    } catch (const util::ProgramError&) {
+      // expected for essentially all inputs
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace

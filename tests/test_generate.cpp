@@ -1,0 +1,137 @@
+// Unit tests for the random program generator: determinism, structural
+// bounds, checkpoint balance knobs, and printability.
+#include <gtest/gtest.h>
+
+#include "mp/generate.h"
+#include "mp/parser.h"
+#include "mp/printer.h"
+
+namespace {
+
+using namespace acfc::mp;
+
+TEST(Generate, Deterministic) {
+  GenerateOptions opts;
+  opts.seed = 42;
+  const Program a = generate_program(opts);
+  const Program b = generate_program(opts);
+  EXPECT_EQ(print(a), print(b));
+}
+
+TEST(Generate, SeedsDiffer) {
+  GenerateOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  EXPECT_NE(print(generate_program(a_opts)), print(generate_program(b_opts)));
+}
+
+TEST(Generate, ProducesRequestedSegments) {
+  GenerateOptions opts;
+  opts.seed = 7;
+  opts.segments = 10;
+  opts.loop_probability = 0.0;
+  const Program p = generate_program(opts);
+  // Without loops, each segment contributes at least one top-level stmt.
+  EXPECT_GE(p.body.size(), 10u);
+}
+
+TEST(Generate, NoLoopsWhenDepthZero) {
+  GenerateOptions opts;
+  opts.seed = 3;
+  opts.max_loop_depth = 0;
+  opts.segments = 12;
+  const Program p = generate_program(opts);
+  bool has_generated_loop = false;
+  for_each_stmt(p, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kLoop) {
+      // Master-gather emits a `for w in 1..nprocs` worker loop, which is a
+      // communication pattern, not a repetition loop; those use var "w".
+      if (static_cast<const LoopStmt&>(s).var != "w")
+        has_generated_loop = true;
+    }
+  });
+  EXPECT_FALSE(has_generated_loop);
+}
+
+TEST(Generate, NoCollectivesWhenDisabled) {
+  GenerateOptions opts;
+  opts.seed = 5;
+  opts.segments = 30;
+  opts.allow_collectives = false;
+  const Program p = generate_program(opts);
+  bool any = false;
+  for_each_stmt(p, [&any](const Stmt& s) {
+    if (s.kind() == StmtKind::kBarrier || s.kind() == StmtKind::kBcast)
+      any = true;
+  });
+  EXPECT_FALSE(any);
+}
+
+TEST(Generate, MisalignKnobProducesBranchCheckpoints) {
+  // With enough segments and misalignment on, some checkpoint ends up
+  // inside an if-branch.
+  GenerateOptions opts;
+  opts.seed = 11;
+  opts.segments = 40;
+  opts.misalign_checkpoints = true;
+  const Program p = generate_program(opts);
+  bool inside_branch = false;
+  std::function<void(const Block&, bool)> walk = [&](const Block& b,
+                                                     bool in_branch) {
+    for (const auto& s : b.stmts) {
+      if (s->kind() == StmtKind::kCheckpoint && in_branch)
+        inside_branch = true;
+      if (const auto* iff = dynamic_cast<const IfStmt*>(s.get())) {
+        walk(iff->then_body, true);
+        walk(iff->else_body, true);
+      } else if (const auto* loop = dynamic_cast<const LoopStmt*>(s.get())) {
+        walk(loop->body, in_branch);
+      }
+    }
+  };
+  walk(p.body, false);
+  EXPECT_TRUE(inside_branch);
+}
+
+TEST(Generate, BranchCheckpointsAreBalanced) {
+  // Misaligned checkpoints are placed in both arms so every path carries
+  // the same number of checkpoints (the Phase-I precondition).
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    GenerateOptions opts;
+    opts.seed = seed;
+    opts.segments = 25;
+    opts.misalign_checkpoints = true;
+    const Program p = generate_program(opts);
+    std::function<int(const Block&)> count_balanced =
+        [&](const Block& b) -> int {
+      int total = 0;
+      for (const auto& s : b.stmts) {
+        if (s->kind() == StmtKind::kCheckpoint) ++total;
+        if (const auto* iff = dynamic_cast<const IfStmt*>(s.get())) {
+          const int t = count_balanced(iff->then_body);
+          const int e = count_balanced(iff->else_body);
+          EXPECT_EQ(t, e) << "unbalanced arms at seed " << seed;
+          total += t;
+        } else if (const auto* loop =
+                       dynamic_cast<const LoopStmt*>(s.get())) {
+          total += count_balanced(loop->body);
+        }
+      }
+      return total;
+    };
+    count_balanced(p.body);
+  }
+}
+
+TEST(Generate, OutputParsesBack) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    GenerateOptions opts;
+    opts.seed = seed;
+    opts.segments = 15;
+    const Program p = generate_program(opts);
+    const Program q = parse(print(p));
+    EXPECT_EQ(q.stmt_count(), p.stmt_count()) << "seed " << seed;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,411 @@
+// Unit tests for Phases I and III: interval computation, static insertion,
+// equalization, Condition-1 checking (paper Figures 1/2/5/6), and
+// Algorithm 3.2 repair.
+#include <gtest/gtest.h>
+
+#include "match/match.h"
+#include "mp/parser.h"
+#include "mp/printer.h"
+#include "place/place.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace acfc;
+using place::CheckResult;
+using place::InsertOptions;
+using place::RepairOptions;
+using place::RepairPolicy;
+
+constexpr const char* kJacobi2 = R"(
+  program jacobi2 {
+    for it in 0 .. 10 {
+      compute 5.0;
+      if (rank % 2 == 0) {
+        checkpoint "even";
+        send to rank + 1 tag 1;
+        recv from rank + 1 tag 1;
+      } else {
+        send to rank - 1 tag 1;
+        recv from rank - 1 tag 1;
+        checkpoint "odd";
+      }
+    }
+  })";
+
+CheckResult check(const mp::Program& p) {
+  const match::ExtendedCfg ext = match::build_extended_cfg(p);
+  return place::check_condition1(ext);
+}
+
+// ---------------------------------------------------------------------------
+// Phase I
+// ---------------------------------------------------------------------------
+
+TEST(PhaseI, OptimalIntervalYoungRule) {
+  InsertOptions opts;
+  opts.lambda = 2e-6;
+  opts.checkpoint_overhead = 1.0;
+  EXPECT_NEAR(place::optimal_interval(opts), 1000.0, 1e-9);
+}
+
+TEST(PhaseI, ExplicitIntervalWins) {
+  InsertOptions opts;
+  opts.target_interval = 42.0;
+  EXPECT_DOUBLE_EQ(place::optimal_interval(opts), 42.0);
+}
+
+TEST(PhaseI, EstimatedCostSumsComputeAndMessages) {
+  const mp::Program p = mp::parse(
+      "program t { compute 2.0; send to 0; recv from 0; barrier; }");
+  InsertOptions opts;
+  opts.est_message_delay = 0.5;
+  // 2.0 + 0.5 + 0.5 + 1.0 (barrier = 2×delay)
+  EXPECT_DOUBLE_EQ(place::estimated_cost(p, opts), 4.0);
+}
+
+TEST(PhaseI, EstimatedCostTakesMaxOverArms) {
+  const mp::Program p = mp::parse(
+      "program t { if (rank == 0) { compute 1.0; } else { compute 5.0; } }");
+  EXPECT_DOUBLE_EQ(place::estimated_cost(p), 5.0);
+}
+
+TEST(PhaseI, EstimatedCostMultipliesLoopTrips) {
+  const mp::Program p = mp::parse("program t { loop 4 { compute 2.0; } }");
+  EXPECT_DOUBLE_EQ(place::estimated_cost(p), 8.0);
+}
+
+TEST(PhaseI, InsertsAtIntervalBoundaries) {
+  mp::Program p = mp::parse(
+      "program t { compute 10.0; compute 10.0; compute 10.0; compute 10.0; }");
+  InsertOptions opts;
+  opts.target_interval = 20.0;
+  const int inserted = place::insert_checkpoints(p, opts);
+  EXPECT_EQ(inserted, 2);
+  EXPECT_EQ(mp::checkpoint_count(p), 2);
+  // Positions: after the 2nd and 4th compute.
+  EXPECT_EQ(p.body.stmts[2]->kind(), mp::StmtKind::kCheckpoint);
+  EXPECT_EQ(p.body.stmts[5]->kind(), mp::StmtKind::kCheckpoint);
+}
+
+TEST(PhaseI, HeavyLoopBodyGetsInternalCheckpoint) {
+  mp::Program p = mp::parse("program t { loop 100 { compute 30.0; } }");
+  InsertOptions opts;
+  opts.target_interval = 20.0;
+  const int inserted = place::insert_checkpoints(p, opts);
+  EXPECT_GE(inserted, 1);
+  // The checkpoint lives inside the loop body.
+  const auto& loop = static_cast<const mp::LoopStmt&>(*p.body.stmts[0]);
+  bool inside = false;
+  mp::for_each_stmt(loop.body, [&](const mp::Stmt& s) {
+    if (s.kind() == mp::StmtKind::kCheckpoint) inside = true;
+  });
+  EXPECT_TRUE(inside);
+}
+
+TEST(PhaseI, LightLoopTreatedAsAtomicCost) {
+  mp::Program p = mp::parse(
+      "program t { loop 10 { compute 1.0; } compute 1.0; }");
+  InsertOptions opts;
+  opts.target_interval = 10.5;
+  place::insert_checkpoints(p, opts);
+  // Checkpoint falls after the loop (accumulated 10.0 + 1.0 > 10.5),
+  // never inside it.
+  const auto& loop = static_cast<const mp::LoopStmt&>(*p.body.stmts[0]);
+  bool inside = false;
+  mp::for_each_stmt(loop.body, [&](const mp::Stmt& s) {
+    if (s.kind() == mp::StmtKind::kCheckpoint) inside = true;
+  });
+  EXPECT_FALSE(inside);
+  EXPECT_EQ(mp::checkpoint_count(p), 1);
+}
+
+TEST(PhaseI, InsertedProgramIsBalanced) {
+  mp::Program p = mp::parse(R"(
+    program t {
+      compute 50.0;
+      if (rank == 0) { compute 5.0; } else { compute 3.0; }
+      compute 50.0;
+    })");
+  InsertOptions opts;
+  opts.target_interval = 30.0;
+  place::insert_checkpoints(p, opts);
+  const auto g = cfg::build_cfg(p);
+  EXPECT_FALSE(g.check_balance().has_value());
+}
+
+TEST(PhaseI, EqualizePadsSmallerArm) {
+  mp::Program p = mp::parse(R"(
+    program t {
+      if (rank == 0) { checkpoint; checkpoint; } else { checkpoint; }
+    })");
+  const int added = place::equalize_checkpoints(p);
+  EXPECT_EQ(added, 1);
+  const auto g = cfg::build_cfg(p);
+  EXPECT_FALSE(g.check_balance().has_value());
+}
+
+TEST(PhaseI, EqualizeHandlesNesting) {
+  mp::Program p = mp::parse(R"(
+    program t {
+      if (rank == 0) {
+        if (rank == 0) { checkpoint; } else { }
+      } else { }
+    })");
+  const int added = place::equalize_checkpoints(p);
+  // Inner else gets one, then outer else needs one too.
+  EXPECT_EQ(added, 2);
+  EXPECT_FALSE(cfg::build_cfg(p).check_balance().has_value());
+}
+
+TEST(PhaseI, EqualizeNoOpWhenBalanced) {
+  mp::Program p = mp::parse(kJacobi2);
+  EXPECT_EQ(place::equalize_checkpoints(p), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Phase III — Condition 1
+// ---------------------------------------------------------------------------
+
+TEST(Condition1, MisalignedJacobiViolates) {
+  const mp::Program p = mp::parse(kJacobi2);
+  const CheckResult result = check(p);
+  EXPECT_FALSE(result.ok(RepairPolicy::kAlignedInstances));
+  EXPECT_GE(result.hard_count(), 1);
+}
+
+TEST(Condition1, AlignedJacobiHasNoHardViolations) {
+  const mp::Program p = mp::parse(R"(
+    program jacobi1 {
+      for it in 0 .. 10 {
+        checkpoint;
+        compute 5.0;
+        if (rank % 2 == 0) {
+          send to rank + 1 tag 1; recv from rank + 1 tag 1;
+        } else {
+          send to rank - 1 tag 1; recv from rank - 1 tag 1;
+        }
+      }
+    })");
+  const CheckResult result = check(p);
+  EXPECT_TRUE(result.ok(RepairPolicy::kAlignedInstances));
+  // ... but the loop-carried self-causality means strict mode objects.
+  EXPECT_FALSE(result.ok(RepairPolicy::kStrict));
+}
+
+TEST(Condition1, Figure5StyleHardViolation) {
+  // Figure 5: two parallel paths where path A checkpoints, then messages
+  // path B before B's same-index checkpoint.
+  const mp::Program p = mp::parse(R"(
+    program fig5 {
+      if (rank == 0) {
+        checkpoint "A";
+        send to 1 tag 1;
+      } else {
+        recv from 0 tag 1;
+        checkpoint "B";
+      }
+    })");
+  const CheckResult result = check(p);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_TRUE(result.violations[0].hard);
+  EXPECT_EQ(result.violations[0].index, 1);
+}
+
+TEST(Condition1, Figure6StyleLoopCarriedViolation) {
+  // Figure 6: B checkpoints then sends; A receives inside a loop whose
+  // next iteration checkpoints. The violating path needs the back edge.
+  const mp::Program p = mp::parse(R"(
+    program fig6 {
+      if (rank == 0) {
+        checkpoint "B";
+        send to 1 tag 1;
+      } else {
+        for it in 0 .. 5 {
+          checkpoint "A";
+          compute 1.0;
+          recv from 0 tag 1;
+        }
+      }
+    })");
+  // Note: rank 1 receives 5 times but rank 0 sends once; for the static
+  // analysis only the graph matters.
+  const CheckResult result = check(p);
+  ASSERT_FALSE(result.violations.empty());
+  for (const auto& v : result.violations) EXPECT_FALSE(v.hard);
+  EXPECT_TRUE(result.ok(RepairPolicy::kAlignedInstances));
+  EXPECT_FALSE(result.ok(RepairPolicy::kStrict));
+}
+
+TEST(Condition1, NoCommunicationNoViolations) {
+  const mp::Program p = mp::parse(R"(
+    program quiet {
+      loop 3 { compute 1.0; checkpoint; }
+    })");
+  EXPECT_TRUE(check(p).violations.empty());
+}
+
+TEST(Condition1, CollectiveBetweenMisalignedCheckpointsViolates) {
+  // A barrier creates all-pairs causality; checkpoints straddling it on
+  // different arms violate.
+  const mp::Program p = mp::parse(R"(
+    program coll {
+      if (rank % 2 == 0) { checkpoint; barrier; }
+      else { barrier; checkpoint; }
+    })");
+  const CheckResult result = check(p);
+  EXPECT_GE(result.hard_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Phase III — Algorithm 3.2 repair
+// ---------------------------------------------------------------------------
+
+TEST(Repair, FixesMisalignedJacobi) {
+  mp::Program p = mp::parse(kJacobi2);
+  const auto report = place::repair_placement(p);
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(report.initial_hard, 1);
+  EXPECT_GE(report.moves + report.merges + report.hoists, 1);
+  // Re-check from scratch.
+  const CheckResult after = check(p);
+  EXPECT_TRUE(after.ok(RepairPolicy::kAlignedInstances));
+  EXPECT_EQ(after.hard_count(), 0);
+  // Checkpoint count is preserved or reduced (merges), never increased.
+  EXPECT_LE(mp::checkpoint_count(p), 2);
+  EXPECT_GE(mp::checkpoint_count(p), 1);
+}
+
+TEST(Repair, FixesFigure5) {
+  mp::Program p = mp::parse(R"(
+    program fig5 {
+      if (rank == 0) { checkpoint "A"; send to 1 tag 1; }
+      else { recv from 0 tag 1; checkpoint "B"; }
+    })");
+  const auto report = place::repair_placement(p);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(check(p).hard_count(), 0);
+}
+
+TEST(Repair, StrictModeHoistsOutOfLoop) {
+  mp::Program p = mp::parse(R"(
+    program jacobi1 {
+      for it in 0 .. 10 {
+        checkpoint;
+        compute 5.0;
+        if (rank % 2 == 0) {
+          send to rank + 1 tag 1; recv from rank + 1 tag 1;
+        } else {
+          send to rank - 1 tag 1; recv from rank - 1 tag 1;
+        }
+      }
+    })");
+  RepairOptions opts;
+  opts.policy = RepairPolicy::kStrict;
+  const auto report = place::repair_placement(p, opts);
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(report.hoists, 1);
+  // The checkpoint is now outside the loop: strict check passes.
+  const CheckResult after = check(p);
+  EXPECT_TRUE(after.ok(RepairPolicy::kStrict));
+  // And the checkpoint is a top-level statement.
+  EXPECT_EQ(p.body.stmts[0]->kind(), mp::StmtKind::kCheckpoint);
+}
+
+TEST(Repair, AlignedModeKeepsLoopCheckpoint) {
+  mp::Program p = mp::parse(R"(
+    program jacobi1 {
+      for it in 0 .. 10 {
+        checkpoint;
+        if (rank % 2 == 0) {
+          send to rank + 1 tag 1; recv from rank + 1 tag 1;
+        } else {
+          send to rank - 1 tag 1; recv from rank - 1 tag 1;
+        }
+      }
+    })");
+  const auto report = place::repair_placement(p);  // default aligned policy
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.moves + report.merges + report.hoists, 0);
+  EXPECT_EQ(p.body.stmts[0]->kind(), mp::StmtKind::kLoop);  // untouched
+}
+
+TEST(Repair, NoOpOnSafeProgram) {
+  mp::Program p = mp::parse(R"(
+    program safe { checkpoint; send to (rank + 1) % nprocs tag 1;
+                   recv from (rank - 1 + nprocs) % nprocs tag 1; })");
+  const auto report = place::repair_placement(p);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.moves + report.merges + report.hoists, 0);
+}
+
+TEST(Repair, ReportLogsMoves) {
+  mp::Program p = mp::parse(kJacobi2);
+  const auto report = place::repair_placement(p);
+  EXPECT_TRUE(report.success);
+  EXPECT_FALSE(report.log.empty());
+  EXPECT_NE(report.log[0].find("S_1"), std::string::npos);
+}
+
+TEST(Repair, MergeHoistsBranchCheckpoints) {
+  // Both arm checkpoints sit at arm start but the message still orders
+  // them via a preceding exchange... construct a case where the target
+  // reaches an arm boundary: recv before checkpoint in both arms.
+  mp::Program p = mp::parse(R"(
+    program merge {
+      if (rank % 2 == 0) {
+        checkpoint "a";
+        send to rank + 1 tag 1;
+        recv from rank + 1 tag 2;
+      } else {
+        recv from rank - 1 tag 1;
+        send to rank - 1 tag 2;
+        checkpoint "b";
+      }
+    })");
+  const auto report = place::repair_placement(p);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(check(p).hard_count(), 0);
+}
+
+TEST(Repair, AnalyzeAndPlaceFullPipeline) {
+  // No checkpoints in the input: Phase I inserts, Phase III repairs.
+  mp::Program p = mp::parse(R"(
+    program pipeline {
+      loop 3 {
+        compute 50.0;
+        if (rank % 2 == 0) {
+          send to rank + 1 tag 1; recv from rank + 1 tag 1;
+        } else {
+          send to rank - 1 tag 1; recv from rank - 1 tag 1;
+        }
+        compute 50.0;
+      }
+    })");
+  InsertOptions iopts;
+  iopts.target_interval = 60.0;
+  const auto report = place::analyze_and_place(p, iopts);
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(mp::checkpoint_count(p), 1);
+  EXPECT_EQ(check(p).hard_count(), 0);
+}
+
+TEST(Repair, PreservesCheckpointIdsOfMovedCheckpoints) {
+  mp::Program p = mp::parse(kJacobi2);
+  std::vector<int> before;
+  mp::for_each_stmt(p, [&](const mp::Stmt& s) {
+    if (const auto* c = dynamic_cast<const mp::CheckpointStmt*>(&s))
+      before.push_back(c->ckpt_id);
+  });
+  place::repair_placement(p);
+  std::vector<int> after;
+  mp::for_each_stmt(p, [&](const mp::Stmt& s) {
+    if (const auto* c = dynamic_cast<const mp::CheckpointStmt*>(&s))
+      after.push_back(c->ckpt_id);
+  });
+  // Every surviving id was present before (no fresh ids minted by moves).
+  for (int id : after)
+    EXPECT_NE(std::find(before.begin(), before.end(), id), before.end());
+}
+
+}  // namespace

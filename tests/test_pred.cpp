@@ -1,0 +1,147 @@
+// Unit tests for MiniMP predicates: evaluation with three-valued logic
+// around irregular terms, ID-dependence, rendering, equality.
+#include <gtest/gtest.h>
+
+#include "mp/pred.h"
+
+namespace {
+
+using acfc::mp::CmpOp;
+using acfc::mp::EvalCtx;
+using acfc::mp::Expr;
+using acfc::mp::IrregularRequest;
+using acfc::mp::IrregularResolver;
+using acfc::mp::Pred;
+using acfc::mp::PredKind;
+
+EvalCtx ctx(int rank, int nprocs) {
+  EvalCtx c;
+  c.rank = rank;
+  c.nprocs = nprocs;
+  return c;
+}
+
+TEST(Pred, AlwaysIsTrue) {
+  EXPECT_EQ(Pred::always().eval(ctx(0, 1)), true);
+  EXPECT_EQ(Pred().eval(ctx(0, 1)), true);
+}
+
+TEST(Pred, Comparisons) {
+  const EvalCtx c = ctx(3, 8);
+  EXPECT_EQ(Pred::eq(Expr::rank(), Expr::constant(3)).eval(c), true);
+  EXPECT_EQ(Pred::ne(Expr::rank(), Expr::constant(3)).eval(c), false);
+  EXPECT_EQ(Pred::lt(Expr::rank(), Expr::constant(4)).eval(c), true);
+  EXPECT_EQ(Pred::le(Expr::rank(), Expr::constant(3)).eval(c), true);
+  EXPECT_EQ(Pred::gt(Expr::rank(), Expr::constant(3)).eval(c), false);
+  EXPECT_EQ(Pred::ge(Expr::rank(), Expr::constant(3)).eval(c), true);
+}
+
+TEST(Pred, EvenOddIdiom) {
+  const Pred even =
+      Pred::eq(Expr::rank() % Expr::constant(2), Expr::constant(0));
+  EXPECT_EQ(even.eval(ctx(0, 4)), true);
+  EXPECT_EQ(even.eval(ctx(1, 4)), false);
+  EXPECT_EQ(even.eval(ctx(2, 4)), true);
+}
+
+TEST(Pred, BooleanConnectives) {
+  const Pred p = Pred::gt(Expr::rank(), Expr::constant(0)) &&
+                 Pred::lt(Expr::rank(), Expr::constant(3));
+  EXPECT_EQ(p.eval(ctx(0, 4)), false);
+  EXPECT_EQ(p.eval(ctx(1, 4)), true);
+  EXPECT_EQ(p.eval(ctx(3, 4)), false);
+
+  const Pred q = Pred::eq(Expr::rank(), Expr::constant(0)) ||
+                 Pred::eq(Expr::rank(), Expr::constant(3));
+  EXPECT_EQ(q.eval(ctx(0, 4)), true);
+  EXPECT_EQ(q.eval(ctx(2, 4)), false);
+
+  EXPECT_EQ((!q).eval(ctx(2, 4)), true);
+}
+
+TEST(Pred, IrregularWithoutResolverIsUnknown) {
+  EXPECT_FALSE(Pred::irregular(1).eval(ctx(0, 4)).has_value());
+}
+
+TEST(Pred, IrregularWithResolver) {
+  IrregularResolver resolver = [](const IrregularRequest& req) {
+    return req.rank % 2;
+  };
+  EvalCtx c = ctx(1, 4);
+  c.resolver = &resolver;
+  EXPECT_EQ(Pred::irregular(1).eval(c), true);
+}
+
+TEST(Pred, ThreeValuedAndShortCircuits) {
+  // false && unknown == false; true && unknown == unknown.
+  const Pred def_false = Pred::eq(Expr::constant(0), Expr::constant(1));
+  const Pred def_true = Pred::always();
+  const Pred unknown = Pred::irregular(9);
+  EXPECT_EQ((def_false && unknown).eval(ctx(0, 1)), false);
+  EXPECT_EQ((unknown && def_false).eval(ctx(0, 1)), false);
+  EXPECT_FALSE((def_true && unknown).eval(ctx(0, 1)).has_value());
+}
+
+TEST(Pred, ThreeValuedOrShortCircuits) {
+  const Pred def_true = Pred::always();
+  const Pred unknown = Pred::irregular(9);
+  EXPECT_EQ((def_true || unknown).eval(ctx(0, 1)), true);
+  EXPECT_EQ((unknown || def_true).eval(ctx(0, 1)), true);
+  const Pred def_false = Pred::eq(Expr::constant(0), Expr::constant(1));
+  EXPECT_FALSE((def_false || unknown).eval(ctx(0, 1)).has_value());
+}
+
+TEST(Pred, UnknownComparisonPropagates) {
+  EXPECT_FALSE(
+      Pred::eq(Expr::irregular(1), Expr::constant(0)).eval(ctx(0, 1)));
+  EXPECT_FALSE((!Pred::irregular(1)).eval(ctx(0, 1)).has_value());
+}
+
+TEST(Pred, DependsOnRank) {
+  EXPECT_TRUE(Pred::eq(Expr::rank(), Expr::constant(0)).depends_on_rank());
+  EXPECT_FALSE(
+      Pred::eq(Expr::nprocs(), Expr::constant(4)).depends_on_rank());
+  EXPECT_FALSE(Pred::irregular(1).depends_on_rank());
+  EXPECT_TRUE((Pred::irregular(1) &&
+               Pred::lt(Expr::rank(), Expr::constant(2)))
+                  .depends_on_rank());
+}
+
+TEST(Pred, HasIrregular) {
+  EXPECT_TRUE(Pred::irregular(1).has_irregular());
+  EXPECT_TRUE(
+      Pred::eq(Expr::irregular(2), Expr::constant(0)).has_irregular());
+  EXPECT_FALSE(Pred::eq(Expr::rank(), Expr::constant(0)).has_irregular());
+}
+
+TEST(Pred, StrRendering) {
+  EXPECT_EQ(Pred::always().str(), "true");
+  EXPECT_EQ(Pred::eq(Expr::rank(), Expr::constant(0)).str(), "rank == 0");
+  const Pred p = Pred::gt(Expr::rank(), Expr::constant(0)) &&
+                 Pred::lt(Expr::rank(), Expr::constant(3));
+  EXPECT_EQ(p.str(), "(rank > 0 && rank < 3)");
+  EXPECT_EQ((!Pred::always()).str(), "!(true)");
+}
+
+TEST(Pred, StructuralEquality) {
+  const Pred a = Pred::eq(Expr::rank(), Expr::constant(0));
+  const Pred b = Pred::eq(Expr::rank(), Expr::constant(0));
+  const Pred c = Pred::ne(Expr::rank(), Expr::constant(0));
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_TRUE((a && c).equals(b && c));
+  EXPECT_FALSE((a && c).equals(a || c));
+}
+
+TEST(Pred, Accessors) {
+  const Pred p = Pred::lt(Expr::rank(), Expr::constant(4));
+  EXPECT_EQ(p.kind(), PredKind::kCmp);
+  EXPECT_EQ(p.cmp_op(), CmpOp::kLt);
+  EXPECT_TRUE(p.cmp_lhs().equals(Expr::rank()));
+  EXPECT_TRUE(p.cmp_rhs().equals(Expr::constant(4)));
+  const Pred n = !p;
+  EXPECT_EQ(n.kind(), PredKind::kNot);
+  EXPECT_TRUE(n.child().equals(p));
+}
+
+}  // namespace

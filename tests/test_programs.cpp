@@ -1,0 +1,73 @@
+// Integration tests over the shipped example programs
+// (examples/programs/*.mp): they parse, survive the offline pipeline, run
+// to completion across world sizes, and — after repair — have only
+// consistent straight cuts. This doubles as an end-to-end test of
+// mp::parse_file.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mp/parser.h"
+#include "mp/printer.h"
+#include "place/place.h"
+#include "sim/engine.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace acfc;
+
+std::string program_path(const std::string& name) {
+  return std::string(ACFC_PROGRAMS_DIR) + "/" + name;
+}
+
+class ExamplePrograms : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExamplePrograms, ParsesAndRoundTrips) {
+  const mp::Program p = mp::parse_file(program_path(GetParam()));
+  EXPECT_GT(p.stmt_count(), 0);
+  const mp::Program q = mp::parse(mp::print(p));
+  EXPECT_EQ(q.stmt_count(), p.stmt_count());
+}
+
+TEST_P(ExamplePrograms, PipelineRepairsAndRunsSafely) {
+  mp::Program program = mp::parse_file(program_path(GetParam()));
+  const auto report = place::repair_placement(program);
+  ASSERT_TRUE(report.success) << GetParam();
+  for (const int nprocs : {2, 4, 5}) {
+    const auto result = sim::simulate(program, nprocs, 3);
+    ASSERT_TRUE(result.trace.completed)
+        << GetParam() << " n=" << nprocs;
+    for (const auto& cut : trace::all_straight_cuts(result.trace))
+      EXPECT_TRUE(trace::analyze_cut(result.trace, cut).consistent)
+          << GetParam() << " n=" << nprocs;
+    EXPECT_EQ(result.stats.control_messages, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExamplePrograms,
+                         ::testing::Values("jacobi_aligned.mp",
+                                           "jacobi_misaligned.mp",
+                                           "stencil_2phase.mp",
+                                           "master_worker.mp",
+                                           "pipeline.mp"));
+
+TEST(ExampleProgramsMisc, MisalignedJacobiIsUnsafeBeforeRepair) {
+  const mp::Program p =
+      mp::parse_file(program_path("jacobi_misaligned.mp"));
+  const auto result = sim::simulate(p, 4, 1);
+  ASSERT_TRUE(result.trace.completed);
+  int bad = 0;
+  for (const auto& cut : trace::all_straight_cuts(result.trace))
+    bad += trace::analyze_cut(result.trace, cut).consistent ? 0 : 1;
+  EXPECT_GT(bad, 0);
+}
+
+TEST(ExampleProgramsMisc, AlignedJacobiNeedsNoRepair) {
+  mp::Program p = mp::parse_file(program_path("jacobi_aligned.mp"));
+  const auto report = place::repair_placement(p);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.moves + report.merges + report.hoists, 0);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Unit tests for the protocol drivers: message accounting against the
+// paper's closed forms, snapshot consistency per protocol, forced
+// checkpoints in CIC, and the uncoordinated domino effect.
+#include <gtest/gtest.h>
+
+#include "mp/parser.h"
+#include "proto/protocols.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace acfc;
+using proto::Protocol;
+using proto::ProtocolOptions;
+using proto::run_protocol;
+
+// A long-running compute+exchange workload without checkpoint statements
+// (timer-driven protocols provide them).
+mp::Program workload(int iters) {
+  return mp::parse(
+      "program work {\n"
+      "  loop " + std::to_string(iters) + " {\n"
+      "    compute 10.0;\n"
+      "    send to (rank + 1) % nprocs tag 1;\n"
+      "    recv from (rank - 1 + nprocs) % nprocs tag 1;\n"
+      "  }\n"
+      "}\n");
+}
+
+sim::SimOptions sim_opts(int nprocs) {
+  sim::SimOptions opts;
+  opts.nprocs = nprocs;
+  return opts;
+}
+
+ProtocolOptions proto_opts(double interval) {
+  ProtocolOptions opts;
+  opts.interval = interval;
+  return opts;
+}
+
+TEST(ProtoNames, AllDistinct) {
+  EXPECT_STREQ(proto::protocol_name(Protocol::kAppDriven), "appl-driven");
+  EXPECT_STREQ(proto::protocol_name(Protocol::kSyncAndStop), "SaS");
+  EXPECT_STREQ(proto::protocol_name(Protocol::kChandyLamport), "C-L");
+  EXPECT_STREQ(proto::protocol_name(Protocol::kCic), "CIC");
+  EXPECT_STREQ(proto::protocol_name(Protocol::kUncoordinated), "uncoord");
+}
+
+TEST(ProtoAppDriven, ZeroControlMessages) {
+  const mp::Program p = mp::parse(R"(
+    program app {
+      loop 5 {
+        checkpoint;
+        compute 10.0;
+        send to (rank + 1) % nprocs tag 1;
+        recv from (rank - 1 + nprocs) % nprocs tag 1;
+      }
+    })");
+  const auto r = run_protocol(p, Protocol::kAppDriven, sim_opts(4));
+  EXPECT_TRUE(r.sim.trace.completed);
+  EXPECT_EQ(r.sim.stats.control_messages, 0);
+  EXPECT_EQ(r.sim.stats.forced_checkpoints, 0);
+  EXPECT_EQ(r.sim.stats.statement_checkpoints, 4 * 5);
+  EXPECT_DOUBLE_EQ(r.sim.stats.paused_time, 0.0);
+}
+
+TEST(ProtoSaS, MessageCountMatchesClosedForm) {
+  for (const int n : {2, 4, 8}) {
+    const mp::Program p = workload(6);
+    const auto r = run_protocol(p, Protocol::kSyncAndStop, sim_opts(n),
+                                proto_opts(25.0));
+    EXPECT_TRUE(r.sim.trace.completed);
+    ASSERT_GE(r.rounds_completed, 1) << "n=" << n;
+    EXPECT_EQ(r.sim.stats.control_messages,
+              r.rounds_completed * proto::expected_control_messages(
+                                       Protocol::kSyncAndStop, n))
+        << "n=" << n;
+    // Every round checkpoints every process.
+    EXPECT_EQ(r.sim.stats.forced_checkpoints, r.rounds_completed * n);
+  }
+}
+
+TEST(ProtoSaS, PausesProcesses) {
+  const auto r = run_protocol(workload(6), Protocol::kSyncAndStop,
+                              sim_opts(4), proto_opts(25.0));
+  EXPECT_GT(r.sim.stats.paused_time, 0.0);
+}
+
+TEST(ProtoSaS, SnapshotsAreConsistent) {
+  const auto r = run_protocol(workload(8), Protocol::kSyncAndStop,
+                              sim_opts(4), proto_opts(30.0));
+  ASSERT_GE(r.rounds_completed, 2);
+  // The k-th forced checkpoint of each process forms the k-th round's
+  // snapshot; each must be a recovery line.
+  const auto& trace = r.sim.trace;
+  for (int round = 0; round < r.rounds_completed; ++round) {
+    trace::Cut cut;
+    cut.member.assign(static_cast<size_t>(trace.nprocs), -1);
+    std::vector<int> seen(static_cast<size_t>(trace.nprocs), 0);
+    for (size_t i = 0; i < trace.checkpoints.size(); ++i) {
+      const auto& c = trace.checkpoints[i];
+      if (seen[static_cast<size_t>(c.proc)]++ == round)
+        cut.member[static_cast<size_t>(c.proc)] = static_cast<int>(i);
+    }
+    bool complete = true;
+    for (const int m : cut.member) complete &= m >= 0;
+    if (!complete) continue;
+    EXPECT_TRUE(trace::analyze_cut(trace, cut).consistent)
+        << "round " << round;
+  }
+}
+
+TEST(ProtoCL, MessageCountMatchesClosedForm) {
+  for (const int n : {2, 4, 6}) {
+    const auto r = run_protocol(workload(6), Protocol::kChandyLamport,
+                                sim_opts(n), proto_opts(25.0));
+    EXPECT_TRUE(r.sim.trace.completed);
+    ASSERT_GE(r.rounds_completed, 1) << "n=" << n;
+    EXPECT_EQ(r.sim.stats.control_messages,
+              r.rounds_completed * proto::expected_control_messages(
+                                       Protocol::kChandyLamport, n))
+        << "n=" << n;
+    EXPECT_EQ(r.sim.stats.forced_checkpoints, r.rounds_completed * n);
+  }
+}
+
+TEST(ProtoCL, NeverPauses) {
+  const auto r = run_protocol(workload(6), Protocol::kChandyLamport,
+                              sim_opts(4), proto_opts(25.0));
+  EXPECT_DOUBLE_EQ(r.sim.stats.paused_time, 0.0);
+}
+
+TEST(ProtoCL, SnapshotsPlusChannelStateAreConsistent) {
+  const auto r = run_protocol(workload(8), Protocol::kChandyLamport,
+                              sim_opts(4), proto_opts(30.0));
+  ASSERT_GE(r.rounds_completed, 1);
+  const auto& trace = r.sim.trace;
+  // Round-k snapshots: analyze the cut; C-L guarantees no orphans (any
+  // in-transit messages were logged as channel state).
+  for (int round = 0; round < r.rounds_completed; ++round) {
+    trace::Cut cut;
+    cut.member.assign(static_cast<size_t>(trace.nprocs), -1);
+    std::vector<int> seen(static_cast<size_t>(trace.nprocs), 0);
+    for (size_t i = 0; i < trace.checkpoints.size(); ++i) {
+      const auto& c = trace.checkpoints[i];
+      if (seen[static_cast<size_t>(c.proc)]++ == round)
+        cut.member[static_cast<size_t>(c.proc)] = static_cast<int>(i);
+    }
+    bool complete = true;
+    for (const int m : cut.member) complete &= m >= 0;
+    if (!complete) continue;
+    const auto a = trace::analyze_cut(trace, cut);
+    EXPECT_TRUE(a.consistent) << "round " << round;
+  }
+}
+
+TEST(ProtoCic, NoControlMessagesButPiggybacks) {
+  const auto r =
+      run_protocol(workload(6), Protocol::kCic, sim_opts(4), proto_opts(25.0));
+  EXPECT_TRUE(r.sim.trace.completed);
+  EXPECT_EQ(r.sim.stats.control_messages, 0);
+  // Piggyback values present on app messages once checkpoints accumulate.
+  bool nonzero_piggyback = false;
+  for (const auto& m : r.sim.trace.messages)
+    if (!m.control && m.piggyback > 0) nonzero_piggyback = true;
+  EXPECT_TRUE(nonzero_piggyback);
+}
+
+TEST(ProtoCic, ForcedCheckpointsKeepIndexCutsConsistent) {
+  // Stagger basic checkpoints across processes to provoke index skew.
+  ProtocolOptions popts = proto_opts(20.0);
+  popts.first_round_at = 5.0;
+  auto sopts = sim_opts(4);
+  sopts.compute_jitter = 0.5;  // desynchronize processes
+  const auto r = run_protocol(workload(8), Protocol::kCic, sopts, popts);
+  EXPECT_TRUE(r.sim.trace.completed);
+  const auto& trace = r.sim.trace;
+  // BCS invariant: the cut formed by each process's k-th checkpoint is
+  // consistent for every k present on all processes.
+  long min_count = 1'000'000;
+  for (int p = 0; p < trace.nprocs; ++p)
+    min_count = std::min(
+        min_count, static_cast<long>(trace.checkpoints_of(p).size()));
+  ASSERT_GE(min_count, 1);
+  for (long k = 0; k < min_count; ++k) {
+    trace::Cut cut;
+    cut.member.assign(static_cast<size_t>(trace.nprocs), -1);
+    std::vector<long> seen(static_cast<size_t>(trace.nprocs), 0);
+    for (size_t i = 0; i < trace.checkpoints.size(); ++i) {
+      const auto& c = trace.checkpoints[i];
+      if (seen[static_cast<size_t>(c.proc)]++ == k)
+        cut.member[static_cast<size_t>(c.proc)] = static_cast<int>(i);
+    }
+    EXPECT_TRUE(trace::analyze_cut(trace, cut).consistent) << "k=" << k;
+  }
+}
+
+TEST(ProtoUncoordinated, ZeroRuntimeOverheadButRollback) {
+  auto sopts = sim_opts(4);
+  sopts.compute_jitter = 0.5;
+  const auto r = run_protocol(workload(10), Protocol::kUncoordinated, sopts,
+                              proto_opts(15.0));
+  EXPECT_TRUE(r.sim.trace.completed);
+  EXPECT_EQ(r.sim.stats.control_messages, 0);
+  EXPECT_DOUBLE_EQ(r.sim.stats.paused_time, 0.0);
+  // Recovery at an arbitrary time typically needs demotion below the
+  // latest checkpoints (rollback propagation) — measure it.
+  const auto& trace = r.sim.trace;
+  int total_rollbacks = 0;
+  for (int i = 1; i <= 10; ++i) {
+    const auto line =
+        trace::max_recovery_line(trace, trace.end_time * i / 10.0);
+    EXPECT_TRUE(line.consistent);
+    for (const int rb : line.rollbacks) total_rollbacks += rb;
+  }
+  // With a communicating workload and staggered checkpoints, some failure
+  // times must force rollback propagation.
+  EXPECT_GT(total_rollbacks, 0);
+}
+
+TEST(ProtoExpectedMessages, ClosedForms) {
+  EXPECT_EQ(proto::expected_control_messages(Protocol::kSyncAndStop, 8),
+            35);
+  EXPECT_EQ(proto::expected_control_messages(Protocol::kChandyLamport, 8),
+            112);
+  EXPECT_EQ(proto::expected_control_messages(Protocol::kAppDriven, 8), 0);
+  EXPECT_EQ(proto::expected_control_messages(Protocol::kUncoordinated, 8),
+            0);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Unit tests for vector clocks.
+#include <gtest/gtest.h>
+
+#include "trace/vclock.h"
+#include "util/error.h"
+
+namespace {
+
+using acfc::trace::VClock;
+
+TEST(VClock, StartsAtZero) {
+  VClock v(3);
+  EXPECT_EQ(v.size(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(v[i], 0u);
+}
+
+TEST(VClock, TickAdvancesOwnComponent) {
+  VClock v(3);
+  v.tick(1);
+  v.tick(1);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 2u);
+}
+
+TEST(VClock, MergeTakesComponentwiseMax) {
+  VClock a(3), b(3);
+  a.tick(0);
+  a.tick(0);
+  b.tick(1);
+  a.merge(b);
+  EXPECT_EQ(a[0], 2u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_EQ(a[2], 0u);
+}
+
+TEST(VClock, HappenedBeforeIsStrict) {
+  VClock a(2), b(2);
+  a.tick(0);
+  b.tick(0);
+  b.tick(1);
+  EXPECT_TRUE(a.happened_before(b));
+  EXPECT_FALSE(b.happened_before(a));
+  EXPECT_FALSE(a.happened_before(a));  // irreflexive
+}
+
+TEST(VClock, ConcurrentDetection) {
+  VClock a(2), b(2);
+  a.tick(0);
+  b.tick(1);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+  EXPECT_FALSE(a.happened_before(b));
+}
+
+TEST(VClock, EqualClocksAreNeitherOrderedNorConcurrent) {
+  VClock a(2), b(2);
+  a.tick(0);
+  b.tick(0);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.happened_before(b));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(VClock, MessageChainCreatesOrder) {
+  // p sends after two local events; q receives and then acts.
+  VClock p(2), q(2);
+  p.tick(0);
+  p.tick(0);
+  const VClock send_vc = p;
+  q.tick(1);
+  q.merge(send_vc);
+  q.tick(1);
+  EXPECT_TRUE(send_vc.happened_before(q));
+}
+
+TEST(VClock, SizeMismatchThrows) {
+  VClock a(2), b(3);
+  EXPECT_THROW(a.merge(b), acfc::util::InternalError);
+  EXPECT_THROW((void)a.happened_before(b), acfc::util::InternalError);
+}
+
+TEST(VClock, StrFormat) {
+  VClock v(2);
+  v.tick(0);
+  EXPECT_EQ(v.str(), "[1 0]");
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Tests for the canonical workload library: every named workload builds,
+// runs deadlock-free across world sizes, and behaves per its contract
+// (aligned safe, misaligned unsafe-then-repairable, butterfly matching).
+#include <gtest/gtest.h>
+
+#include "match/match.h"
+#include "mp/printer.h"
+#include "mp/workloads.h"
+#include "place/place.h"
+#include "sim/engine.h"
+#include "trace/analysis.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace acfc;
+
+class AllWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllWorkloads, BuildsAndRunsAcrossWorldSizes) {
+  mp::WorkloadParams params;
+  params.iterations = 3;
+  params.compute_cost = 1.0;
+  const mp::Program p = mp::workload_by_name(GetParam(), params);
+  EXPECT_GT(p.stmt_count(), 0);
+  for (const int nprocs : {2, 3, 4, 7, 8}) {
+    const auto r = sim::simulate(p, nprocs, 1);
+    EXPECT_TRUE(r.trace.completed)
+        << GetParam() << " deadlocked at n=" << nprocs;
+  }
+}
+
+TEST_P(AllWorkloads, RepairableAndSafeAfterPipeline) {
+  mp::WorkloadParams params;
+  params.iterations = 3;
+  params.compute_cost = 1.0;
+  mp::Program p = mp::workload_by_name(GetParam(), params);
+  const auto report = place::repair_placement(p);
+  ASSERT_TRUE(report.success) << GetParam();
+  for (const int nprocs : {2, 5, 8}) {
+    const auto r = sim::simulate(p, nprocs, 2);
+    ASSERT_TRUE(r.trace.completed) << GetParam();
+    for (const auto& cut : trace::all_straight_cuts(r.trace))
+      EXPECT_TRUE(trace::analyze_cut(r.trace, cut).consistent)
+          << GetParam() << " n=" << nprocs << "\n" << mp::print(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, AllWorkloads,
+                         ::testing::ValuesIn(mp::workload_names()));
+
+TEST(Workloads, AlignedJacobiSafeAsIs) {
+  const mp::Program p = mp::jacobi_aligned();
+  const auto check =
+      place::check_condition1(match::build_extended_cfg(p));
+  EXPECT_EQ(check.hard_count(), 0);
+}
+
+TEST(Workloads, MisalignedJacobiUnsafeAsIs) {
+  const mp::Program p = mp::jacobi_misaligned();
+  const auto check =
+      place::check_condition1(match::build_extended_cfg(p));
+  EXPECT_GE(check.hard_count(), 1);
+  const auto r = sim::simulate(p, 4, 1);
+  ASSERT_TRUE(r.trace.completed);
+  int bad = 0;
+  for (const auto& cut : trace::all_straight_cuts(r.trace))
+    bad += trace::analyze_cut(r.trace, cut).consistent ? 0 : 1;
+  EXPECT_GT(bad, 0);
+}
+
+TEST(Workloads, ButterflyMessageCountsMatchHypercube) {
+  // For n a power of two, every round exchanges n messages (n/2 pairs,
+  // both directions); log2(n) active rounds per iteration.
+  mp::WorkloadParams params;
+  params.iterations = 1;
+  params.checkpoints = false;
+  const mp::Program p = mp::butterfly(params);
+  for (const int n : {2, 4, 8, 16}) {
+    const auto r = sim::simulate(p, n, 1);
+    ASSERT_TRUE(r.trace.completed);
+    int rounds = 0;
+    for (int x = n; x > 1; x /= 2) ++rounds;
+    EXPECT_EQ(r.stats.app_messages, rounds * n) << "n=" << n;
+  }
+}
+
+TEST(Workloads, ButterflyNonPowerOfTwoStillCompletes) {
+  mp::WorkloadParams params;
+  params.iterations = 2;
+  const mp::Program p = mp::butterfly(params);
+  for (const int n : {3, 5, 6, 7, 12}) {
+    const auto r = sim::simulate(p, n, 1);
+    EXPECT_TRUE(r.trace.completed) << "n=" << n;
+  }
+}
+
+TEST(Workloads, ButterflyMatchingFindsPartnerEdges) {
+  mp::WorkloadParams params;
+  params.iterations = 1;
+  params.checkpoints = false;
+  const mp::Program p = mp::butterfly(params);
+  // With the default bounded world sizes (max 16), only rounds whose
+  // partners exist at n ≤ 16 are witnessed: 4 rounds × 2 directions.
+  const match::ExtendedCfg ext_default = match::build_extended_cfg(p);
+  EXPECT_EQ(ext_default.message_edges().size(), 8u);
+  // Covering the deployment scale (n up to 64) witnesses all 6 rounds —
+  // the documented contract: SatOptions::world_sizes must include the
+  // sizes the program will actually run at.
+  match::MatchOptions mopts;
+  mopts.sat.world_sizes = {2, 3, 4, 5, 8, 16, 17, 33, 64};
+  const match::ExtendedCfg ext = match::build_extended_cfg(p, mopts);
+  EXPECT_EQ(ext.message_edges().size(), 12u);
+  // And every simulated message is statically matched (Lemma 3.1).
+  const auto r = sim::simulate(p, 8, 1);
+  for (const auto& m : r.trace.app_messages()) {
+    const auto send = ext.graph().node_for_stmt(m.send_stmt_uid);
+    const auto recv = ext.graph().node_for_stmt(m.recv_stmt_uid);
+    ASSERT_TRUE(send && recv);
+    bool matched = false;
+    for (const auto& e : ext.message_edges())
+      matched |= e.send == *send && e.recv == *recv;
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(mp::workload_by_name("quantum_teleport"),
+               util::ProgramError);
+}
+
+TEST(Workloads, CheckpointKnobRemovesCheckpoints) {
+  mp::WorkloadParams params;
+  params.checkpoints = false;
+  for (const auto& name : mp::workload_names())
+    EXPECT_EQ(mp::checkpoint_count(mp::workload_by_name(name, params)), 0)
+        << name;
+}
+
+TEST(Workloads, ParamsControlShape) {
+  mp::WorkloadParams small, big;
+  small.iterations = 2;
+  big.iterations = 9;
+  EXPECT_LT(mp::ring(small).stmt_count(), 20);
+  const auto rs = sim::simulate(mp::ring(small), 3);
+  const auto rb = sim::simulate(mp::ring(big), 3);
+  EXPECT_LT(rs.stats.app_messages, rb.stats.app_messages);
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// acfc — command-line driver for the application-driven coordination-free
+// checkpointing toolchain. <prog> is a .mp file path or `-w <workload>`
+// naming a canonical workload (see `acfc workloads`).
+//
+//   acfc analyze  <prog>                 run Phases II+III checks, report
+//   acfc place    <prog> [-o out.mp]     repair placement (Algorithm 3.2)
+//   acfc insert   <prog> [-T sec] [-o f] Phase-I checkpoint insertion
+//   acfc run      <prog> [-n N] [--fail P@T ...] [--diagram]
+//   acfc dot      <prog> [-o out.dot]    extended CFG in Graphviz form
+//   acfc faceoff  <prog> [-n N]          run all protocols, print table
+//   acfc model    [-n N] [--wm s]        overhead-ratio model point
+//   acfc workloads                       list canonical workload names
+//
+// Exit code 0 on success; 1 on safety violations (analyze) or failures.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "acfc/acfc.h"
+
+namespace {
+
+using namespace acfc;
+
+int usage() {
+  std::cerr <<
+      "usage:  (<prog> is a .mp file or -w <workload-name>)\n"
+      "  acfc analyze  <prog>\n"
+      "  acfc place    <prog> [-o out.mp] [--strict]\n"
+      "  acfc insert   <prog> [-T seconds] [-o out.mp]\n"
+      "  acfc run      <prog> [-n N] [--seed S] [--fail P@T]... "
+      "[--diagram]\n"
+      "  acfc dot      <prog> [-o out.dot]\n"
+      "  acfc faceoff  <prog> [-n N] [--interval T]\n"
+      "  acfc model    [-n N] [--wm seconds]\n"
+      "  acfc workloads\n";
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> output;
+  std::optional<std::string> workload;
+  int nprocs = 4;
+  std::uint64_t seed = 1;
+  double interval = 300.0;
+  double wm = 2e-3;
+  bool strict = false;
+  bool diagram = false;
+  std::vector<sim::FailureEvent> failures;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "-o") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.output = *v;
+    } else if (arg == "-w" || arg == "--workload") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.workload = *v;
+    } else if (arg == "-n") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.nprocs = std::stoi(*v);
+    } else if (arg == "--seed") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.seed = std::stoull(*v);
+    } else if (arg == "-T" || arg == "--interval") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.interval = std::stod(*v);
+    } else if (arg == "--wm") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.wm = std::stod(*v);
+    } else if (arg == "--strict") {
+      args.strict = true;
+    } else if (arg == "--diagram") {
+      args.diagram = true;
+    } else if (arg == "--fail") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      const auto at = v->find('@');
+      if (at == std::string::npos) return std::nullopt;
+      args.failures.push_back(
+          {std::stoi(v->substr(0, at)), std::stod(v->substr(at + 1))});
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << '\n';
+      return std::nullopt;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+/// A program comes from a positional .mp path or `-w <workload-name>`.
+mp::Program load_program(const Args& args) {
+  if (!args.positional.empty())
+    return mp::parse_file(args.positional.at(0));
+  if (args.workload) return mp::workload_by_name(*args.workload);
+  throw util::ProgramError("no program given (file or -w workload)");
+}
+
+bool has_program(const Args& args) {
+  return args.positional.size() == 1 ||
+         (args.positional.empty() && args.workload.has_value());
+}
+
+void write_or_print(const std::optional<std::string>& path,
+                    const std::string& text) {
+  if (!path) {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(*path);
+  out << text;
+  std::cout << "wrote " << *path << '\n';
+}
+
+int cmd_analyze(const Args& args) {
+  const mp::Program program = load_program(args);
+  if (auto problem = cfg::build_cfg(program).check_balance()) {
+    std::cout << "UNBALANCED: " << *problem << '\n';
+    return 1;
+  }
+  const match::ExtendedCfg ext = match::build_extended_cfg(program);
+  std::cout << "statements:      " << program.stmt_count() << '\n';
+  std::cout << "checkpoints:     " << mp::checkpoint_count(program) << '\n';
+  std::cout << "message edges:   " << ext.message_edges().size() << '\n';
+  const auto check = place::check_condition1(ext);
+  std::cout << "violations:      " << check.violations.size() << " ("
+            << check.hard_count() << " hard)\n";
+  for (const auto& v : check.violations) {
+    std::cout << "  S_" << v.index << ": ckpt#" << v.from_ckpt_id << " ⇝ ckpt#"
+              << v.to_ckpt_id << (v.hard ? "  [HARD]" : "  [loop-carried]")
+              << '\n';
+  }
+  if (check.hard_count() > 0) {
+    std::cout << "verdict: UNSAFE — straight cuts are not recovery lines; "
+                 "run `acfc place`\n";
+    return 1;
+  }
+  std::cout << "verdict: safe (straight cuts are recovery lines"
+            << (check.violations.empty() ? "" : " for aligned instances")
+            << ")\n";
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  mp::Program program = load_program(args);
+  place::RepairOptions ropts;
+  if (args.strict) ropts.policy = place::RepairPolicy::kStrict;
+  const auto report = place::repair_placement(program, ropts);
+  for (const auto& line : report.log) std::cout << "  " << line << '\n';
+  std::cout << "moves=" << report.moves << " merges=" << report.merges
+            << " hoists=" << report.hoists << '\n';
+  if (!report.success) {
+    std::cerr << "placement repair failed\n";
+    return 1;
+  }
+  write_or_print(args.output, mp::print(program));
+  return 0;
+}
+
+int cmd_insert(const Args& args) {
+  mp::Program program = load_program(args);
+  place::InsertOptions iopts;
+  if (args.interval != 300.0) iopts.target_interval = args.interval;
+  const int inserted = place::insert_checkpoints(program, iopts);
+  place::equalize_checkpoints(program);
+  std::cout << "inserted " << inserted << " checkpoints (interval "
+            << place::optimal_interval(iopts) << " s)\n";
+  write_or_print(args.output, mp::print(program));
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const mp::Program program = load_program(args);
+  sim::SimOptions opts;
+  opts.nprocs = args.nprocs;
+  opts.seed = args.seed;
+  opts.failures = args.failures;
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  std::cout << result.trace.summary() << '\n';
+  std::cout << "restarts: " << result.stats.restarts << '\n';
+  int bad = 0, cuts = 0;
+  for (const auto& cut : trace::all_straight_cuts(result.trace)) {
+    ++cuts;
+    bad += trace::analyze_cut(result.trace, cut).consistent ? 0 : 1;
+  }
+  std::cout << "straight cuts: " << cuts << " (" << bad
+            << " inconsistent)\n";
+  if (args.diagram)
+    std::cout << trace::render_spacetime(result.trace);
+  return result.trace.completed && bad == 0 ? 0 : 1;
+}
+
+int cmd_dot(const Args& args) {
+  const mp::Program program = load_program(args);
+  const match::ExtendedCfg ext = match::build_extended_cfg(program);
+  write_or_print(args.output, ext.to_dot(program.name));
+  return 0;
+}
+
+int cmd_faceoff(const Args& args) {
+  const mp::Program plain = load_program(args);
+  sim::SimOptions sopts;
+  sopts.nprocs = args.nprocs;
+  proto::ProtocolOptions popts;
+  popts.interval = args.interval;
+  util::Table table({"protocol", "ckpts", "forced", "ctl msgs",
+                     "paused (s)", "makespan (s)"});
+  for (const auto protocol :
+       {proto::Protocol::kAppDriven, proto::Protocol::kSyncAndStop,
+        proto::Protocol::kChandyLamport, proto::Protocol::kKooToueg,
+        proto::Protocol::kCic,
+        proto::Protocol::kUncoordinated}) {
+    const auto run = proto::run_protocol(plain, protocol, sopts, popts);
+    table.add_row({proto::protocol_name(protocol),
+                   std::to_string(run.sim.stats.statement_checkpoints +
+                                  run.sim.stats.forced_checkpoints),
+                   std::to_string(run.sim.stats.forced_checkpoints),
+                   std::to_string(run.sim.stats.control_messages),
+                   util::format_double(run.sim.stats.paused_time, 4),
+                   util::format_double(run.sim.trace.end_time, 5)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  perf::NetworkParams net;
+  net.w_m = args.wm;
+  util::Table table({"protocol", "lambda(n)", "M (s)", "overhead ratio"});
+  for (const auto protocol :
+       {proto::Protocol::kAppDriven, proto::Protocol::kSyncAndStop,
+        proto::Protocol::kChandyLamport}) {
+    const auto params = perf::params_for(protocol, args.nprocs, net);
+    table.add_row({proto::protocol_name(protocol),
+                   util::format_double(params.lambda, 4),
+                   util::format_double(params.M, 4),
+                   util::format_double(perf::overhead_ratio(params), 6)});
+  }
+  std::cout << "n=" << args.nprocs << "  w_m=" << args.wm << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto args = parse_args(argc, argv);
+  if (!args) return usage();
+
+  try {
+    if (command == "analyze" && has_program(*args))
+      return cmd_analyze(*args);
+    if (command == "place" && has_program(*args))
+      return cmd_place(*args);
+    if (command == "insert" && has_program(*args))
+      return cmd_insert(*args);
+    if (command == "run" && has_program(*args))
+      return cmd_run(*args);
+    if (command == "dot" && has_program(*args))
+      return cmd_dot(*args);
+    if (command == "faceoff" && has_program(*args))
+      return cmd_faceoff(*args);
+    if (command == "model" && args->positional.empty())
+      return cmd_model(*args);
+    if (command == "workloads") {
+      for (const auto& name : mp::workload_names())
+        std::cout << name << '\n';
+      return 0;
+    }
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
