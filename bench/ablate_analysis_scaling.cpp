@@ -6,6 +6,7 @@
 // and full Phase-III repair, as the program grows.
 #include <benchmark/benchmark.h>
 
+#include "attr/attr.h"
 #include "cfg/cfg.h"
 #include "match/match.h"
 #include "mp/generate.h"
@@ -34,6 +35,8 @@ void BM_BuildCfg(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildCfg)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+// Phase II with the memoized satisfiability cache (the default) and with
+// the cache disabled (every query re-runs bounded enumeration).
 void BM_ExtendedCfg(benchmark::State& state) {
   const mp::Program program =
       make_program(static_cast<int>(state.range(0)), false);
@@ -41,9 +44,25 @@ void BM_ExtendedCfg(benchmark::State& state) {
     benchmark::DoNotOptimize(match::build_extended_cfg(program));
   }
   state.counters["stmts"] = program.stmt_count();
+  const auto stats = attr::global_sat_cache().stats();
+  state.counters["sat_hits"] = static_cast<double>(stats.hits);
 }
 BENCHMARK(BM_ExtendedCfg)->Arg(8)->Arg(16)->Arg(32);
 
+void BM_ExtendedCfgUncached(benchmark::State& state) {
+  const mp::Program program =
+      make_program(static_cast<int>(state.range(0)), false);
+  match::MatchOptions opts;
+  opts.sat.use_cache = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::build_extended_cfg(program, opts));
+  }
+  state.counters["stmts"] = program.stmt_count();
+}
+BENCHMARK(BM_ExtendedCfgUncached)->Arg(8)->Arg(16)->Arg(32);
+
+// Condition 1: fast path (per-source reachability) vs legacy (one
+// product-graph BFS per ordered checkpoint pair) — the A3 headline.
 void BM_CheckCondition1(benchmark::State& state) {
   const mp::Program program =
       make_program(static_cast<int>(state.range(0)), true);
@@ -56,6 +75,22 @@ void BM_CheckCondition1(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckCondition1)->Arg(8)->Arg(16)->Arg(32);
 
+void BM_CheckCondition1Legacy(benchmark::State& state) {
+  const mp::Program program =
+      make_program(static_cast<int>(state.range(0)), true);
+  const match::ExtendedCfg ext = match::build_extended_cfg(program);
+  place::CheckOptions opts;
+  opts.legacy_pairwise = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(place::check_condition1(ext, opts));
+  }
+  state.counters["msg_edges"] =
+      static_cast<double>(ext.message_edges().size());
+}
+BENCHMARK(BM_CheckCondition1Legacy)->Arg(8)->Arg(16)->Arg(32);
+
+// Algorithm 3.2: incremental rechecking + witness memo vs the original
+// rebuild-and-recheck-everything fixpoint (uncached, as seeded).
 void BM_RepairPlacement(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -66,7 +101,23 @@ void BM_RepairPlacement(benchmark::State& state) {
     benchmark::DoNotOptimize(report.success);
   }
 }
-BENCHMARK(BM_RepairPlacement)->Arg(8)->Arg(16)->Arg(24);
+BENCHMARK(BM_RepairPlacement)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_RepairPlacementLegacy(benchmark::State& state) {
+  place::RepairOptions opts;
+  opts.incremental = false;
+  opts.check.legacy_pairwise = true;
+  opts.match.sat.use_cache = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mp::Program program =
+        make_program(static_cast<int>(state.range(0)), true);
+    state.ResumeTiming();
+    const auto report = place::repair_placement(program, opts);
+    benchmark::DoNotOptimize(report.success);
+  }
+}
+BENCHMARK(BM_RepairPlacementLegacy)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
 
 void BM_PhaseIInsertion(benchmark::State& state) {
   for (auto _ : state) {

@@ -44,8 +44,8 @@ int main() {
     const match::ExtendedCfg ext = match::build_extended_cfg(program);
     std::cout << "message edges: " << ext.message_edges().size() << '\n';
     for (const auto& e : ext.message_edges()) {
-      std::cout << "  " << ext.graph().node(e.send).label << "  ⇝  "
-                << ext.graph().node(e.recv).label << "   (witness n="
+      std::cout << "  " << ext.graph().node_label(e.send) << "  ⇝  "
+                << ext.graph().node_label(e.recv) << "   (witness n="
                 << e.witness.nprocs << ", " << e.witness.sender << "→"
                 << e.witness.receiver << ")\n";
     }

@@ -60,6 +60,52 @@ PathAttribute attribute_of(const mp::Program& program, int stmt_uid) {
   return acc;
 }
 
+namespace {
+
+void collect_endpoints(const mp::Block& block, PathAttribute& acc,
+                       std::unordered_map<int, PathAttribute>& out) {
+  for (const auto& s : block.stmts) {
+    switch (s->kind()) {
+      case mp::StmtKind::kSend:
+      case mp::StmtKind::kRecv:
+      case mp::StmtKind::kBarrier:
+      case mp::StmtKind::kBcast:
+      case mp::StmtKind::kReduce:
+      case mp::StmtKind::kAllreduce:
+        out.emplace(s->uid(), acc);
+        break;
+      case mp::StmtKind::kIf: {
+        const auto& iff = static_cast<const mp::IfStmt&>(*s);
+        acc.guards.emplace_back(iff.cond, true);
+        collect_endpoints(iff.then_body, acc, out);
+        acc.guards.back().second = false;
+        collect_endpoints(iff.else_body, acc, out);
+        acc.guards.pop_back();
+        break;
+      }
+      case mp::StmtKind::kLoop: {
+        const auto& loop = static_cast<const mp::LoopStmt&>(*s);
+        acc.loops.push_back({loop.var, loop.lo, loop.hi});
+        collect_endpoints(loop.body, acc, out);
+        acc.loops.pop_back();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_map<int, PathAttribute> endpoint_attributes(
+    const mp::Program& program) {
+  PathAttribute acc;
+  std::unordered_map<int, PathAttribute> out;
+  collect_endpoints(program.body, acc, out);
+  return out;
+}
+
 PathAttribute combine_attributes(const PathAttribute& a,
                                  const PathAttribute& b, int salt) {
   PathAttribute out = a;
@@ -255,6 +301,138 @@ std::optional<MatchWitness> find_match(const MatchQuery& query,
     }
   }
   return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Memoization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// canonical_key, appended into a caller-owned buffer (the cache-key hot
+/// path renders many expressions; one buffer, no streams).
+void append_canonical_key(std::string& out, const PathAttribute& attr) {
+  for (const auto& [pred, polarity] : attr.guards) {
+    out += polarity ? 'G' : 'g';
+    pred.append_str(out);
+    out += ';';
+  }
+  for (const auto& loop : attr.loops) {
+    out += 'L';
+    out += loop.var;
+    out += ':';
+    loop.lo.append_str(out);
+    out += ':';
+    loop.hi.append_str(out);
+    out += ';';
+  }
+}
+
+/// Every SatOptions field that can change a verdict goes into the key.
+void append_options_fingerprint(std::string& out, const SatOptions& opts) {
+  out += "|W";
+  for (const int n : opts.world_sizes) {
+    out += std::to_string(n);
+    out += ',';
+  }
+  out += "|V";
+  out += std::to_string(opts.max_loop_values);
+  out += "|S";
+  out += opts.allow_self_messages ? '1' : '0';
+  out += "|B";
+  out += std::to_string(opts.budget);
+}
+
+/// Cap against unbounded growth in long-lived processes; far above any
+/// single analysis run's distinct-query count.
+constexpr size_t kMaxCacheEntries = 1 << 20;
+
+}  // namespace
+
+std::string canonical_key(const PathAttribute& attr) {
+  std::string out;
+  out.reserve(64);
+  append_canonical_key(out, attr);
+  return out;
+}
+
+bool SatCache::satisfiable(const PathAttribute& attr, const SatOptions& opts) {
+  std::string key;
+  key.reserve(96);
+  append_canonical_key(key, attr);
+  append_options_fingerprint(key, opts);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sat_.find(key);
+    if (it != sat_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  const bool verdict = acfc::attr::satisfiable(attr, opts);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (sat_.size() >= kMaxCacheEntries) sat_.clear();
+  sat_.emplace(std::move(key), verdict);
+  return verdict;
+}
+
+std::optional<MatchWitness> SatCache::find_match(const MatchQuery& query,
+                                                const SatOptions& opts) {
+  std::string key;
+  key.reserve(192);
+  append_canonical_key(key, query.sender_attr);
+  key += "|D";
+  query.dest.append_str(key);
+  key += '|';
+  append_canonical_key(key, query.recv_attr);
+  key += "|R";
+  query.src.append_str(key);
+  key += '|';
+  key += query.src_any ? 'A' : 'a';
+  append_options_fingerprint(key, opts);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = match_.find(key);
+    if (it != match_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  const auto verdict = acfc::attr::find_match(query, opts);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (match_.size() >= kMaxCacheEntries) match_.clear();
+  match_.emplace(std::move(key), verdict);
+  return verdict;
+}
+
+SatCache::Stats SatCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SatCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sat_.clear();
+  match_.clear();
+  stats_ = Stats{};
+}
+
+SatCache& global_sat_cache() {
+  static SatCache cache;
+  return cache;
+}
+
+bool satisfiable_cached(const PathAttribute& attr, const SatOptions& opts) {
+  if (!opts.use_cache) return satisfiable(attr, opts);
+  return global_sat_cache().satisfiable(attr, opts);
+}
+
+std::optional<MatchWitness> find_match_cached(const MatchQuery& query,
+                                              const SatOptions& opts) {
+  if (!opts.use_cache) return find_match(query, opts);
+  return global_sat_cache().find_match(query, opts);
 }
 
 }  // namespace acfc::attr

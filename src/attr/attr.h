@@ -15,8 +15,11 @@
 // Lemma 3.1 (the true sender is always among the matches) valid.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mp/expr.h"
@@ -47,6 +50,13 @@ struct PathAttribute {
 /// program structure. Throws util::ProgramError if the uid is absent.
 PathAttribute attribute_of(const mp::Program& program, int stmt_uid);
 
+/// Attributes of every message endpoint (send/recv/collective) statement,
+/// keyed by uid, gathered in ONE program walk — attribute_of restarts its
+/// walk per statement, which is quadratic when a caller (Algorithm 3.1)
+/// needs every endpoint.
+std::unordered_map<int, PathAttribute> endpoint_attributes(
+    const mp::Program& program);
+
 /// Conjoins two attributes describing statements executed by the SAME
 /// process (e.g. both endpoints of a control-flow segment). The second
 /// attribute's loop variables are renamed (suffix "$<salt>...") before
@@ -73,6 +83,11 @@ struct SatOptions {
   /// Safety valve: enumeration budget. On exhaustion the query resolves
   /// conservatively (satisfiable / matching).
   long budget = 4'000'000;
+  /// Consult the process-wide memoization cache (global_sat_cache) in
+  /// satisfiable_cached / find_match_cached. Verdicts are deterministic
+  /// functions of (attribute, options), so caching never changes results —
+  /// only speed. Off reproduces the uncached enumeration exactly.
+  bool use_cache = true;
 };
 
 /// Is there a (world size, rank, loop valuation) under which every guard
@@ -101,5 +116,53 @@ struct MatchWitness {
 /// contradict (no witness in the enumerated space).
 std::optional<MatchWitness> find_match(const MatchQuery& query,
                                        const SatOptions& opts = {});
+
+// -- Memoization -------------------------------------------------------------
+//
+// Both decision procedures are pure functions of (attribute(s), options),
+// and the offline analyzer asks the same questions over and over: Phase II
+// queries every (send, recv) pair, classify_paths_refined re-checks segment
+// co-satisfiability per hop, and Algorithm 3.2 rebuilds the extended CFG
+// after every move without having changed any send/recv attribute. The
+// cache canonicalizes the query to a string key (deterministic expression
+// printing + an options fingerprint) and memoizes the verdict.
+
+/// Deterministic canonical key of an attribute: guards with polarity plus
+/// loop bindings, in order. Two attributes with equal keys are the same
+/// conjunction, so they have the same satisfiability verdict.
+std::string canonical_key(const PathAttribute& attr);
+
+class SatCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Memoized attr::satisfiable.
+  bool satisfiable(const PathAttribute& attr, const SatOptions& opts);
+  /// Memoized attr::find_match.
+  std::optional<MatchWitness> find_match(const MatchQuery& query,
+                                         const SatOptions& opts);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, bool> sat_;
+  std::unordered_map<std::string, std::optional<MatchWitness>> match_;
+  Stats stats_;
+};
+
+/// The process-wide cache shared by build_extended_cfg and
+/// classify_paths_refined (and anything else that opts in).
+SatCache& global_sat_cache();
+
+/// satisfiable / find_match through global_sat_cache() when
+/// opts.use_cache, else the plain uncached enumeration.
+bool satisfiable_cached(const PathAttribute& attr, const SatOptions& opts = {});
+std::optional<MatchWitness> find_match_cached(const MatchQuery& query,
+                                              const SatOptions& opts = {});
 
 }  // namespace acfc::attr

@@ -36,26 +36,79 @@ const char* node_kind_name(NodeKind kind) {
   return "?";
 }
 
-NodeId Cfg::add_node(NodeKind kind, const mp::Stmt* stmt, std::string label) {
+void Cfg::reserve_nodes(int n) {
+  const auto count = static_cast<size_t>(n);
+  nodes_.reserve(count);
+  edge_list_.reserve(2 * count);
+  stmt_node_.reserve(count);
+}
+
+NodeId Cfg::add_node(NodeKind kind, const mp::Stmt* stmt) {
   Node n;
   n.id = static_cast<NodeId>(nodes_.size());
   n.kind = kind;
   n.stmt = stmt;
   n.stmt_uid = stmt != nullptr ? stmt->uid() : -1;
-  n.label = std::move(label);
-  nodes_.push_back(std::move(n));
-  succs_.emplace_back();
-  preds_.emplace_back();
+  nodes_.push_back(n);
+  if (nodes_.back().stmt_uid >= 0)
+    stmt_node_.emplace(nodes_.back().stmt_uid, nodes_.back().id);
   analyzed_ = false;
+  adj_dirty_ = true;
   return nodes_.back().id;
 }
 
 void Cfg::add_edge(NodeId from, NodeId to) {
   ACFC_CHECK(from >= 0 && from < node_count());
   ACFC_CHECK(to >= 0 && to < node_count());
-  succs_[static_cast<size_t>(from)].push_back(to);
-  preds_[static_cast<size_t>(to)].push_back(from);
+  edge_list_.push_back({from, to});
   analyzed_ = false;
+  adj_dirty_ = true;
+}
+
+void Cfg::ensure_adjacency() const {
+  if (!adj_dirty_) return;
+  const auto n = nodes_.size();
+  succ_off_.assign(n + 1, 0);
+  pred_off_.assign(n + 1, 0);
+  for (const Edge& e : edge_list_) {
+    ++succ_off_[static_cast<size_t>(e.from) + 1];
+    ++pred_off_[static_cast<size_t>(e.to) + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    succ_off_[v + 1] += succ_off_[v];
+    pred_off_[v + 1] += pred_off_[v];
+  }
+  succ_dat_.resize(edge_list_.size());
+  pred_dat_.resize(edge_list_.size());
+  // Fill using the offsets as cursors (each bucket keeps edge-insertion
+  // order), then shift the offsets back one slot.
+  for (const Edge& e : edge_list_) {
+    succ_dat_[static_cast<size_t>(succ_off_[static_cast<size_t>(e.from)]++)] =
+        e.to;
+    pred_dat_[static_cast<size_t>(pred_off_[static_cast<size_t>(e.to)]++)] =
+        e.from;
+  }
+  for (size_t v = n; v > 0; --v) {
+    succ_off_[v] = succ_off_[v - 1];
+    pred_off_[v] = pred_off_[v - 1];
+  }
+  succ_off_[0] = 0;
+  pred_off_[0] = 0;
+  adj_dirty_ = false;
+}
+
+std::span<const NodeId> Cfg::succs(NodeId id) const {
+  ensure_adjacency();
+  const auto lo = static_cast<size_t>(succ_off_[static_cast<size_t>(id)]);
+  const auto hi = static_cast<size_t>(succ_off_[static_cast<size_t>(id) + 1]);
+  return {succ_dat_.data() + lo, hi - lo};
+}
+
+std::span<const NodeId> Cfg::preds(NodeId id) const {
+  ensure_adjacency();
+  const auto lo = static_cast<size_t>(pred_off_[static_cast<size_t>(id)]);
+  const auto hi = static_cast<size_t>(pred_off_[static_cast<size_t>(id) + 1]);
+  return {pred_dat_.data() + lo, hi - lo};
 }
 
 std::vector<Node> Cfg::nodes_of_kind(NodeKind kind) const {
@@ -66,14 +119,73 @@ std::vector<Node> Cfg::nodes_of_kind(NodeKind kind) const {
 }
 
 std::optional<NodeId> Cfg::node_for_stmt(int stmt_uid) const {
-  for (const Node& n : nodes_)
-    if (n.stmt_uid == stmt_uid) return n.id;
-  return std::nullopt;
+  const auto it = stmt_node_.find(stmt_uid);
+  if (it == stmt_node_.end()) return std::nullopt;
+  return it->second;
 }
+
+std::string Cfg::node_label(NodeId id) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case NodeKind::kEntry:
+      return "ENTRY";
+    case NodeKind::kExit:
+      return "EXIT";
+    case NodeKind::kJoin:
+      return "join";
+    case NodeKind::kCompute: {
+      const auto& c = static_cast<const mp::ComputeStmt&>(*n.stmt);
+      return c.label.empty() ? "compute" : "compute " + c.label;
+    }
+    case NodeKind::kSend:
+      return "send→" + static_cast<const mp::SendStmt&>(*n.stmt).dest.str();
+    case NodeKind::kRecv: {
+      const auto& c = static_cast<const mp::RecvStmt&>(*n.stmt);
+      return "recv←" + (c.any_source ? std::string("any") : c.src.str());
+    }
+    case NodeKind::kCheckpoint: {
+      const auto& c = static_cast<const mp::CheckpointStmt&>(*n.stmt);
+      return "chkpt#" + std::to_string(c.ckpt_id) +
+             (c.note.empty() ? "" : " " + c.note);
+    }
+    case NodeKind::kCollective:
+      switch (n.stmt->kind()) {
+        case mp::StmtKind::kBarrier:
+          return "barrier";
+        case mp::StmtKind::kBcast:
+          return "bcast root=" +
+                 static_cast<const mp::BcastStmt&>(*n.stmt).root.str();
+        case mp::StmtKind::kReduce:
+          return "reduce root=" +
+                 static_cast<const mp::ReduceStmt&>(*n.stmt).root.str();
+        default:
+          return "allreduce";
+      }
+    case NodeKind::kBranch:
+      return "if " + static_cast<const mp::IfStmt&>(*n.stmt).cond.str();
+    case NodeKind::kLoopHeader: {
+      const auto& c = static_cast<const mp::LoopStmt&>(*n.stmt);
+      return "for " + c.var + " in " + c.lo.str() + ".." + c.hi.str();
+    }
+    case NodeKind::kLoopLatch:
+      return "latch " + static_cast<const mp::LoopStmt&>(*n.stmt).var;
+  }
+  return node_kind_name(n.kind);
+}
+
+namespace {
+
+std::uint64_t pack_edge(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
 
 void Cfg::analyze() {
   ACFC_CHECK_MSG(entry_ != kNoNode && exit_ != kNoNode,
                  "entry/exit must be set before analyze()");
+  ensure_adjacency();
   compute_rpo();
   compute_dominators();
   compute_back_edges();
@@ -92,7 +204,7 @@ void Cfg::compute_rpo() {
   visited[static_cast<size_t>(entry_)] = 1;
   while (!stack.empty()) {
     auto& [id, cursor] = stack.back();
-    const auto& ss = succs_[static_cast<size_t>(id)];
+    const auto ss = succs(id);
     if (cursor < ss.size()) {
       const NodeId next = ss[cursor++];
       if (!visited[static_cast<size_t>(next)]) {
@@ -107,7 +219,7 @@ void Cfg::compute_rpo() {
   for (size_t i = 0; i < n; ++i) {
     if (!visited[i])
       throw util::ProgramError("CFG node unreachable from entry: " +
-                               nodes_[i].label);
+                               node_label(static_cast<NodeId>(i)));
   }
   rpo_.assign(postorder.rbegin(), postorder.rend());
   rpo_pos_.assign(n, -1);
@@ -139,7 +251,7 @@ void Cfg::compute_dominators() {
     for (const NodeId id : rpo_) {
       if (id == entry_) continue;
       NodeId new_idom = kNoNode;
-      for (const NodeId p : preds_[static_cast<size_t>(id)]) {
+      for (const NodeId p : preds(id)) {
         if (idom_[static_cast<size_t>(p)] == kNoNode) continue;
         new_idom = new_idom == kNoNode ? p : intersect(p, new_idom);
       }
@@ -150,31 +262,45 @@ void Cfg::compute_dominators() {
       }
     }
   }
+
+  // Dominator-tree depths: processing in RPO guarantees each idom is
+  // filled first. dominates() uses them to reject non-ancestors in O(1),
+  // which makes back-edge detection O(E) instead of O(V·E) on the long
+  // idom chains of sequential code.
+  dom_depth_.assign(n, 0);
+  for (const NodeId id : rpo_) {
+    if (id == entry_) continue;
+    dom_depth_[static_cast<size_t>(id)] =
+        dom_depth_[static_cast<size_t>(idom_[static_cast<size_t>(id)])] + 1;
+  }
 }
 
 bool Cfg::dominates(NodeId a, NodeId b) const {
   ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  const int target = dom_depth_[static_cast<size_t>(a)];
+  if (target > dom_depth_[static_cast<size_t>(b)]) return false;
   NodeId cur = b;
-  while (true) {
-    if (cur == a) return true;
-    if (cur == entry_) return false;
+  while (dom_depth_[static_cast<size_t>(cur)] > target)
     cur = idom_[static_cast<size_t>(cur)];
-  }
+  return cur == a;
 }
 
 void Cfg::compute_back_edges() {
   back_edges_.clear();
+  back_edge_set_.clear();
   analyzed_ = true;  // dominates() is usable now that idom_ is computed
   for (NodeId from = 0; from < node_count(); ++from) {
-    for (const NodeId to : succs_[static_cast<size_t>(from)]) {
-      if (dominates(to, from)) back_edges_.push_back({from, to});
+    for (const NodeId to : succs(from)) {
+      if (dominates(to, from)) {
+        back_edges_.push_back({from, to});
+        back_edge_set_.insert(pack_edge(from, to));
+      }
     }
   }
 }
 
 bool Cfg::is_back_edge(NodeId from, NodeId to) const {
-  return std::find(back_edges_.begin(), back_edges_.end(), Edge{from, to}) !=
-         back_edges_.end();
+  return back_edge_set_.count(pack_edge(from, to)) > 0;
 }
 
 std::vector<NodeId> Cfg::natural_loop(const Edge& back_edge) const {
@@ -192,7 +318,7 @@ std::vector<NodeId> Cfg::natural_loop(const Edge& back_edge) const {
   while (!work.empty()) {
     const NodeId id = work.back();
     work.pop_back();
-    for (const NodeId p : preds_[static_cast<size_t>(id)]) {
+    for (const NodeId p : preds(id)) {
       if (!in_loop[static_cast<size_t>(p)]) {
         in_loop[static_cast<size_t>(p)] = 1;
         work.push_back(p);
@@ -207,25 +333,35 @@ std::vector<NodeId> Cfg::natural_loop(const Edge& back_edge) const {
 
 namespace {
 
-/// Computes the reflexive-transitive closure as row bitsets.
-std::vector<std::vector<std::uint64_t>> closure(
-    int n, const std::vector<std::vector<NodeId>>& succs,
-    const std::function<bool(NodeId, NodeId)>& skip_edge) {
-  const size_t words = (static_cast<size_t>(n) + 63) / 64;
-  std::vector<std::vector<std::uint64_t>> reach(
-      static_cast<size_t>(n), std::vector<std::uint64_t>(words, 0));
-  for (int i = 0; i < n; ++i)
-    reach[static_cast<size_t>(i)][static_cast<size_t>(i) / 64] |=
-        1ULL << (static_cast<size_t>(i) % 64);
+/// Computes the reflexive-transitive closure as row bitsets. `order` is
+/// the sequence in which rows are relaxed each pass: with reverse
+/// postorder REVERSED (successors before predecessors) a DAG converges in
+/// one pass and back edges only add the handful of extra passes their
+/// loop nesting requires — versus O(diameter) passes for arbitrary order,
+/// which made this the analyzer's single hottest loop.
+template <typename SkipEdge>
+std::vector<std::uint64_t> closure(int n, size_t words,
+                                   const std::vector<int>& succ_off,
+                                   const std::vector<NodeId>& succ_dat,
+                                   const std::vector<NodeId>& order,
+                                   const SkipEdge& skip_edge) {
+  std::vector<std::uint64_t> reach(static_cast<size_t>(n) * words, 0);
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i)
+    reach[i * words + i / 64] |= 1ULL << (i % 64);
   // Iterate to fixpoint: reach[a] |= reach[b] for each edge a->b.
   bool changed = true;
   while (changed) {
     changed = false;
-    for (int a = 0; a < n; ++a) {
-      auto& row = reach[static_cast<size_t>(a)];
-      for (const NodeId b : succs[static_cast<size_t>(a)]) {
+    for (const NodeId a : order) {
+      std::uint64_t* row = reach.data() + static_cast<size_t>(a) * words;
+      const auto lo = static_cast<size_t>(succ_off[static_cast<size_t>(a)]);
+      const auto hi =
+          static_cast<size_t>(succ_off[static_cast<size_t>(a) + 1]);
+      for (size_t ei = lo; ei < hi; ++ei) {
+        const NodeId b = succ_dat[ei];
         if (skip_edge(a, b)) continue;
-        const auto& other = reach[static_cast<size_t>(b)];
+        const std::uint64_t* other =
+            reach.data() + static_cast<size_t>(b) * words;
         for (size_t w = 0; w < words; ++w) {
           const std::uint64_t merged = row[w] | other[w];
           if (merged != row[w]) {
@@ -239,9 +375,10 @@ std::vector<std::vector<std::uint64_t>> closure(
   return reach;
 }
 
-bool test_bit(const std::vector<std::vector<std::uint64_t>>& reach, NodeId a,
+bool test_bit(const std::vector<std::uint64_t>& reach, size_t words, NodeId a,
               NodeId b) {
-  return (reach[static_cast<size_t>(a)][static_cast<size_t>(b) / 64] >>
+  return (reach[static_cast<size_t>(a) * words +
+                static_cast<size_t>(b) / 64] >>
           (static_cast<size_t>(b) % 64)) &
          1ULL;
 }
@@ -249,21 +386,36 @@ bool test_bit(const std::vector<std::vector<std::uint64_t>>& reach, NodeId a,
 }  // namespace
 
 void Cfg::compute_reachability() {
-  reach_full_ = closure(node_count(), succs_,
-                        [](NodeId, NodeId) { return false; });
-  reach_acyclic_ = closure(node_count(), succs_, [this](NodeId a, NodeId b) {
-    return is_back_edge(a, b);
-  });
+  std::vector<NodeId> order(rpo_.rbegin(), rpo_.rend());
+  reach_words_ = (static_cast<size_t>(node_count()) + 63) / 64;
+  ensure_adjacency();
+  reach_full_ = closure(node_count(), reach_words_, succ_off_, succ_dat_,
+                        order, [](NodeId, NodeId) { return false; });
+  reach_acyclic_ =
+      closure(node_count(), reach_words_, succ_off_, succ_dat_, order,
+              [this](NodeId a, NodeId b) { return is_back_edge(a, b); });
 }
 
 bool Cfg::reaches(NodeId from, NodeId to) const {
   ACFC_CHECK_MSG(analyzed_, "call analyze() first");
-  return test_bit(reach_full_, from, to);
+  return test_bit(reach_full_, reach_words_, from, to);
 }
 
 bool Cfg::reaches_acyclic(NodeId from, NodeId to) const {
   ACFC_CHECK_MSG(analyzed_, "call analyze() first");
-  return test_bit(reach_acyclic_, from, to);
+  return test_bit(reach_acyclic_, reach_words_, from, to);
+}
+
+std::span<const std::uint64_t> Cfg::reach_row(NodeId from) const {
+  ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  return {reach_full_.data() + static_cast<size_t>(from) * reach_words_,
+          reach_words_};
+}
+
+std::span<const std::uint64_t> Cfg::reach_acyclic_row(NodeId from) const {
+  ACFC_CHECK_MSG(analyzed_, "call analyze() first");
+  return {reach_acyclic_.data() + static_cast<size_t>(from) * reach_words_,
+          reach_words_};
 }
 
 namespace {
@@ -284,14 +436,14 @@ std::optional<std::string> Cfg::check_balance() const {
     if (in == kUnset) continue;  // only reachable via back edges — impossible
     const int out =
         in + (node(id).kind == NodeKind::kCheckpoint ? 1 : 0);
-    for (const NodeId s : succs_[static_cast<size_t>(id)]) {
+    for (const NodeId s : succs(id)) {
       if (is_back_edge(id, s)) continue;
       int& slot = in_count[static_cast<size_t>(s)];
       if (slot == kUnset) {
         slot = out;
       } else if (slot != out) {
         std::ostringstream os;
-        os << "unbalanced checkpoint counts at CFG node '" << node(s).label
+        os << "unbalanced checkpoint counts at CFG node '" << node_label(s)
            << "' (" << node_kind_name(node(s).kind) << "): paths carry "
            << slot << " and " << out
            << " checkpoints — Phase I must equalize before analysis";
@@ -320,7 +472,7 @@ CheckpointIndexing Cfg::index_checkpoints() const {
       out.collections[static_cast<size_t>(index - 1)].push_back(id);
     }
     const int next = in + (is_ckpt ? 1 : 0);
-    for (const NodeId s : succs_[static_cast<size_t>(id)]) {
+    for (const NodeId s : succs(id)) {
       if (is_back_edge(id, s)) continue;
       in_count[static_cast<size_t>(s)] = next;
     }
@@ -357,11 +509,10 @@ std::string Cfg::to_dot(const std::string& title,
         shape = "shape=box";
         break;
     }
-    dot.add_node("n" + std::to_string(n.id),
-                 n.label.empty() ? node_kind_name(n.kind) : n.label, shape);
+    dot.add_node("n" + std::to_string(n.id), node_label(n.id), shape);
   }
   for (NodeId from = 0; from < node_count(); ++from) {
-    for (const NodeId to : succs_[static_cast<size_t>(from)]) {
+    for (const NodeId to : succs(from)) {
       const bool back = analyzed_ && is_back_edge(from, to);
       dot.add_edge("n" + std::to_string(from), "n" + std::to_string(to),
                    back ? "style=bold, color=blue, label=\"back\"" : "");
@@ -379,10 +530,11 @@ namespace {
 class Builder {
  public:
   Cfg run(const mp::Program& program) {
-    const NodeId entry = cfg_.add_node(NodeKind::kEntry, nullptr, "ENTRY");
+    cfg_.reserve_nodes(2 * program.stmt_count() + 2);
+    const NodeId entry = cfg_.add_node(NodeKind::kEntry, nullptr);
     cfg_.set_entry(entry);
     NodeId tail = build_block(program.body, entry);
-    const NodeId exit = cfg_.add_node(NodeKind::kExit, nullptr, "EXIT");
+    const NodeId exit = cfg_.add_node(NodeKind::kExit, nullptr);
     cfg_.set_exit(exit);
     cfg_.add_edge(tail, exit);
     cfg_.analyze();
@@ -400,73 +552,27 @@ class Builder {
   NodeId build_stmt(const mp::Stmt& stmt, NodeId pred) {
     using mp::StmtKind;
     switch (stmt.kind()) {
-      case StmtKind::kCompute: {
-        const auto& c = static_cast<const mp::ComputeStmt&>(stmt);
-        const NodeId id = cfg_.add_node(
-            NodeKind::kCompute, &stmt,
-            c.label.empty() ? "compute" : "compute " + c.label);
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kSend: {
-        const auto& c = static_cast<const mp::SendStmt&>(stmt);
-        const NodeId id = cfg_.add_node(NodeKind::kSend, &stmt,
-                                        "send→" + c.dest.str());
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kRecv: {
-        const auto& c = static_cast<const mp::RecvStmt&>(stmt);
-        const NodeId id = cfg_.add_node(
-            NodeKind::kRecv, &stmt,
-            "recv←" + (c.any_source ? std::string("any") : c.src.str()));
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kCheckpoint: {
-        const auto& c = static_cast<const mp::CheckpointStmt&>(stmt);
-        const NodeId id = cfg_.add_node(
-            NodeKind::kCheckpoint, &stmt,
-            "chkpt#" + std::to_string(c.ckpt_id) +
-                (c.note.empty() ? "" : " " + c.note));
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kBarrier: {
-        const NodeId id =
-            cfg_.add_node(NodeKind::kCollective, &stmt, "barrier");
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kBcast: {
-        const auto& c = static_cast<const mp::BcastStmt&>(stmt);
-        const NodeId id = cfg_.add_node(NodeKind::kCollective, &stmt,
-                                        "bcast root=" + c.root.str());
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kReduce: {
-        const auto& c = static_cast<const mp::ReduceStmt&>(stmt);
-        const NodeId id = cfg_.add_node(NodeKind::kCollective, &stmt,
-                                        "reduce root=" + c.root.str());
-        cfg_.add_edge(pred, id);
-        return id;
-      }
-      case StmtKind::kAllreduce: {
-        const NodeId id =
-            cfg_.add_node(NodeKind::kCollective, &stmt, "allreduce");
-        cfg_.add_edge(pred, id);
-        return id;
-      }
+      case StmtKind::kCompute:
+        return chain(NodeKind::kCompute, stmt, pred);
+      case StmtKind::kSend:
+        return chain(NodeKind::kSend, stmt, pred);
+      case StmtKind::kRecv:
+        return chain(NodeKind::kRecv, stmt, pred);
+      case StmtKind::kCheckpoint:
+        return chain(NodeKind::kCheckpoint, stmt, pred);
+      case StmtKind::kBarrier:
+      case StmtKind::kBcast:
+      case StmtKind::kReduce:
+      case StmtKind::kAllreduce:
+        return chain(NodeKind::kCollective, stmt, pred);
       case StmtKind::kIf: {
         const auto& c = static_cast<const mp::IfStmt&>(stmt);
-        const NodeId branch = cfg_.add_node(NodeKind::kBranch, &stmt,
-                                            "if " + c.cond.str());
+        const NodeId branch = cfg_.add_node(NodeKind::kBranch, &stmt);
         cfg_.add_edge(pred, branch);
         const NodeId then_tail = build_block(c.then_body, branch);
         // Build else arm chained from the branch even if empty — an empty
         // else contributes the fall-through edge directly.
-        const NodeId join = cfg_.add_node(NodeKind::kJoin, nullptr, "join");
+        const NodeId join = cfg_.add_node(NodeKind::kJoin, nullptr);
         cfg_.add_edge(then_tail, join);
         if (c.else_body.empty()) {
           cfg_.add_edge(branch, join);
@@ -478,19 +584,22 @@ class Builder {
       }
       case StmtKind::kLoop: {
         const auto& c = static_cast<const mp::LoopStmt&>(stmt);
-        const NodeId header = cfg_.add_node(
-            NodeKind::kLoopHeader, &stmt,
-            "for " + c.var + " in " + c.lo.str() + ".." + c.hi.str());
+        const NodeId header = cfg_.add_node(NodeKind::kLoopHeader, &stmt);
         cfg_.add_edge(pred, header);
         const NodeId body_tail = build_block(c.body, header);
-        const NodeId latch =
-            cfg_.add_node(NodeKind::kLoopLatch, &stmt, "latch " + c.var);
+        const NodeId latch = cfg_.add_node(NodeKind::kLoopLatch, &stmt);
         cfg_.add_edge(body_tail, latch);
         cfg_.add_edge(latch, header);  // back edge (successor 0)
         return latch;                  // continuation edge added by caller
       }
     }
     ACFC_CHECK_MSG(false, "unreachable statement kind");
+  }
+
+  NodeId chain(NodeKind kind, const mp::Stmt& stmt, NodeId pred) {
+    const NodeId id = cfg_.add_node(kind, &stmt);
+    cfg_.add_edge(pred, id);
+    return id;
   }
 
   Cfg cfg_;

@@ -19,9 +19,14 @@
 // reachability, and checkpoint enumeration into straight collections S_i.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mp/stmt.h"
@@ -56,7 +61,6 @@ struct Node {
   /// uid of the originating statement (kept separately so a Cfg remains
   /// diagnosable after the Program is gone); -1 if none.
   int stmt_uid = -1;
-  std::string label;
 };
 
 struct Edge {
@@ -79,7 +83,10 @@ struct CheckpointIndexing {
 class Cfg {
  public:
   // -- Construction --------------------------------------------------------
-  NodeId add_node(NodeKind kind, const mp::Stmt* stmt, std::string label);
+  NodeId add_node(NodeKind kind, const mp::Stmt* stmt);
+  /// Pre-sizes the node tables (builders know the statement count; joins
+  /// and latches at most double it).
+  void reserve_nodes(int n);
   void add_edge(NodeId from, NodeId to);
   void set_entry(NodeId id) { entry_ = id; }
   void set_exit(NodeId id) { exit_ = id; }
@@ -94,15 +101,17 @@ class Cfg {
   const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
   NodeId entry() const { return entry_; }
   NodeId exit() const { return exit_; }
-  const std::vector<NodeId>& succs(NodeId id) const {
-    return succs_.at(static_cast<size_t>(id));
-  }
-  const std::vector<NodeId>& preds(NodeId id) const {
-    return preds_.at(static_cast<size_t>(id));
-  }
+  std::span<const NodeId> succs(NodeId id) const;
+  std::span<const NodeId> preds(NodeId id) const;
   std::vector<Node> nodes_of_kind(NodeKind kind) const;
   /// The node generated for the statement with this uid, if any.
   std::optional<NodeId> node_for_stmt(int stmt_uid) const;
+  /// Human-readable node description ("send→i+1", "chkpt#3", …), generated
+  /// on demand from the originating statement — labels are only needed for
+  /// DOT output and diagnostics, so the hot build path never formats them.
+  /// Requires the source Program to still be alive (node_label and to_dot
+  /// dereference Node::stmt; everything else needs only ids/kinds/uids).
+  std::string node_label(NodeId id) const;
 
   // -- Analyses (valid after analyze()) --------------------------------------
   const std::vector<NodeId>& rpo() const { return rpo_; }
@@ -117,6 +126,13 @@ class Cfg {
   bool reaches(NodeId from, NodeId to) const;
   /// Reachability using no back edges (reflexive) — the acyclic skeleton.
   bool reaches_acyclic(NodeId from, NodeId to) const;
+  /// Raw reachability bitset rows — reach_words() 64-bit words per row, bit
+  /// `to` of row `from` set iff from reaches to. For batch consumers (the
+  /// Condition-1 hop-closure index) that would otherwise pay a function
+  /// call per pair.
+  std::size_t reach_words() const { return reach_words_; }
+  std::span<const std::uint64_t> reach_row(NodeId from) const;
+  std::span<const std::uint64_t> reach_acyclic_row(NodeId from) const;
 
   /// Enumerates checkpoints into straight collections. Throws
   /// util::ProgramError (with node labels) if two acyclic paths into the
@@ -137,9 +153,19 @@ class Cfg {
   void compute_back_edges();
   void compute_reachability();
 
+  /// Rebuilds the CSR adjacency from edge_list_ if edges/nodes changed
+  /// since the last build. Called by succs()/preds()/analyze().
+  void ensure_adjacency() const;
+
   std::vector<Node> nodes_;
-  std::vector<std::vector<NodeId>> succs_;
-  std::vector<std::vector<NodeId>> preds_;
+  // Adjacency as one flat edge list plus lazily-built CSR views (offsets +
+  // packed neighbor arrays, insertion order preserved per node). A fresh
+  // Cfg costs O(1) allocations for edges instead of two small vectors per
+  // node — the builder is on the Phase-III repair loop's critical path.
+  std::vector<Edge> edge_list_;
+  mutable bool adj_dirty_ = true;
+  mutable std::vector<int> succ_off_, pred_off_;
+  mutable std::vector<NodeId> succ_dat_, pred_dat_;
   NodeId entry_ = kNoNode;
   NodeId exit_ = kNoNode;
 
@@ -147,10 +173,19 @@ class Cfg {
   std::vector<NodeId> rpo_;
   std::vector<int> rpo_pos_;
   std::vector<NodeId> idom_;
+  /// Depth of each node in the dominator tree (entry = 0).
+  std::vector<int> dom_depth_;
   std::vector<Edge> back_edges_;
-  // Bitset reachability matrices, row-major words.
-  std::vector<std::vector<std::uint64_t>> reach_full_;
-  std::vector<std::vector<std::uint64_t>> reach_acyclic_;
+  /// Packed (from << 32 | to) back edges for O(1) membership tests; the
+  /// is_back_edge query sits in every BFS inner loop of the analyzer.
+  std::unordered_set<std::uint64_t> back_edge_set_;
+  /// stmt_uid → node, filled by add_node (uids ≥ 0 only).
+  std::unordered_map<int, NodeId> stmt_node_;
+  // Bitset reachability matrices: one flat buffer per variant, row-major,
+  // reach_words_ words per row (single allocation, cache-friendly rows).
+  std::size_t reach_words_ = 0;
+  std::vector<std::uint64_t> reach_full_;
+  std::vector<std::uint64_t> reach_acyclic_;
 };
 
 /// Builds the CFG of a program (which must be renumbered). Collectives are

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
+#include <unordered_map>
 
 #include "util/error.h"
 
@@ -11,20 +13,41 @@ ExtendedCfg::ExtendedCfg(const mp::Program* program, cfg::Cfg graph,
                          std::vector<MessageEdge> edges)
     : program_(program), graph_(std::move(graph)), edges_(std::move(edges)) {
   ACFC_CHECK(program_ != nullptr);
+  // CSR adjacency, built once: stable sort keeps match order within a node.
+  const auto n = static_cast<size_t>(graph_.node_count());
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const MessageEdge& a, const MessageEdge& b) {
+                     return a.send < b.send;
+                   });
+  in_edges_ = edges_;
+  std::stable_sort(in_edges_.begin(), in_edges_.end(),
+                   [](const MessageEdge& a, const MessageEdge& b) {
+                     return a.recv < b.recv;
+                   });
+  out_offset_.assign(n + 1, 0);
+  in_offset_.assign(n + 1, 0);
+  for (const MessageEdge& e : edges_)
+    ++out_offset_[static_cast<size_t>(e.send) + 1];
+  for (const MessageEdge& e : in_edges_)
+    ++in_offset_[static_cast<size_t>(e.recv) + 1];
+  for (size_t v = 0; v < n; ++v) {
+    out_offset_[v + 1] += out_offset_[v];
+    in_offset_[v + 1] += in_offset_[v];
+  }
 }
 
-std::vector<MessageEdge> ExtendedCfg::edges_from(cfg::NodeId send) const {
-  std::vector<MessageEdge> out;
-  for (const auto& e : edges_)
-    if (e.send == send) out.push_back(e);
-  return out;
+std::span<const MessageEdge> ExtendedCfg::edges_from(cfg::NodeId send) const {
+  const auto lo = static_cast<size_t>(out_offset_[static_cast<size_t>(send)]);
+  const auto hi =
+      static_cast<size_t>(out_offset_[static_cast<size_t>(send) + 1]);
+  return {edges_.data() + lo, hi - lo};
 }
 
-std::vector<MessageEdge> ExtendedCfg::edges_to(cfg::NodeId recv) const {
-  std::vector<MessageEdge> out;
-  for (const auto& e : edges_)
-    if (e.recv == recv) out.push_back(e);
-  return out;
+std::span<const MessageEdge> ExtendedCfg::edges_to(cfg::NodeId recv) const {
+  const auto lo = static_cast<size_t>(in_offset_[static_cast<size_t>(recv)]);
+  const auto hi =
+      static_cast<size_t>(in_offset_[static_cast<size_t>(recv) + 1]);
+  return {in_edges_.data() + lo, hi - lo};
 }
 
 PathClass ExtendedCfg::classify_paths(cfg::NodeId from, cfg::NodeId to) const {
@@ -61,8 +84,44 @@ PathClass ExtendedCfg::classify_paths(cfg::NodeId from, cfg::NodeId to) const {
     }
     for (const cfg::NodeId s : graph_.succs(id))
       push(s, msg, back || graph_.is_back_edge(id, s));
-    for (const auto& e : edges_)
-      if (e.send == id) push(e.recv, true, back);
+    for (const auto& e : edges_from(id)) push(e.recv, true, back);
+  }
+  return out;
+}
+
+std::vector<PathClass> ExtendedCfg::classify_all_from(cfg::NodeId from) const {
+  // Same product-graph transition relation as classify_paths, but the
+  // reachable set of ONE traversal answers every target: t has a message
+  // path iff state (t, msg=1, *) is reached, and a back-edge-free one iff
+  // (t, msg=1, back=0) is. No early exit — we want all targets.
+  const auto n = static_cast<size_t>(graph_.node_count());
+  auto state_index = [](cfg::NodeId id, bool msg, bool back) {
+    return (static_cast<size_t>(id) << 2) | (static_cast<size_t>(msg) << 1) |
+           static_cast<size_t>(back);
+  };
+  std::vector<char> seen(n << 2, 0);
+  std::vector<std::tuple<cfg::NodeId, bool, bool>> queue;
+  queue.reserve(n);
+
+  auto push = [&](cfg::NodeId id, bool msg, bool back) {
+    const size_t idx = state_index(id, msg, back);
+    if (seen[idx]) return;
+    seen[idx] = 1;
+    queue.emplace_back(id, msg, back);
+  };
+
+  push(from, false, false);
+  std::vector<PathClass> out(n);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const auto [id, msg, back] = queue[head];
+    if (msg) {
+      out[static_cast<size_t>(id)].has_message_path = true;
+      if (!back)
+        out[static_cast<size_t>(id)].message_path_without_back_edge = true;
+    }
+    for (const cfg::NodeId s : graph_.succs(id))
+      push(s, msg, back || graph_.is_back_edge(id, s));
+    for (const auto& e : edges_from(id)) push(e.recv, true, back);
   }
   return out;
 }
@@ -84,8 +143,8 @@ bool co_satisfiable(const ExtendedCfg& ext, cfg::NodeId a, cfg::NodeId b,
   const auto attr_a = node_attr(ext, a);
   const auto attr_b = node_attr(ext, b);
   if (!attr_a || !attr_b) return true;  // conservative
-  return attr::satisfiable(attr::combine_attributes(*attr_a, *attr_b, 1),
-                           sat);
+  return attr::satisfiable_cached(
+      attr::combine_attributes(*attr_a, *attr_b, 1), sat);
 }
 
 /// Can the hop (from-side constraints + message edge) actually fire?
@@ -108,7 +167,7 @@ bool hop_matches(const ExtendedCfg& ext, cfg::NodeId from,
   const auto* recv_stmt = static_cast<const mp::RecvStmt*>(recv_node.stmt);
   query.src = recv_stmt->src;
   query.src_any = recv_stmt->any_source;
-  return attr::find_match(query, sat).has_value();
+  return attr::find_match_cached(query, sat).has_value();
 }
 
 /// Is there a feasible decomposition from → (hop)+ → to? `acyclic_only`
@@ -138,9 +197,9 @@ bool feasible_path(const ExtendedCfg& ext, cfg::NodeId from, cfg::NodeId to,
 
 }  // namespace
 
-PathClass ExtendedCfg::classify_paths_refined(
-    cfg::NodeId from, cfg::NodeId to, const RefineOptions& opts) const {
-  const PathClass coarse = classify_paths(from, to);
+PathClass ExtendedCfg::refine_classification(cfg::NodeId from, cfg::NodeId to,
+                                             const PathClass& coarse,
+                                             const RefineOptions& opts) const {
   if (!coarse.has_message_path) return coarse;
   PathClass refined;
   refined.has_message_path =
@@ -151,6 +210,11 @@ PathClass ExtendedCfg::classify_paths_refined(
       feasible_path(*this, from, to, /*acyclic_only=*/true, opts.max_hops,
                     opts);
   return refined;
+}
+
+PathClass ExtendedCfg::classify_paths_refined(
+    cfg::NodeId from, cfg::NodeId to, const RefineOptions& opts) const {
+  return refine_classification(from, to, classify_paths(from, to), opts);
 }
 
 std::string ExtendedCfg::to_dot(const std::string& title) const {
@@ -165,7 +229,9 @@ namespace {
 struct Endpoint {
   cfg::NodeId node = cfg::kNoNode;
   const mp::Stmt* stmt = nullptr;
-  attr::PathAttribute attribute;
+  /// Borrowed from the MatchMemo (stable map nodes) or the build's local
+  /// arena — endpoints never own or copy attributes.
+  const attr::PathAttribute* attribute = nullptr;
   int tag = 0;
 };
 
@@ -174,8 +240,43 @@ bool endpoint_irregular(const mp::Expr& param) { return param.has_irregular(); }
 }  // namespace
 
 ExtendedCfg build_extended_cfg(const mp::Program& program,
-                               const MatchOptions& opts) {
+                               const MatchOptions& opts, MatchMemo* memo) {
   cfg::Cfg graph = cfg::build_cfg(program);
+
+  // One witness query, served from the cross-rebuild memo when available.
+  // `make_query` is only invoked on a memo miss, so warm rebuilds never
+  // deep-copy path attributes into MatchQuery objects.
+  const auto query_witness = [&](const mp::Stmt* send_key,
+                                 const mp::Stmt* recv_key,
+                                 const auto& make_query) {
+    if (memo != nullptr) {
+      if (const auto* cached = memo->lookup(send_key, recv_key))
+        return *cached;
+    }
+    auto witness = attr::find_match_cached(make_query(), opts.sat);
+    if (memo != nullptr) memo->store(send_key, recv_key, witness);
+    return witness;
+  };
+
+  // Endpoint path attributes, likewise memo-served across repair rebuilds.
+  // On the first miss ALL endpoint attributes are gathered in one program
+  // walk (attribute_of restarts per statement — quadratic); they live in
+  // the memo or, without one, in this build's arena, so callers always get
+  // stable pointers and warm rebuilds never copy an attribute.
+  std::optional<std::unordered_map<int, attr::PathAttribute>> all_attrs;
+  const auto query_attribute =
+      [&](const mp::Stmt* stmt, int uid) -> const attr::PathAttribute* {
+    if (memo != nullptr) {
+      if (const auto* cached = memo->lookup_attr(stmt)) return cached;
+    }
+    if (!all_attrs) all_attrs = attr::endpoint_attributes(program);
+    auto& attribute = all_attrs->at(uid);
+    if (memo != nullptr) {
+      memo->store_attr(stmt, std::move(attribute));
+      return memo->lookup_attr(stmt);
+    }
+    return &attribute;
+  };
 
   // Collect send and recv endpoints in RPO (the DFS scan of Algorithm 3.1).
   std::vector<Endpoint> sends, recvs;
@@ -187,7 +288,7 @@ ExtendedCfg build_extended_cfg(const mp::Program& program,
         Endpoint e;
         e.node = id;
         e.stmt = n.stmt;
-        e.attribute = attr::attribute_of(program, n.stmt_uid);
+        e.attribute = query_attribute(n.stmt, n.stmt_uid);
         e.tag = static_cast<const mp::SendStmt*>(n.stmt)->tag;
         sends.push_back(std::move(e));
         break;
@@ -196,7 +297,7 @@ ExtendedCfg build_extended_cfg(const mp::Program& program,
         Endpoint e;
         e.node = id;
         e.stmt = n.stmt;
-        e.attribute = attr::attribute_of(program, n.stmt_uid);
+        e.attribute = query_attribute(n.stmt, n.stmt_uid);
         e.tag = static_cast<const mp::RecvStmt*>(n.stmt)->tag;
         recvs.push_back(std::move(e));
         break;
@@ -230,13 +331,15 @@ ExtendedCfg build_extended_cfg(const mp::Program& program,
         continue;
       }
 
-      attr::MatchQuery query;
-      query.sender_attr = s.attribute;
-      query.dest = send_stmt->dest;
-      query.recv_attr = r.attribute;
-      query.src = recv_stmt->src;
-      query.src_any = recv_stmt->any_source;
-      const auto witness = attr::find_match(query, opts.sat);
+      const auto witness = query_witness(s.stmt, r.stmt, [&] {
+        attr::MatchQuery query;
+        query.sender_attr = *s.attribute;
+        query.dest = send_stmt->dest;
+        query.recv_attr = *r.attribute;
+        query.src = recv_stmt->src;
+        query.src_any = recv_stmt->any_source;
+        return query;
+      });
       if (!witness) continue;
 
       edges.push_back({s.node, r.node, *witness});
@@ -260,12 +363,14 @@ ExtendedCfg build_extended_cfg(const mp::Program& program,
       const cfg::Node& a = graph.node(collectives[i]);
       const cfg::Node& b = graph.node(collectives[j]);
       if (a.stmt->kind() != b.stmt->kind()) continue;
-      attr::MatchQuery query;
-      query.sender_attr = attr::attribute_of(program, a.stmt_uid);
-      query.recv_attr = attr::attribute_of(program, b.stmt_uid);
-      query.dest = mp::Expr::irregular(-1);  // wildcard: co-satisfiability
-      query.src_any = true;
-      const auto witness = attr::find_match(query, opts.sat);
+      const auto witness = query_witness(a.stmt, b.stmt, [&] {
+        attr::MatchQuery query;
+        query.sender_attr = *query_attribute(a.stmt, a.stmt_uid);
+        query.recv_attr = *query_attribute(b.stmt, b.stmt_uid);
+        query.dest = mp::Expr::irregular(-1);  // wildcard: co-satisfiability
+        query.src_any = true;
+        return query;
+      });
       if (!witness) continue;
       edges.push_back({collectives[i], collectives[j], *witness});
       edges.push_back({collectives[j], collectives[i],

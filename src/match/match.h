@@ -24,8 +24,12 @@
 // statements); the Program must outlive it and must not be mutated.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "attr/attr.h"
@@ -63,20 +67,32 @@ struct PathClass {
 
 class ExtendedCfg {
  public:
+  /// The constructor indexes `edges` into CSR-style adjacency: edges are
+  /// stably sorted by send node (so edges_from is a contiguous slice of
+  /// message_edges()), and a recv-sorted shadow copy backs edges_to. Built
+  /// once; every later per-node query is O(degree).
   ExtendedCfg(const mp::Program* program, cfg::Cfg graph,
               std::vector<MessageEdge> edges);
 
   const cfg::Cfg& graph() const { return graph_; }
   const mp::Program& program() const { return *program_; }
+  /// All message edges, sorted by send node (stable w.r.t. match order).
   const std::vector<MessageEdge>& message_edges() const { return edges_; }
 
-  /// Message edges leaving / entering a node.
-  std::vector<MessageEdge> edges_from(cfg::NodeId send) const;
-  std::vector<MessageEdge> edges_to(cfg::NodeId recv) const;
+  /// Message edges leaving / entering a node: O(degree) views over the
+  /// adjacency index, valid while the ExtendedCfg lives.
+  std::span<const MessageEdge> edges_from(cfg::NodeId send) const;
+  std::span<const MessageEdge> edges_to(cfg::NodeId recv) const;
 
   /// Classifies Ĝ-paths from `from` to `to` (BFS over the product of the
   /// graph with {message-edge-used} × {back-edge-used} flags).
   PathClass classify_paths(cfg::NodeId from, cfg::NodeId to) const;
+
+  /// Single-source form: one product-graph BFS whose reachable set answers
+  /// classify_paths(from, t) for EVERY node t at once (out[t]). This is
+  /// the fast path of Condition-1 checking — |S_i| traversals instead of
+  /// |S_i|² — and is exactly equivalent to per-pair classify_paths.
+  std::vector<PathClass> classify_all_from(cfg::NodeId from) const;
 
   /// Attribute-aware refinement of classify_paths: a graph path is
   /// *feasible* only if every control-flow segment between message-edge
@@ -97,19 +113,81 @@ class ExtendedCfg {
     return classify_paths_refined(from, to, RefineOptions{});
   }
 
+  /// The refinement step alone, applied to an already-computed coarse
+  /// classification (e.g. one slot of classify_all_from). Equivalent to
+  /// classify_paths_refined when `coarse` == classify_paths(from, to).
+  PathClass refine_classification(cfg::NodeId from, cfg::NodeId to,
+                                  const PathClass& coarse,
+                                  const RefineOptions& opts) const;
+
   /// DOT rendering with message edges dashed.
   std::string to_dot(const std::string& title) const;
 
  private:
   const mp::Program* program_;
   cfg::Cfg graph_;
-  std::vector<MessageEdge> edges_;
+  std::vector<MessageEdge> edges_;     ///< sorted by send node
+  std::vector<MessageEdge> in_edges_;  ///< shadow copy sorted by recv node
+  /// CSR offsets: edges_[out_offset_[v] .. out_offset_[v+1]) leave v,
+  /// in_edges_[in_offset_[v] .. in_offset_[v+1]) enter v.
+  std::vector<int> out_offset_;
+  std::vector<int> in_offset_;
+};
+
+/// Cross-rebuild memo of Algorithm 3.1 witness queries, keyed by statement
+/// identity. Sound only while the keyed statements' attributes are stable:
+/// Algorithm 3.2 moves CHECKPOINT statements exclusively, which never
+/// changes the enclosing-guard structure of any send/recv/collective, so
+/// repair_placement can rebuild the extended CFG after each move with pure
+/// memo lookups instead of re-running bounded enumeration.
+class MatchMemo {
+ public:
+  using Key = std::pair<const mp::Stmt*, const mp::Stmt*>;
+
+  const std::optional<attr::MatchWitness>* lookup(const mp::Stmt* send,
+                                                  const mp::Stmt* recv) const {
+    const auto it = map_.find(Key{send, recv});
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  void store(const mp::Stmt* send, const mp::Stmt* recv,
+             std::optional<attr::MatchWitness> witness) {
+    map_.emplace(Key{send, recv}, std::move(witness));
+  }
+  std::size_t size() const { return map_.size(); }
+
+  /// Path attributes of endpoint statements, also invariant across repair
+  /// (moving a checkpoint changes no other statement's enclosing guards or
+  /// loops, and checkpoints themselves are never endpoints).
+  const attr::PathAttribute* lookup_attr(const mp::Stmt* stmt) const {
+    const auto it = attrs_.find(stmt);
+    return it == attrs_.end() ? nullptr : &it->second;
+  }
+  void store_attr(const mp::Stmt* stmt, attr::PathAttribute attribute) {
+    attrs_.emplace(stmt, std::move(attribute));
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      const auto a = reinterpret_cast<std::uintptr_t>(k.first);
+      const auto b = reinterpret_cast<std::uintptr_t>(k.second);
+      // Splittable 64-bit mix of the two pointers.
+      std::uint64_t x = (a ^ (b << 1)) + 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  std::unordered_map<Key, std::optional<attr::MatchWitness>, KeyHash> map_;
+  std::unordered_map<const mp::Stmt*, attr::PathAttribute> attrs_;
 };
 
 /// Runs Algorithm 3.1 on the program's CFG. The program must be renumbered
 /// (builders/parser do this). Collectives may be present (self edges) or
-/// pre-lowered.
+/// pre-lowered. When `memo` is non-null, witness queries are served from /
+/// recorded into it (see MatchMemo for the soundness contract).
 ExtendedCfg build_extended_cfg(const mp::Program& program,
-                               const MatchOptions& opts = {});
+                               const MatchOptions& opts = {},
+                               MatchMemo* memo = nullptr);
 
 }  // namespace acfc::match

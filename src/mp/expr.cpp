@@ -274,28 +274,47 @@ const char* op_token(ExprKind k) {
 }  // namespace
 
 std::string Expr::str() const {
+  std::string out;
+  out.reserve(32);
+  append_str(out);
+  return out;
+}
+
+void Expr::append_str(std::string& out) const {
   switch (node_->kind) {
     case ExprKind::kConst:
-      return std::to_string(node_->value);
+      out += std::to_string(node_->value);
+      return;
     case ExprKind::kRank:
-      return "rank";
+      out += "rank";
+      return;
     case ExprKind::kNProcs:
-      return "nprocs";
+      out += "nprocs";
+      return;
     case ExprKind::kLoopVar:
-      return node_->name;
+      out += node_->name;
+      return;
     case ExprKind::kIrregular:
-      return "irregular(" + std::to_string(node_->irregular_id) + ")";
+      out += "irregular(";
+      out += std::to_string(node_->irregular_id);
+      out += ')';
+      return;
     default: {
       const Expr l(node_->lhs);
       const Expr r(node_->rhs);
       const int my_prec = precedence(node_->kind);
-      std::string ls = l.str();
-      std::string rs = r.str();
-      if (precedence(l.kind()) < my_prec) ls = "(" + ls + ")";
+      const bool lparen = precedence(l.kind()) < my_prec;
       // Right operand needs parens at equal precedence too, since all our
       // binary operators are left-associative and -,/,% are not commutative.
-      if (precedence(r.kind()) <= my_prec) rs = "(" + rs + ")";
-      return ls + op_token(node_->kind) + rs;
+      const bool rparen = precedence(r.kind()) <= my_prec;
+      if (lparen) out += '(';
+      l.append_str(out);
+      if (lparen) out += ')';
+      out += op_token(node_->kind);
+      if (rparen) out += '(';
+      r.append_str(out);
+      if (rparen) out += ')';
+      return;
     }
   }
 }

@@ -105,6 +105,9 @@ class Expr {
   /// Source-form rendering matching the DSL grammar (parenthesized as
   /// needed so that parse(str(e)) == e structurally).
   std::string str() const;
+  /// Appends str() to `out` without intermediate allocations — the hot
+  /// form for cache-key builders that render many expressions.
+  void append_str(std::string& out) const;
 
   /// Deep structural equality.
   bool equals(const Expr& other) const;

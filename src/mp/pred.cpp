@@ -231,24 +231,48 @@ const char* cmp_token(CmpOp op) {
 }  // namespace
 
 std::string Pred::str() const {
+  std::string out;
+  out.reserve(48);
+  append_str(out);
+  return out;
+}
+
+void Pred::append_str(std::string& out) const {
   switch (node_->kind) {
     case PredKind::kTrue:
-      return "true";
+      out += "true";
+      return;
     case PredKind::kIrregular:
-      return "irregular(" + std::to_string(node_->irregular_id) + ")";
+      out += "irregular(";
+      out += std::to_string(node_->irregular_id);
+      out += ')';
+      return;
     case PredKind::kCmp:
-      return node_->e_lhs.str() + cmp_token(node_->op) + node_->e_rhs.str();
-    case PredKind::kNot: {
-      return "!(" + Pred(node_->p_lhs).str() + ")";
-    }
+      node_->e_lhs.append_str(out);
+      out += cmp_token(node_->op);
+      node_->e_rhs.append_str(out);
+      return;
+    case PredKind::kNot:
+      out += "!(";
+      Pred(node_->p_lhs).append_str(out);
+      out += ')';
+      return;
     case PredKind::kAnd:
-      return "(" + Pred(node_->p_lhs).str() + " && " +
-             Pred(node_->p_rhs).str() + ")";
+      out += '(';
+      Pred(node_->p_lhs).append_str(out);
+      out += " && ";
+      Pred(node_->p_rhs).append_str(out);
+      out += ')';
+      return;
     case PredKind::kOr:
-      return "(" + Pred(node_->p_lhs).str() + " || " +
-             Pred(node_->p_rhs).str() + ")";
+      out += '(';
+      Pred(node_->p_lhs).append_str(out);
+      out += " || ";
+      Pred(node_->p_rhs).append_str(out);
+      out += ')';
+      return;
   }
-  return "?";
+  out += '?';
 }
 
 bool Pred::equals(const Pred& other) const {

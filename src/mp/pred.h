@@ -66,6 +66,8 @@ class Pred {
 
   /// DSL source form.
   std::string str() const;
+  /// Appends str() to `out` without intermediate allocations.
+  void append_str(std::string& out) const;
 
   bool equals(const Pred& other) const;
 

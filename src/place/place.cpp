@@ -1,8 +1,14 @@
 #include "place/place.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
 #include <sstream>
+#include <tuple>
 
 #include "mp/subst.h"
 #include "util/error.h"
@@ -253,33 +259,195 @@ int equalize_checkpoints(mp::Program& program) {
 // Phase III
 // ===========================================================================
 
-CheckResult check_condition1(const match::ExtendedCfg& ext,
-                             const CheckOptions& opts) {
-  const cfg::Cfg& graph = ext.graph();
-  const cfg::CheckpointIndexing indexing = graph.index_checkpoints();
-  CheckResult out;
-  for (int i = 1; i <= indexing.max_index(); ++i) {
-    const auto& collection = indexing.collections[static_cast<size_t>(i - 1)];
-    for (const cfg::NodeId a : collection) {
-      for (const cfg::NodeId b : collection) {
-        const match::PathClass pc =
-            opts.attribute_refinement
-                ? ext.classify_paths_refined(a, b, opts.refine)
-                : ext.classify_paths(a, b);
-        if (!pc.has_message_path) continue;
-        Violation v;
-        v.index = i;
-        v.from = a;
-        v.to = b;
-        v.from_ckpt_id =
-            static_cast<const mp::CheckpointStmt*>(graph.node(a).stmt)->ckpt_id;
-        v.to_ckpt_id =
-            static_cast<const mp::CheckpointStmt*>(graph.node(b).stmt)->ckpt_id;
-        v.hard = pc.message_path_without_back_edge;
-        out.violations.push_back(v);
+namespace {
+
+/// The fast path of Condition-1 checking: a hop-closure index over the
+/// message edges. A Ĝ-path a ⇒ b with ≥1 message edge decomposes into
+///
+///   a →cfg* e₁.send, (e₁ hop), e₁.recv →cfg* e₂.send, …, e_k.recv →cfg* b
+///
+/// and every control-flow segment is an O(1) lookup in the Cfg's
+/// precomputed reachability bitsets — so instead of launching product-graph
+/// BFS traversals we close the tiny "edge can feed edge" relation
+/// (E × E bits, E = |message edges|) once and answer ALL checkpoint pairs
+/// with a handful of bitset ORs per source. The back-edge-free (hard)
+/// classification is the same construction over acyclic reachability:
+/// message hops never use CFG edges, so a product-graph state with
+/// back = 0 is exactly a decomposition whose every segment is
+/// back-edge-free. Build cost: O(E² + E·C) O(1) reachability lookups
+/// (C = #checkpoint nodes); per source: O(E²/64 + E·C/64) word ops.
+class HopClosure {
+ public:
+  explicit HopClosure(const match::ExtendedCfg& ext) : ext_(ext) {
+    const auto& edges = ext.message_edges();
+    edge_count_ = edges.size();
+    const cfg::Cfg& graph = ext.graph();
+    for (const cfg::Node& n : graph.nodes_of_kind(cfg::NodeKind::kCheckpoint))
+      ckpts_.push_back(n.id);
+    slot_of_.assign(static_cast<size_t>(graph.node_count()), -1);
+    for (size_t c = 0; c < ckpts_.size(); ++c)
+      slot_of_[static_cast<size_t>(ckpts_[c])] = static_cast<int>(c);
+
+    edge_words_ = (edge_count_ + 63) / 64;
+    ckpt_words_ = (ckpts_.size() + 63) / 64;
+    closure_[0].assign(edge_count_ * edge_words_, 0);
+    closure_[1].assign(edge_count_ * edge_words_, 0);
+    target_[0].assign(edge_count_ * ckpt_words_, 0);
+    target_[1].assign(edge_count_ * ckpt_words_, 0);
+
+    // One pass over each edge's receive-side reachability rows fills both
+    // the base hop relation (reflexive; edge i can feed edge j when a
+    // process can flow from i's receive to j's send) and the per-edge
+    // checkpoint-target bitsets.
+    for (size_t i = 0; i < edge_count_; ++i) {
+      const auto full = graph.reach_row(edges[i].recv);
+      const auto acyclic = graph.reach_acyclic_row(edges[i].recv);
+      set_bit(closure_[0], i, edge_words_, i);
+      set_bit(closure_[1], i, edge_words_, i);
+      for (size_t j = 0; j < edge_count_; ++j) {
+        if (row_bit(full, edges[j].send)) set_bit(closure_[0], i, edge_words_, j);
+        if (row_bit(acyclic, edges[j].send))
+          set_bit(closure_[1], i, edge_words_, j);
+      }
+      for (size_t c = 0; c < ckpts_.size(); ++c) {
+        if (row_bit(full, ckpts_[c])) set_bit(target_[0], i, ckpt_words_, c);
+        if (row_bit(acyclic, ckpts_[c])) set_bit(target_[1], i, ckpt_words_, c);
       }
     }
+    // Warshall transitive closure over edge-row bitsets.
+    for (int variant = 0; variant < 2; ++variant) {
+      auto& m = closure_[variant];
+      for (size_t k = 0; k < edge_count_; ++k)
+        for (size_t i = 0; i < edge_count_; ++i)
+          if (test_bit(m, i, edge_words_, k))
+            or_row(m, i, m, k, edge_words_);
+    }
   }
+
+  /// classify_paths(a, t) for every checkpoint node t, answered from the
+  /// index: out[slot(t)] (same semantics as ExtendedCfg::classify_all_from
+  /// restricted to checkpoint targets).
+  void classify_from(cfg::NodeId a, std::vector<match::PathClass>& out) {
+    const auto& edges = ext_.message_edges();
+    const cfg::Cfg& graph = ext_.graph();
+    reach_[0].assign(ckpt_words_, 0);
+    reach_[1].assign(ckpt_words_, 0);
+    last_[0].assign(edge_words_, 0);
+    last_[1].assign(edge_words_, 0);
+    const auto full = graph.reach_row(a);
+    const auto acyclic = graph.reach_acyclic_row(a);
+    for (size_t e = 0; e < edge_count_; ++e) {
+      if (row_bit(full, edges[e].send))
+        or_row_into(last_[0], closure_[0], e, edge_words_);
+      if (row_bit(acyclic, edges[e].send))
+        or_row_into(last_[1], closure_[1], e, edge_words_);
+    }
+    for (int variant = 0; variant < 2; ++variant) {
+      for (size_t w = 0; w < edge_words_; ++w) {
+        std::uint64_t bits = last_[variant][w];
+        while (bits != 0) {
+          const size_t e = w * 64 + static_cast<size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          or_row_into(reach_[variant], target_[variant], e, ckpt_words_);
+        }
+      }
+    }
+    out.assign(ckpts_.size(), match::PathClass{});
+    for (size_t c = 0; c < ckpts_.size(); ++c) {
+      out[c].has_message_path = test_bit(reach_[0], 0, ckpt_words_, c);
+      out[c].message_path_without_back_edge =
+          test_bit(reach_[1], 0, ckpt_words_, c);
+    }
+  }
+
+  int slot(cfg::NodeId node) const {
+    return slot_of_[static_cast<size_t>(node)];
+  }
+
+ private:
+  using Bits = std::vector<std::uint64_t>;
+
+  static void set_bit(Bits& m, size_t row, size_t words, size_t bit) {
+    m[row * words + bit / 64] |= 1ULL << (bit % 64);
+  }
+  static bool test_bit(const Bits& m, size_t row, size_t words, size_t bit) {
+    return (m[row * words + bit / 64] >> (bit % 64)) & 1ULL;
+  }
+  static bool row_bit(std::span<const std::uint64_t> row, cfg::NodeId bit) {
+    return (row[static_cast<size_t>(bit) / 64] >>
+            (static_cast<size_t>(bit) % 64)) &
+           1ULL;
+  }
+  static void or_row(Bits& dst, size_t dst_row, const Bits& src,
+                     size_t src_row, size_t words) {
+    for (size_t w = 0; w < words; ++w)
+      dst[dst_row * words + w] |= src[src_row * words + w];
+  }
+  static void or_row_into(Bits& dst, const Bits& src, size_t src_row,
+                          size_t words) {
+    for (size_t w = 0; w < words; ++w) dst[w] |= src[src_row * words + w];
+  }
+
+  const match::ExtendedCfg& ext_;
+  size_t edge_count_ = 0;
+  size_t edge_words_ = 0;
+  size_t ckpt_words_ = 0;
+  std::vector<cfg::NodeId> ckpts_;
+  std::vector<int> slot_of_;
+  /// [0] = full reachability, [1] = acyclic (back-edge-free).
+  Bits closure_[2];
+  Bits target_[2];
+  // Per-source scratch (reused across sources).
+  Bits reach_[2];
+  Bits last_[2];
+};
+
+/// Appends the violations of one collection S_i to `out`, ordered by
+/// (from node, to node). The fast path answers each source's |S_i|
+/// targets from one hop-closure pass — both orientations of every pair
+/// fall out of iterating each member as a source; the legacy path
+/// re-launches a product-graph BFS per ordered pair.
+void check_collection(const match::ExtendedCfg& ext,
+                      const std::vector<cfg::NodeId>& collection, int index,
+                      const CheckOptions& opts, CheckResult& out,
+                      HopClosure* closure) {
+  const cfg::Cfg& graph = ext.graph();
+  std::vector<match::PathClass> from_a;
+  for (const cfg::NodeId a : collection) {
+    if (closure != nullptr) closure->classify_from(a, from_a);
+    for (const cfg::NodeId b : collection) {
+      match::PathClass pc =
+          closure != nullptr
+              ? from_a[static_cast<size_t>(closure->slot(b))]
+              : ext.classify_paths(a, b);
+      if (opts.attribute_refinement)
+        pc = ext.refine_classification(a, b, pc, opts.refine);
+      if (!pc.has_message_path) continue;
+      Violation v;
+      v.index = index;
+      v.from = a;
+      v.to = b;
+      v.from_ckpt_id =
+          static_cast<const mp::CheckpointStmt*>(graph.node(a).stmt)->ckpt_id;
+      v.to_ckpt_id =
+          static_cast<const mp::CheckpointStmt*>(graph.node(b).stmt)->ckpt_id;
+      v.hard = pc.message_path_without_back_edge;
+      out.violations.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_condition1(const match::ExtendedCfg& ext,
+                             const CheckOptions& opts) {
+  const cfg::CheckpointIndexing indexing = ext.graph().index_checkpoints();
+  CheckResult out;
+  std::optional<HopClosure> closure;
+  if (!opts.legacy_pairwise) closure.emplace(ext);
+  for (int i = 1; i <= indexing.max_index(); ++i)
+    check_collection(ext, indexing.collections[static_cast<size_t>(i - 1)], i,
+                     opts, out, closure ? &*closure : nullptr);
   return out;
 }
 
@@ -310,6 +478,9 @@ struct MoveOutcome {
   bool moved = false;
   bool merged = false;
   bool hoisted = false;
+  /// True for region-rewriting events (if-arm merge/hoist) after which the
+  /// incremental checker must fall back to a full recheck.
+  bool structural = false;
   std::string description;
 };
 
@@ -392,11 +563,82 @@ MoveOutcome move_back_one(mp::Program& program, int ckpt_uid,
     mp::remove_stmt(program, counterpart_uid);
     program.renumber();
     out.merged = true;
+    out.structural = true;
     out.description =
         "merged same-index arm checkpoints into one before the branch";
   } else {
     out.moved = true;
+    out.structural = true;
     out.description = "hoisted checkpoint out of if-arm";
+  }
+  return out;
+}
+
+/// Sorted ckpt_ids of every collection — the incremental checker's
+/// dirtiness fingerprint (ckpt_ids are stable across CFG rebuilds; node
+/// ids are not).
+std::vector<std::vector<int>> collection_memberships(
+    const cfg::Cfg& graph, const cfg::CheckpointIndexing& indexing) {
+  std::vector<std::vector<int>> out(indexing.collections.size());
+  for (size_t i = 0; i < indexing.collections.size(); ++i) {
+    out[i].reserve(indexing.collections[i].size());
+    for (const cfg::NodeId id : indexing.collections[i])
+      out[i].push_back(
+          static_cast<const mp::CheckpointStmt*>(graph.node(id).stmt)
+              ->ckpt_id);
+    std::sort(out[i].begin(), out[i].end());
+  }
+  return out;
+}
+
+/// Incremental Condition-1 recheck after a non-structural move. Only dirty
+/// collections — the moved checkpoint's previous index plus any collection
+/// whose ckpt_id membership changed — are re-traversed; the rest carry
+/// their previous violations forward. Sound because checkpoint nodes are
+/// pass-through (one pred, one succ): relocating one cannot create or
+/// destroy Ĝ-paths between OTHER nodes, and it changes no send/recv
+/// attribute, so every classification not involving the moved checkpoint
+/// is invariant. Carried violations are remapped to the rebuilt graph's
+/// node ids and re-sorted so the output order matches a fresh full check
+/// exactly (the fixpoint picks the same violation either way).
+CheckResult recheck_incremental(
+    const match::ExtendedCfg& ext, const cfg::CheckpointIndexing& indexing,
+    const std::vector<std::vector<int>>& membership,
+    const std::vector<std::vector<int>>& prev_membership, int dirty_index,
+    const CheckResult& prev, const CheckOptions& opts) {
+  std::map<int, cfg::NodeId> node_of_ckpt;
+  for (const auto& collection : indexing.collections)
+    for (const cfg::NodeId id : collection)
+      node_of_ckpt[static_cast<const mp::CheckpointStmt*>(
+                       ext.graph().node(id).stmt)
+                       ->ckpt_id] = id;
+
+  CheckResult out;
+  std::optional<HopClosure> closure;  // built on first dirty collection
+  for (int i = 1; i <= indexing.max_index(); ++i) {
+    const auto slot = static_cast<size_t>(i - 1);
+    const bool dirty = i == dirty_index ||
+                       membership[slot] != prev_membership[slot];
+    if (dirty) {
+      if (!closure && !opts.legacy_pairwise) closure.emplace(ext);
+      check_collection(ext, indexing.collections[slot], i, opts, out,
+                       closure ? &*closure : nullptr);
+      continue;
+    }
+    std::vector<Violation> carried;
+    for (const Violation& v : prev.violations) {
+      if (v.index != i) continue;
+      Violation nv = v;
+      nv.from = node_of_ckpt.at(v.from_ckpt_id);
+      nv.to = node_of_ckpt.at(v.to_ckpt_id);
+      carried.push_back(nv);
+    }
+    std::sort(carried.begin(), carried.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+              });
+    out.violations.insert(out.violations.end(), carried.begin(),
+                          carried.end());
   }
   return out;
 }
@@ -408,9 +650,32 @@ RepairReport repair_placement(mp::Program& program, const RepairOptions& opts) {
   program.renumber();
   program.assign_checkpoint_ids();
 
+  // Witness memo shared across rebuilds (sound: repair only moves
+  // checkpoints — see MatchMemo).
+  match::MatchMemo memo;
+  match::MatchMemo* const memo_ptr = opts.incremental ? &memo : nullptr;
+
+  CheckResult check;
+  std::vector<std::vector<int>> prev_membership;
+  bool can_increment = false;  // previous iteration's result is reusable
+  int dirty_index = 0;         // moved checkpoint's index, 1-based
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    const match::ExtendedCfg ext = match::build_extended_cfg(program, opts.match);
-    CheckResult check = check_condition1(ext, opts.check);
+    const match::ExtendedCfg ext =
+        match::build_extended_cfg(program, opts.match, memo_ptr);
+    const cfg::CheckpointIndexing indexing = ext.graph().index_checkpoints();
+    auto membership = collection_memberships(ext.graph(), indexing);
+    if (opts.incremental && can_increment &&
+        membership.size() == prev_membership.size()) {
+      CheckResult next = recheck_incremental(ext, indexing, membership,
+                                             prev_membership, dirty_index,
+                                             check, opts.check);
+      check = std::move(next);
+    } else {
+      check = check_condition1(ext, opts.check);
+    }
+    prev_membership = std::move(membership);
+    can_increment = true;
     if (iter == 0) {
       report.initial_hard = check.hard_count();
       report.initial_total = static_cast<int>(check.violations.size());
@@ -443,6 +708,8 @@ RepairReport repair_placement(mp::Program& program, const RepairOptions& opts) {
     report.moves += outcome.moved ? 1 : 0;
     report.merges += outcome.merged ? 1 : 0;
     report.hoists += outcome.hoisted ? 1 : 0;
+    dirty_index = chosen->index;
+    if (outcome.structural) can_increment = false;  // full recheck next
     if (opts.verbose_log) {
       std::ostringstream os;
       os << "S_" << chosen->index << ": ckpt#" << chosen->from_ckpt_id
@@ -456,7 +723,8 @@ RepairReport repair_placement(mp::Program& program, const RepairOptions& opts) {
   }
 
   report.log.push_back("max_iterations exceeded");
-  const match::ExtendedCfg ext = match::build_extended_cfg(program, opts.match);
+  const match::ExtendedCfg ext =
+      match::build_extended_cfg(program, opts.match, memo_ptr);
   report.final_check = check_condition1(ext, opts.check);
   return report;
 }

@@ -134,11 +134,19 @@ struct CheckOptions {
   /// plain graph paths.
   bool attribute_refinement = false;
   match::ExtendedCfg::RefineOptions refine;
+  /// Use the original per-ordered-pair product-graph BFS (O(|S_i|²)
+  /// traversals) instead of the single-source fast path (O(|S_i|)
+  /// traversals via ExtendedCfg::classify_all_from). The two produce
+  /// identical violation lists — the flag exists for differential testing
+  /// and as the baseline of bench A3.
+  bool legacy_pairwise = false;
 };
 
 /// Evaluates Condition 1 on an extended CFG: examines every ordered pair of
-/// members of every S_i (including a node with itself). Throws
-/// util::ProgramError if checkpoint counts are unbalanced.
+/// members of every S_i (including a node with itself), BOTH orientations
+/// (a,b) and (b,a) — each source's single reachability pass answers all of
+/// its targets. Throws util::ProgramError if checkpoint counts are
+/// unbalanced. Violations are ordered by (index, from node, to node).
 CheckResult check_condition1(const match::ExtendedCfg& ext,
                              const CheckOptions& opts = {});
 
@@ -151,6 +159,18 @@ struct RepairOptions {
   int max_iterations = 10'000;
   /// Record a human-readable log of every move.
   bool verbose_log = true;
+  /// Incremental rechecking (the fast path): after a move, message-edge
+  /// witnesses are replayed from a statement-keyed memo (checkpoint moves
+  /// never change send/recv attributes) and Condition 1 is re-evaluated
+  /// only on the dirty collections — the moved checkpoint's index plus any
+  /// collection whose ckpt_id membership changed; violations of clean
+  /// collections carry over (checkpoint nodes are pass-through, so moving
+  /// one cannot alter reachability between other nodes). Structural events
+  /// that rewrite the region (if-arm merges/hoists) fall back to a full
+  /// recheck. Off reproduces the original rebuild-everything fixpoint;
+  /// both paths pick violations in the same order, so the repair sequence
+  /// and final program are identical.
+  bool incremental = true;
 };
 
 struct RepairReport {

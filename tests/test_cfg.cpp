@@ -201,7 +201,10 @@ TEST(CfgCheckpoint, UnbalancedAcrossJoinDetected) {
 }
 
 TEST(CfgDot, RendersWithBackEdgeAndMessageEdges) {
-  const Cfg g = cfg_of("program t { loop 2 { checkpoint; } }");
+  // to_dot formats node labels from the originating statements, so the
+  // Program must outlive the Cfg here (unlike the id/kind-only tests).
+  const mp::Program p = mp::parse("program t { loop 2 { checkpoint; } }");
+  const Cfg g = cfg::build_cfg(p);
   const auto ckpt = g.nodes_of_kind(NodeKind::kCheckpoint)[0];
   const std::string dot =
       g.to_dot("demo", {{ckpt.id, ckpt.id}});

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Run the A3 analysis-scaling benchmark and emit BENCH_analysis.json.
+
+Drives bench/ablate_analysis_scaling through google-benchmark's JSON
+reporter and condenses the output into one flat document:
+
+    {
+      "benchmark": "ablate_analysis_scaling",
+      "context": {...},                       # host info from the harness
+      "phases": {
+        "BM_CheckCondition1/32": {"ns_per_op": ..., "iterations": ...,
+                                   "counters": {"msg_edges": ...}},
+        ...
+      },
+      "speedups": {"CheckCondition1/32": 6.8, "RepairPlacement/32": 7.3}
+    }
+
+"speedups" pairs every fast-path phase with its *Legacy twin at the same
+argument (legacy ns-per-op / fast ns-per-op). Standard library only.
+
+Usage:
+    tools/bench_to_json.py [--bench PATH] [--out PATH] [--min-time SECS]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_BENCH = os.path.join("build", "bench", "ablate_analysis_scaling")
+DEFAULT_OUT = "BENCH_analysis.json"
+
+
+def run_benchmark(bench, min_time):
+    """Runs the benchmark binary, returns the parsed google-benchmark JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        cmd = [
+            bench,
+            "--benchmark_format=console",
+            "--benchmark_out_format=json",
+            "--benchmark_out=%s" % tmp_path,
+        ]
+        if min_time is not None:
+            cmd.append("--benchmark_min_time=%g" % min_time)
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
+NON_COUNTER_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "aggregate_unit", "label", "error_occurred", "error_message",
+}
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale[unit]
+
+
+def condense(raw):
+    phases = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        counters = {
+            k: v for k, v in bench.items()
+            if k not in NON_COUNTER_KEYS and isinstance(v, (int, float))
+        }
+        phases[bench["name"]] = {
+            "ns_per_op": to_ns(bench["real_time"], bench["time_unit"]),
+            "cpu_ns_per_op": to_ns(bench["cpu_time"], bench["time_unit"]),
+            "iterations": bench["iterations"],
+            "counters": counters,
+        }
+
+    # Fast path vs its Legacy twin: BM_Foo/N vs BM_FooLegacy/N.
+    speedups = {}
+    for name, stats in phases.items():
+        base, slash, arg = name.partition("/")
+        legacy = phases.get(base + "Legacy" + slash + arg)
+        if legacy is None or stats["ns_per_op"] == 0:
+            continue
+        label = name[3:] if name.startswith("BM_") else name
+        speedups[label] = round(legacy["ns_per_op"] / stats["ns_per_op"], 2)
+
+    return {
+        "benchmark": "ablate_analysis_scaling",
+        "context": raw.get("context", {}),
+        "phases": phases,
+        "speedups": speedups,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default=DEFAULT_BENCH,
+                        help="benchmark binary (default: %(default)s)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--min-time", type=float, default=None,
+                        help="per-benchmark min time in seconds")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.bench):
+        sys.exit("benchmark binary not found: %s (build it first)" %
+                 args.bench)
+    doc = condense(run_benchmark(args.bench, args.min_time))
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    for label, speedup in sorted(doc["speedups"].items()):
+        print("%-28s %5.2fx" % (label, speedup))
+    print("wrote %s (%d phases)" % (args.out, len(doc["phases"])))
+
+
+if __name__ == "__main__":
+    main()
