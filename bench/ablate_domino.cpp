@@ -9,32 +9,19 @@
 // latest) and useless checkpoints (Netzer–Xu zigzag cycles).
 #include <iostream>
 
-#include "mp/parser.h"
 #include "place/place.h"
 #include "proto/protocols.h"
+#include "sim/montecarlo.h"
 #include "trace/analysis.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "workloads.h"
 
 int main() {
   using namespace acfc;
   const int nprocs = 8;
 
-  const mp::Program plain = mp::parse(R"(
-    program domino {
-      loop 12 {
-        compute 15.0;
-        send to (rank + 1) % nprocs tag 1;
-        recv from (rank - 1 + nprocs) % nprocs tag 1;
-        if (rank % 2 == 0) {
-          if (rank + 1 < nprocs) { send to rank + 1 tag 2;
-                                   recv from rank + 1 tag 2; }
-        } else {
-          send to rank - 1 tag 2;
-          recv from rank - 1 tag 2;
-        }
-      }
-    })");
+  const mp::Program plain = benchws::domino_exchange();
 
   mp::Program app_driven = plain.clone();
   app_driven.renumber();
@@ -52,18 +39,29 @@ int main() {
   util::Table table({"protocol", "ckpts", "mean rollback", "max rollback",
                      "mean lost work (s)", "useless ckpts"});
 
-  for (const auto protocol :
-       {proto::Protocol::kAppDriven, proto::Protocol::kCic,
-        proto::Protocol::kUncoordinated}) {
-    const mp::Program& program =
-        protocol == proto::Protocol::kAppDriven ? app_driven : plain;
-    sim::SimOptions sopts;
-    sopts.nprocs = nprocs;
-    sopts.compute_jitter = 0.4;  // desynchronized processes
-    proto::ProtocolOptions popts;
-    popts.interval = 45.0;
-    popts.stagger = 0.5;
-    const auto run = proto::run_protocol(program, protocol, sopts, popts);
+  // The three protocol runs are independent — fan them across the
+  // Monte-Carlo pool and report in protocol order.
+  const proto::Protocol protocols[] = {proto::Protocol::kAppDriven,
+                                       proto::Protocol::kCic,
+                                       proto::Protocol::kUncoordinated};
+  const auto runs = sim::parallel_map(
+      static_cast<long>(std::size(protocols)), sim::McOptions{},
+      [&](long i) {
+        const proto::Protocol protocol = protocols[i];
+        const mp::Program& program =
+            protocol == proto::Protocol::kAppDriven ? app_driven : plain;
+        sim::SimOptions sopts;
+        sopts.nprocs = nprocs;
+        sopts.compute_jitter = 0.4;  // desynchronized processes
+        proto::ProtocolOptions popts;
+        popts.interval = 45.0;
+        popts.stagger = 0.5;
+        return proto::run_protocol(program, protocol, sopts, popts);
+      });
+
+  for (size_t i = 0; i < std::size(protocols); ++i) {
+    const proto::Protocol protocol = protocols[i];
+    const auto& run = runs[i];
     if (!run.sim.trace.completed) {
       std::cerr << "incomplete run\n";
       return 1;

@@ -4,9 +4,9 @@
 // we count control messages per completed round across world sizes.
 #include <iostream>
 
-#include "mp/parser.h"
 #include "proto/protocols.h"
 #include "util/table.h"
+#include "workloads.h"
 
 int main() {
   using namespace acfc;
@@ -19,14 +19,7 @@ int main() {
   bool all_match = true;
 
   for (const int n : {2, 4, 8, 16}) {
-    const mp::Program program = mp::parse(
-        "program work {\n"
-        "  loop 6 {\n"
-        "    compute 10.0;\n"
-        "    send to (rank + 1) % nprocs tag 1;\n"
-        "    recv from (rank - 1 + nprocs) % nprocs tag 1;\n"
-        "  }\n"
-        "}\n");
+    const mp::Program program = benchws::ring_exchange();
 
     for (const auto protocol :
          {proto::Protocol::kSyncAndStop, proto::Protocol::kChandyLamport,

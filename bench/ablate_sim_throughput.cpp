@@ -1,26 +1,27 @@
 // Ablation A4 — simulator throughput (google-benchmark): events/second
-// of the discrete-event engine across world sizes and workloads, plus the
-// cost of checkpoint snapshots and trace analyses.
+// of the discrete-event engine across world sizes and workloads, the cost
+// of checkpoint snapshots (per-run and per-checkpoint), trace analyses,
+// and the parallel Monte-Carlo harness on a fig8-style sweep.
+//
+// tools/bench_to_json.py --suite sim condenses this binary into
+// BENCH_sim.json: events/s counters for the single-run hot path and the
+// wall-clock speedup of BM_Fig8Sweep/T over BM_Fig8SweepSerial.
 #include <benchmark/benchmark.h>
 
-#include "mp/parser.h"
-#include "sim/engine.h"
+#include "sim/montecarlo.h"
 #include "trace/analysis.h"
+#include "workloads.h"
 
 namespace {
 
 using namespace acfc;
 
 mp::Program ring_program(int iters) {
-  return mp::parse(
-      "program ring {\n"
-      "  loop " + std::to_string(iters) + " {\n"
-      "    compute 1.0;\n"
-      "    checkpoint;\n"
-      "    send to (rank + 1) % nprocs tag 1;\n"
-      "    recv from (rank - 1 + nprocs) % nprocs tag 1;\n"
-      "  }\n"
-      "}\n");
+  benchws::RingParams params;
+  params.iterations = iters;
+  params.compute_cost = 1.0;
+  params.checkpoint = true;
+  return benchws::ring_exchange(params);
 }
 
 void BM_SimulateRing(benchmark::State& state) {
@@ -41,19 +42,106 @@ void BM_SimulateRing(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateRing)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
 
+// Snapshot-enabled vs snapshot-free runs of the same program: the gap per
+// checkpoint is the VmSnapshot capture cost the engine optimizations
+// target. Both arms report events/s and ckpts/s so the per-event and
+// per-checkpoint costs are visible in BENCH_sim.json.
 void BM_SnapshotOverhead(benchmark::State& state) {
   const mp::Program program = ring_program(20);
   const bool keep = state.range(0) != 0;
+  long events = 0;
+  long checkpoints = 0;
   for (auto _ : state) {
     sim::SimOptions opts;
     opts.nprocs = 16;
     opts.keep_snapshots = keep;
     sim::Engine engine(program, opts);
-    benchmark::DoNotOptimize(engine.run().trace.end_time);
+    const auto result = engine.run();
+    events += result.stats.events_processed;
+    checkpoints += result.stats.statement_checkpoints;
+    benchmark::DoNotOptimize(result.trace.end_time);
   }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["ckpts/s"] = benchmark::Counter(
+      static_cast<double>(checkpoints), benchmark::Counter::kIsRate);
   state.SetLabel(keep ? "snapshots on" : "snapshots off");
 }
 BENCHMARK(BM_SnapshotOverhead)->Arg(0)->Arg(1);
+
+// Isolated per-checkpoint capture cost: a checkpoint-dense program (one
+// checkpoint per simulated event pair) with snapshots on vs off.
+void BM_CheckpointCapture(benchmark::State& state) {
+  benchws::RingParams params;
+  params.iterations = 64;
+  params.compute_cost = 1.0;
+  params.checkpoint = true;
+  const mp::Program program = benchws::ring_exchange(params);
+  const bool keep = state.range(0) != 0;
+  long checkpoints = 0;
+  for (auto _ : state) {
+    sim::SimOptions opts;
+    opts.nprocs = 8;
+    opts.keep_snapshots = keep;
+    sim::Engine engine(program, opts);
+    const auto result = engine.run();
+    checkpoints += result.stats.statement_checkpoints;
+    benchmark::DoNotOptimize(result.trace.end_time);
+  }
+  state.counters["ckpts/s"] = benchmark::Counter(
+      static_cast<double>(checkpoints), benchmark::Counter::kIsRate);
+  state.SetLabel(keep ? "snapshots on" : "snapshots off");
+}
+BENCHMARK(BM_CheckpointCapture)->Arg(0)->Arg(1);
+
+// Fig8-style Monte-Carlo sweep: world sizes × seed replications of the
+// checkpointed ring, exactly what the overhead-curve experiments rerun.
+// BM_Fig8SweepSerial is the 1-thread reference; BM_Fig8Sweep/T fans the
+// same batch over T pool workers. Identical per-run results by the
+// harness's determinism contract; the ratio of wall times is the
+// parallel speedup reported in BENCH_sim.json.
+std::vector<sim::SimOptions> fig8_sweep_configs() {
+  std::vector<sim::SimOptions> configs;
+  long index = 0;
+  for (const int n : {4, 8, 16, 32}) {
+    for (int rep = 0; rep < 6; ++rep) {
+      sim::SimOptions opts;
+      opts.nprocs = n;
+      opts.keep_snapshots = true;
+      opts.compute_jitter = 0.2;
+      opts.seed = sim::run_seed(/*base_seed=*/1, index++);
+      configs.push_back(std::move(opts));
+    }
+  }
+  return configs;
+}
+
+void run_fig8_sweep(benchmark::State& state, int threads) {
+  const mp::Program program = ring_program(10);
+  const auto configs = fig8_sweep_configs();
+  long events = 0;
+  for (auto _ : state) {
+    const auto results =
+        sim::run_batch(program, configs, sim::McOptions{threads});
+    const auto agg = sim::aggregate(results);
+    events += agg.events;
+    benchmark::DoNotOptimize(agg.digest);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["runs"] = static_cast<double>(configs.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void BM_Fig8SweepSerial(benchmark::State& state) {
+  run_fig8_sweep(state, 1);
+}
+BENCHMARK(BM_Fig8SweepSerial)->UseRealTime();
+
+void BM_Fig8Sweep(benchmark::State& state) {
+  run_fig8_sweep(state, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Fig8Sweep)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_StraightCutScan(benchmark::State& state) {
   const mp::Program program = ring_program(static_cast<int>(state.range(0)));

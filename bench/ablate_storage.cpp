@@ -8,11 +8,11 @@
 // simulated run whose checkpoint costs come from a live StableStore.
 #include <iostream>
 
-#include "mp/parser.h"
 #include "perf/model.h"
 #include "sim/engine.h"
 #include "store/store.h"
 #include "util/table.h"
+#include "workloads.h"
 
 int main() {
   using namespace acfc;
@@ -47,15 +47,11 @@ int main() {
   // End-to-end: the same workload with live store-backed checkpoint costs.
   std::cout << "\nSimulated makespan with store-backed checkpoint costs "
                "(n=6):\n\n";
-  const mp::Program program = mp::parse(R"(
-    program stored {
-      loop 8 {
-        compute 30.0;
-        checkpoint;
-        send to (rank + 1) % nprocs tag 1;
-        recv from (rank - 1 + nprocs) % nprocs tag 1;
-      }
-    })");
+  benchws::RingParams ring_params;
+  ring_params.iterations = 8;
+  ring_params.compute_cost = 30.0;
+  ring_params.checkpoint = true;
+  const mp::Program program = benchws::ring_exchange(ring_params);
 
   util::Table simulated({"state (MB)", "mode", "makespan (s)",
                          "stored (MB)", "after GC keep-2 (MB)",

@@ -14,11 +14,11 @@
 // The result is a five-way overhead-ratio comparison on equal footing.
 #include <iostream>
 
-#include "mp/parser.h"
 #include "perf/model.h"
 #include "proto/koo_toueg.h"
 #include "proto/protocols.h"
 #include "util/table.h"
+#include "workloads.h"
 
 namespace {
 
@@ -31,14 +31,7 @@ struct MeasuredCoordination {
 
 /// Measures on a dense ring exchange at world size `n`.
 MeasuredCoordination measure(int n) {
-  const mp::Program program = mp::parse(R"(
-    program dense {
-      loop 6 {
-        compute 10.0;
-        send to (rank + 1) % nprocs tag 1;
-        recv from (rank - 1 + nprocs) % nprocs tag 1;
-      }
-    })");
+  const mp::Program program = benchws::ring_exchange();
   sim::SimOptions sopts;
   sopts.nprocs = n;
   sopts.compute_jitter = 0.2;

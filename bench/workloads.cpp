@@ -1,0 +1,111 @@
+#include "workloads.h"
+
+#include <sstream>
+
+#include "mp/parser.h"
+#include "sim/montecarlo.h"
+
+namespace acfc::benchws {
+
+namespace {
+
+std::string format_cost(double cost) {
+  std::ostringstream os;
+  os << cost;
+  const std::string s = os.str();
+  // The DSL expects a decimal literal for compute costs.
+  return s.find('.') == std::string::npos ? s + ".0" : s;
+}
+
+}  // namespace
+
+mp::Program ring_exchange(const RingParams& params) {
+  std::ostringstream os;
+  os << "program ring {\n"
+     << "  loop " << params.iterations << " {\n"
+     << "    compute " << format_cost(params.compute_cost);
+  if (!params.compute_label.empty())
+    os << " label \"" << params.compute_label << '"';
+  os << ";\n";
+  if (params.checkpoint) os << "    checkpoint;\n";
+  os << "    send to (rank + 1) % nprocs tag " << params.tag;
+  if (params.message_bytes > 0) os << " bytes " << params.message_bytes;
+  os << ";\n"
+     << "    recv from (rank - 1 + nprocs) % nprocs tag " << params.tag
+     << ";\n"
+     << "  }\n"
+     << "}\n";
+  return mp::parse(os.str());
+}
+
+mp::Program domino_exchange(int iterations, double compute_cost) {
+  std::ostringstream os;
+  os << "program domino {\n"
+     << "  loop " << iterations << " {\n"
+     << "    compute " << format_cost(compute_cost) << ";\n"
+     << "    send to (rank + 1) % nprocs tag 1;\n"
+     << "    recv from (rank - 1 + nprocs) % nprocs tag 1;\n"
+     << "    if (rank % 2 == 0) {\n"
+     << "      if (rank + 1 < nprocs) { send to rank + 1 tag 2;\n"
+     << "                               recv from rank + 1 tag 2; }\n"
+     << "    } else {\n"
+     << "      send to rank - 1 tag 2;\n"
+     << "      recv from rank - 1 tag 2;\n"
+     << "    }\n"
+     << "  }\n"
+     << "}\n";
+  return mp::parse(os.str());
+}
+
+mp::Program faceoff_plain(int iterations, double compute_cost) {
+  RingParams params;
+  params.iterations = iterations;
+  params.compute_cost = compute_cost;
+  params.message_bytes = 1024;
+  params.compute_label = "work";
+  return ring_exchange(params);
+}
+
+MeasuredOverhead measure_overhead(const mp::Program& plain,
+                                  const mp::Program& placed,
+                                  proto::Protocol protocol,
+                                  const sim::SimOptions& base_opts,
+                                  const proto::ProtocolOptions& proto_opts,
+                                  int reps, std::uint64_t seed_salt) {
+  // Even run indices are the paired baseline, odd ones the protocol run;
+  // both halves of a pair share a seed so jitter cancels in the ratio.
+  const auto runs = sim::parallel_map(
+      2L * reps, sim::McOptions{}, [&](long i) {
+        const long rep = i / 2;
+        const bool with_protocol = (i % 2) != 0;
+        sim::SimOptions sopts = base_opts;
+        sopts.seed = sim::run_seed(seed_salt, rep);
+        if (!with_protocol) {
+          sopts.checkpoint_overhead = 0.0;
+          sopts.checkpoint_latency = 0.0;
+          sopts.checkpoint_cost_fn = nullptr;
+        }
+        const mp::Program& program =
+            !with_protocol                            ? plain
+            : protocol == proto::Protocol::kAppDriven ? placed
+                                                      : plain;
+        return proto::run_protocol(
+            program, with_protocol ? protocol : proto::Protocol::kAppDriven,
+            sopts, proto_opts);
+      });
+
+  MeasuredOverhead out;
+  double ratio_sum = 0.0;
+  long control = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto& base = runs[static_cast<size_t>(2 * rep)];
+    const auto& run = runs[static_cast<size_t>(2 * rep + 1)];
+    ratio_sum += run.sim.trace.end_time / base.sim.trace.end_time - 1.0;
+    control += run.sim.stats.control_messages;
+  }
+  out.overhead_ratio = reps > 0 ? ratio_sum / reps : 0.0;
+  out.control_messages = reps > 0 ? control / reps : 0;
+  return out;
+}
+
+}  // namespace acfc::benchws

@@ -1,0 +1,69 @@
+// Shared benchmark/example workload builders.
+//
+// The ring exchange (send right, receive left) and its variants were
+// copy-pasted as DSL strings across bench/*.cpp and examples/*.cpp with
+// slightly different constants; this header is the single parameterized
+// source. src/mp/workloads.h holds the *library-level* canonical patterns
+// used by the analyses and tests; the builders here mirror the exact
+// programs the reproduction's figures and ablations were written against
+// (tags, byte counts, labels, and checkpoint placement included).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mp/stmt.h"
+#include "proto/protocols.h"
+#include "sim/engine.h"
+
+namespace acfc::benchws {
+
+struct RingParams {
+  int iterations = 6;
+  double compute_cost = 10.0;
+  /// Message payload; ≤ 0 omits the `bytes` clause (DSL default size).
+  int message_bytes = 0;
+  int tag = 1;
+  /// Insert `checkpoint;` after the compute (aligned placement).
+  bool checkpoint = false;
+  /// Optional label on the compute statement.
+  std::string compute_label;
+};
+
+/// The figure-8-style ring exchange:
+///   loop I { compute C; [checkpoint;] send right; recv left; }
+mp::Program ring_exchange(const RingParams& params = {});
+
+/// Ablation A2's domino workload: a ring exchange plus a parity-guarded
+/// neighbour handshake that desynchronizes checkpoint opportunities.
+mp::Program domino_exchange(int iterations = 12, double compute_cost = 15.0);
+
+/// The protocol-faceoff / A1 plain workload: ring_exchange without
+/// checkpoints, 1 KiB payloads, labelled compute.
+mp::Program faceoff_plain(int iterations = 10, double compute_cost = 20.0);
+
+/// One Monte-Carlo measured overhead point for the figure 8/9 sweeps.
+struct MeasuredOverhead {
+  /// Mean over replications of makespan(protocol)/makespan(baseline) − 1,
+  /// where the baseline is the checkpoint-free program with zero
+  /// checkpoint costs under the same seed and network.
+  double overhead_ratio = 0.0;
+  /// Mean control messages per protocol run.
+  long control_messages = 0;
+};
+
+/// Simulates `reps` seed replications of `protocol` against a paired
+/// no-checkpointing baseline and reports the measured overhead ratio.
+/// kAppDriven runs `placed` (the program with checkpoint statements);
+/// every other protocol runs `plain` and checkpoints via its driver.
+/// All 2·reps runs are independent and are fanned across the Monte-Carlo
+/// pool; seeds derive from (seed_salt, replication index) only, so the
+/// result is identical at any thread count.
+MeasuredOverhead measure_overhead(const mp::Program& plain,
+                                  const mp::Program& placed,
+                                  proto::Protocol protocol,
+                                  const sim::SimOptions& base_opts,
+                                  const proto::ProtocolOptions& proto_opts,
+                                  int reps, std::uint64_t seed_salt);
+
+}  // namespace acfc::benchws

@@ -6,25 +6,19 @@
 // This is the runnable counterpart of the paper's Section 4 comparison.
 #include <iostream>
 
-#include "mp/parser.h"
 #include "place/place.h"
 #include "proto/protocols.h"
+#include "sim/montecarlo.h"
 #include "trace/analysis.h"
 #include "util/table.h"
+#include "workloads.h"
 
 int main() {
   using namespace acfc;
   const int nprocs = 8;
 
   // Timer-driven protocols checkpoint a plain compute/exchange loop...
-  const mp::Program plain = mp::parse(R"(
-    program faceoff {
-      loop 10 {
-        compute 20.0 label "work";
-        send to (rank + 1) % nprocs tag 1 bytes 1024;
-        recv from (rank - 1 + nprocs) % nprocs tag 1;
-      }
-    })");
+  const mp::Program plain = benchws::faceoff_plain();
 
   // ...while the app-driven run uses the SAME program with Phase-I/III
   // placed checkpoint statements.
@@ -55,10 +49,20 @@ int main() {
       proto::Protocol::kChandyLamport, proto::Protocol::kKooToueg,
       proto::Protocol::kCic,           proto::Protocol::kUncoordinated};
 
-  for (const auto protocol : protocols) {
-    const mp::Program& program =
-        protocol == proto::Protocol::kAppDriven ? app_driven : plain;
-    const auto run = proto::run_protocol(program, protocol, sopts, popts);
+  // All six protocol runs are independent simulations — fan them across
+  // the Monte-Carlo pool; results come back in protocol order.
+  const auto runs = sim::parallel_map(
+      static_cast<long>(std::size(protocols)), sim::McOptions{},
+      [&](long i) {
+        const proto::Protocol protocol = protocols[i];
+        const mp::Program& program =
+            protocol == proto::Protocol::kAppDriven ? app_driven : plain;
+        return proto::run_protocol(program, protocol, sopts, popts);
+      });
+
+  for (size_t i = 0; i < std::size(protocols); ++i) {
+    const proto::Protocol protocol = protocols[i];
+    const auto& run = runs[i];
     if (!run.sim.trace.completed) {
       std::cerr << proto::protocol_name(protocol) << ": incomplete run\n";
       return 1;

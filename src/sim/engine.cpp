@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "cfg/cfg.h"
 #include "util/error.h"
 
@@ -65,6 +69,25 @@ mp::IrregularResolver default_resolver() {
   };
 }
 
+/// A Monte-Carlo batch constructs and destroys one Engine per run, each
+/// churning a few MB of trace stores and clock vectors. glibc's adaptive
+/// trim/mmap thresholds settle right at that scale, so the steady state
+/// can hand the whole arena back to the kernel on every Engine
+/// destruction and re-fault it (hundreds of minor faults) on the next
+/// run. Pin both thresholds well above the per-run churn once per
+/// process; the arena is then reused across runs. No-op off glibc and
+/// under sanitizer allocators.
+void tune_allocator_for_run_batches() {
+#if defined(__GLIBC__)
+  static const bool done = [] {
+    mallopt(M_TRIM_THRESHOLD, 32 << 20);
+    mallopt(M_MMAP_THRESHOLD, 8 << 20);
+    return true;
+  }();
+  (void)done;
+#endif
+}
+
 }  // namespace
 
 // ===========================================================================
@@ -74,6 +97,7 @@ mp::IrregularResolver default_resolver() {
 Engine::Engine(const mp::Program& program, SimOptions opts,
                ProtocolDriver* driver)
     : program_(program), opts_(std::move(opts)), driver_(driver) {
+  tune_allocator_for_run_batches();
   ACFC_CHECK_MSG(opts_.nprocs >= 2, "simulation needs at least 2 processes");
   resolver_ = opts_.irregular ? opts_.irregular : default_resolver();
   net_rng_ = util::Rng(opts_.seed ^ 0xdead5eedULL);
@@ -83,6 +107,17 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
   channel_last_deliver_.assign(n * n, 0.0);
   control_last_deliver_.assign(n * n, 0.0);
   inbox_.assign(n * n, {});
+  ckpt_counts_.assign(n, 0);
+
+  // Append-friendly storage: start the trace stores and the event heap at
+  // a capacity proportional to the world size so the steady state appends
+  // without reallocating. Growth beyond the hint stays geometric.
+  trace_.reserve(/*events=*/64 * n, /*messages=*/32 * n,
+                 /*checkpoints=*/8 * n);
+  std::vector<Ev> backing;
+  backing.reserve(16 * n + 64);
+  queue_ = std::priority_queue<Ev, std::vector<Ev>, EvCmp>(
+      EvCmp{}, std::move(backing));
 
   // Static index of each checkpoint statement (when placement is balanced).
   try {
@@ -441,8 +476,9 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
   rec.forced = forced;
   if (opts_.keep_snapshots) {
     rec.snapshot = static_cast<int>(snapshots_.size());
-    snapshots_.push_back(
-        EngineSnapshot{proc.vm->snapshot(), proc.pending_recv});
+    snapshots_.push_back(EngineSnapshot{
+        std::make_shared<const VmSnapshot>(proc.vm->state()),
+        proc.pending_recv});
   }
   trace_.checkpoints.push_back(rec);
 
@@ -457,6 +493,7 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
   trace_.events.push_back(std::move(ev));
 
   (forced ? stats_.forced_checkpoints : stats_.statement_checkpoints)++;
+  ++ckpt_counts_[static_cast<size_t>(p)];
   if (driver_ != nullptr) driver_->on_checkpoint(*this, p, forced);
   return overhead;
 }
@@ -706,7 +743,7 @@ void Engine::handle_failure(const FailureEvent& failure) {
                      "recovery needs keep_snapshots=true");
       const EngineSnapshot& snap =
           snapshots_[static_cast<size_t>(ckpt.snapshot)];
-      proc.vm->restore(snap.vm);
+      proc.vm->restore(*snap.vm);
       proc.pending_recv = snap.pending_recv;
     }
     proc.pending_compute_uid = -1;
@@ -814,10 +851,7 @@ void Engine::force_checkpoint(int proc) {
 }
 
 long Engine::checkpoint_count(int proc) const {
-  long n = 0;
-  for (const auto& c : trace_.checkpoints)
-    if (c.proc == proc) ++n;
-  return n;
+  return ckpt_counts_.at(static_cast<size_t>(proc));
 }
 
 void Engine::request_pause(int proc) {

@@ -14,6 +14,7 @@
 //    pause/resume, piggybacking) for the baseline protocols.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -171,8 +172,10 @@ class Engine {
   /// A restorable checkpoint image: VM state plus any outstanding blocking
   /// receive (a protocol may force a checkpoint while a process is blocked,
   /// in which case the receive is still pending in the restored state).
+  /// The VM state is an immutable shared image — rollbacks and repeated
+  /// restores alias it instead of copying.
   struct EngineSnapshot {
-    VmSnapshot vm;
+    std::shared_ptr<const VmSnapshot> vm;
     std::optional<ActionRecv> pending_recv;
   };
 
@@ -183,6 +186,9 @@ class Engine {
   trace::Trace trace_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<EngineSnapshot> snapshots_;
+  /// Per-process completed-checkpoint tally — checkpoint_count() is on the
+  /// CIC piggyback path (one call per app message), so it must be O(1).
+  std::vector<long> ckpt_counts_;
   /// ckpt_id → static index (S_i), when the placement is balanced.
   std::map<int, int> ckpt_static_index_;
 

@@ -15,6 +15,19 @@ Vm::Vm(const mp::Program* program, int rank, int nprocs, std::uint64_t seed,
   state_.recvs_per_channel.assign(static_cast<size_t>(nprocs), 0);
   if (!program_->body.empty())
     state_.stack.push_back(Frame{&program_->body, 0, nullptr, 0, 0});
+
+  ctx_.rank = rank_;
+  ctx_.nprocs = nprocs_;
+  // Wrap the engine resolver once so each irregular site consumes a fresh,
+  // snapshot-tracked instance number (pure-replay determinism).
+  if (resolver_ != nullptr && *resolver_) {
+    wrapper_ = [this](const mp::IrregularRequest& req) {
+      mp::IrregularRequest numbered = req;
+      numbered.instance = state_.irregular_counts[req.irregular_id]++;
+      return (*resolver_)(numbered);
+    };
+  }
+  ctx_.resolver = &wrapper_;
 }
 
 void Vm::fold_digest(std::uint64_t value) {
@@ -37,29 +50,15 @@ long Vm::note_checkpoint_instance(int static_index) {
   return state_.ckpt_instances[static_index]++;
 }
 
-mp::EvalCtx Vm::make_ctx() {
-  mp::EvalCtx ctx;
-  ctx.rank = rank_;
-  ctx.nprocs = nprocs_;
+void Vm::refresh_ctx() {
+  ctx_.env.clear();
   for (const Frame& f : state_.stack)
-    if (f.loop != nullptr) ctx.env.emplace_back(f.loop->var, f.loop_value);
-  return ctx;
+    if (f.loop != nullptr) ctx_.env.emplace_back(f.loop->var, f.loop_value);
 }
 
 std::int64_t Vm::eval_or_throw(const mp::Expr& expr, const char* what) {
-  mp::EvalCtx ctx = make_ctx();
-  // Wrap the engine resolver so each irregular site consumes a fresh,
-  // snapshot-tracked instance number (pure-replay determinism).
-  mp::IrregularResolver wrapper;
-  if (resolver_ != nullptr && *resolver_) {
-    wrapper = [this](const mp::IrregularRequest& req) {
-      mp::IrregularRequest numbered = req;
-      numbered.instance = state_.irregular_counts[req.irregular_id]++;
-      return (*resolver_)(numbered);
-    };
-  }
-  ctx.resolver = &wrapper;
-  const auto v = expr.eval(ctx);
+  refresh_ctx();
+  const auto v = expr.eval(ctx_);
   if (!v)
     throw util::ProgramError(std::string("rank ") + std::to_string(rank_) +
                              ": cannot evaluate " + what + ": " + expr.str());
@@ -68,17 +67,8 @@ std::int64_t Vm::eval_or_throw(const mp::Expr& expr, const char* what) {
 }
 
 bool Vm::eval_pred(const mp::Pred& pred) {
-  mp::EvalCtx ctx = make_ctx();
-  mp::IrregularResolver wrapper;
-  if (resolver_ != nullptr && *resolver_) {
-    wrapper = [this](const mp::IrregularRequest& req) {
-      mp::IrregularRequest numbered = req;
-      numbered.instance = state_.irregular_counts[req.irregular_id]++;
-      return (*resolver_)(numbered);
-    };
-  }
-  ctx.resolver = &wrapper;
-  const auto v = pred.eval(ctx);
+  refresh_ctx();
+  const auto v = pred.eval(ctx_);
   if (!v)
     throw util::ProgramError(std::string("rank ") + std::to_string(rank_) +
                              ": cannot evaluate condition: " + pred.str());

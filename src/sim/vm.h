@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -21,6 +21,23 @@
 #include "util/rng.h"
 
 namespace acfc::sim {
+
+/// Tiny flat key → counter map. A process touches a handful of irregular
+/// sites and checkpoint ids, so a contiguous array with linear lookup beats
+/// a node-based map on both access and — critically for checkpointing —
+/// copy cost: snapshotting the counters is one allocation, not one per key.
+struct CounterMap {
+  std::vector<std::pair<int, std::int64_t>> entries;
+
+  std::int64_t& operator[](int key) {
+    for (auto& e : entries)
+      if (e.first == key) return e.second;
+    entries.emplace_back(key, 0);
+    return entries.back().second;
+  }
+
+  bool operator==(const CounterMap&) const = default;
+};
 
 /// One entry of the control stack: position inside a block; for loop-body
 /// frames, the loop statement and the current/bound values of its variable.
@@ -41,7 +58,7 @@ struct VmSnapshot {
   /// identities) — replay validation compares digests, never times.
   std::uint64_t digest = 1469598103934665603ULL;
   /// Per irregular-site invocation counters (deterministic resolution).
-  std::map<int, std::int64_t> irregular_counts;
+  CounterMap irregular_counts;
   /// Messages sent so far per destination (channel sequence numbers).
   std::vector<long> sends_per_channel;
   /// Messages consumed so far per source.
@@ -49,7 +66,7 @@ struct VmSnapshot {
   /// Collective operations completed (MPI-style sequence matching).
   long collectives_done = 0;
   /// Checkpoint-statement completions per static index (instances).
-  std::map<int, long> ckpt_instances;
+  CounterMap ckpt_instances;
 };
 
 struct ActionCompute {
@@ -105,6 +122,11 @@ class Vm {
   Vm(const mp::Program* program, int rank, int nprocs, std::uint64_t seed,
      const mp::IrregularResolver* resolver);
 
+  // The cached resolver wrapper captures `this`; moving or copying a Vm
+  // would leave it dangling. The engine owns Vms behind unique_ptr.
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
   int rank() const { return rank_; }
   int nprocs() const { return nprocs_; }
 
@@ -135,13 +157,18 @@ class Vm {
   /// deterministic irregular resolver; throws on unresolvable values.
   std::int64_t eval_or_throw(const mp::Expr& expr, const char* what);
   bool eval_pred(const mp::Pred& pred);
-  mp::EvalCtx make_ctx();
+  /// Refreshes ctx_ (loop-variable environment) in place — the context and
+  /// the resolver wrapper are cached members so the per-statement eval path
+  /// performs no allocations once the env vector has warmed up.
+  void refresh_ctx();
 
   const mp::Program* program_;
   int rank_;
   int nprocs_;
   const mp::IrregularResolver* resolver_;
   VmSnapshot state_;
+  mp::EvalCtx ctx_;
+  mp::IrregularResolver wrapper_;
 };
 
 }  // namespace acfc::sim

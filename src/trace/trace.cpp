@@ -1,5 +1,6 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace acfc::trace {
@@ -28,6 +29,13 @@ const char* event_kind_name(EventKind kind) {
       return "finish";
   }
   return "?";
+}
+
+void Trace::reserve(std::size_t events_cap, std::size_t messages_cap,
+                    std::size_t checkpoints_cap) {
+  events.reserve(events_cap);
+  messages.reserve(messages_cap);
+  checkpoints.reserve(checkpoints_cap);
 }
 
 std::vector<CkptRec> Trace::checkpoints_of(int proc) const {

@@ -93,6 +93,11 @@ struct Trace {
   /// Deterministic per-process execution digest for replay validation.
   std::vector<std::uint64_t> final_digest;
 
+  /// Pre-sizes the event/message/checkpoint stores so steady-state appends
+  /// amortize to plain stores (the simulator calls this once at start-up).
+  void reserve(std::size_t events_cap, std::size_t messages_cap,
+               std::size_t checkpoints_cap);
+
   /// Checkpoints of one process in completion order.
   std::vector<CkptRec> checkpoints_of(int proc) const;
   /// App messages only.

@@ -7,17 +7,26 @@
 
 namespace acfc::trace {
 
+std::size_t VClock::check_index(int i) const {
+  ACFC_CHECK_MSG(i >= 0 && i < size_, "vector clock index out of range");
+  return static_cast<std::size_t>(i);
+}
+
 void VClock::merge(const VClock& other) {
-  ACFC_CHECK_MSG(c_.size() == other.c_.size(), "vector clock size mismatch");
-  for (size_t i = 0; i < c_.size(); ++i) c_[i] = std::max(c_[i], other.c_[i]);
+  ACFC_CHECK_MSG(size_ == other.size_, "vector clock size mismatch");
+  std::uint64_t* mine = data();
+  const std::uint64_t* theirs = other.data();
+  for (int i = 0; i < size_; ++i) mine[i] = std::max(mine[i], theirs[i]);
 }
 
 bool VClock::happened_before(const VClock& other) const {
-  ACFC_CHECK_MSG(c_.size() == other.c_.size(), "vector clock size mismatch");
+  ACFC_CHECK_MSG(size_ == other.size_, "vector clock size mismatch");
+  const std::uint64_t* mine = data();
+  const std::uint64_t* theirs = other.data();
   bool strictly_less = false;
-  for (size_t i = 0; i < c_.size(); ++i) {
-    if (c_[i] > other.c_[i]) return false;
-    if (c_[i] < other.c_[i]) strictly_less = true;
+  for (int i = 0; i < size_; ++i) {
+    if (mine[i] > theirs[i]) return false;
+    if (mine[i] < theirs[i]) strictly_less = true;
   }
   return strictly_less;
 }
@@ -27,12 +36,18 @@ bool VClock::concurrent_with(const VClock& other) const {
          !(*this == other);
 }
 
+bool VClock::operator==(const VClock& other) const {
+  if (size_ != other.size_) return false;
+  return std::equal(data(), data() + size_, other.data());
+}
+
 std::string VClock::str() const {
   std::ostringstream os;
   os << '[';
-  for (size_t i = 0; i < c_.size(); ++i) {
+  const std::uint64_t* c = data();
+  for (int i = 0; i < size_; ++i) {
     if (i) os << ' ';
-    os << c_[i];
+    os << c[i];
   }
   os << ']';
   return os.str();

@@ -3,8 +3,15 @@
 // Every simulated event carries the vector clock of its process at the
 // time it occurred; e happened-before f iff VC(e) < VC(f) componentwise
 // (Mattern/Fidge characterization of Lamport's relation).
+//
+// The simulator stamps one clock per event record and two per message, so
+// clock copies are the allocation hot path of the engine. Components live
+// inline (no heap) up to kInlineCapacity processes and spill to a vector
+// only beyond that; copying a clock for the common world sizes is a plain
+// memcpy.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -13,18 +20,59 @@ namespace acfc::trace {
 
 class VClock {
  public:
-  VClock() = default;
-  explicit VClock(int nprocs) : c_(static_cast<size_t>(nprocs), 0) {}
+  /// World sizes up to this many processes store components inline.
+  static constexpr int kInlineCapacity = 8;
 
-  int size() const { return static_cast<int>(c_.size()); }
-  std::uint64_t operator[](int i) const { return c_.at(static_cast<size_t>(i)); }
+  VClock() = default;
+  explicit VClock(int nprocs) : size_(nprocs) {
+    if (size_ > kInlineCapacity)
+      heap_.assign(static_cast<size_t>(size_), 0);
+    else
+      std::fill(small_, small_ + size_, 0);
+  }
+
+  // Copy/move only the active storage: inline clocks are a fixed-size
+  // memcpy with no heap traffic, spilled clocks never touch small_ (which
+  // stays uninitialized — it is only ever read through data(), gated on
+  // size_ ≤ kInlineCapacity).
+  VClock(const VClock& other) : size_(other.size_) {
+    if (size_ > kInlineCapacity)
+      heap_ = other.heap_;
+    else
+      std::copy(other.small_, other.small_ + size_, small_);
+  }
+  VClock& operator=(const VClock& other) {
+    size_ = other.size_;
+    if (size_ > kInlineCapacity)
+      heap_ = other.heap_;  // reuses existing capacity where possible
+    else
+      std::copy(other.small_, other.small_ + size_, small_);
+    return *this;
+  }
+  VClock(VClock&& other) noexcept : size_(other.size_) {
+    if (size_ > kInlineCapacity)
+      heap_ = std::move(other.heap_);
+    else
+      std::copy(other.small_, other.small_ + size_, small_);
+  }
+  VClock& operator=(VClock&& other) noexcept {
+    size_ = other.size_;
+    if (size_ > kInlineCapacity)
+      heap_ = std::move(other.heap_);
+    else
+      std::copy(other.small_, other.small_ + size_, small_);
+    return *this;
+  }
+
+  int size() const { return size_; }
+  std::uint64_t operator[](int i) const { return data()[check_index(i)]; }
 
   /// Advances this process's component (call on every local event).
-  void tick(int proc) { ++c_.at(static_cast<size_t>(proc)); }
+  void tick(int proc) { ++data()[check_index(proc)]; }
 
   /// Sets a component directly (deserialization only).
   void set(int proc, std::uint64_t value) {
-    c_.at(static_cast<size_t>(proc)) = value;
+    data()[check_index(proc)] = value;
   }
 
   /// Componentwise max (call on message receipt with the sender's clock).
@@ -37,12 +85,24 @@ class VClock {
   /// Neither happened_before the other (and not equal): concurrent.
   bool concurrent_with(const VClock& other) const;
 
-  bool operator==(const VClock& other) const { return c_ == other.c_; }
+  bool operator==(const VClock& other) const;
 
   std::string str() const;
 
  private:
-  std::vector<std::uint64_t> c_;
+  const std::uint64_t* data() const {
+    return size_ > kInlineCapacity ? heap_.data() : small_;
+  }
+  std::uint64_t* data() {
+    return size_ > kInlineCapacity ? heap_.data() : small_;
+  }
+  std::size_t check_index(int i) const;
+
+  int size_ = 0;
+  // Deliberately no initializer: the ctors zero exactly the components in
+  // use, so spilled clocks never pay a 128-byte memset per construction.
+  std::uint64_t small_[kInlineCapacity];
+  std::vector<std::uint64_t> heap_;
 };
 
 }  // namespace acfc::trace

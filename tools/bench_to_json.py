@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Run the A3 analysis-scaling benchmark and emit BENCH_analysis.json.
+"""Run a google-benchmark suite and emit a condensed BENCH_*.json.
 
-Drives bench/ablate_analysis_scaling through google-benchmark's JSON
-reporter and condenses the output into one flat document:
+Two suites:
+
+  --suite analysis (default) drives bench/ablate_analysis_scaling and
+  writes BENCH_analysis.json:
 
     {
       "benchmark": "ablate_analysis_scaling",
@@ -15,11 +17,32 @@ reporter and condenses the output into one flat document:
       "speedups": {"CheckCondition1/32": 6.8, "RepairPlacement/32": 7.3}
     }
 
-"speedups" pairs every fast-path phase with its *Legacy twin at the same
-argument (legacy ns-per-op / fast ns-per-op). Standard library only.
+  "speedups" pairs every fast-path phase with its *Legacy twin at the same
+  argument (legacy ns-per-op / fast ns-per-op).
+
+  --suite sim drives bench/ablate_sim_throughput and writes BENCH_sim.json:
+
+    {
+      "benchmark": "ablate_sim_throughput",
+      "context": {...},
+      "phases": {...},                        # same shape as above
+      "events_per_s": {"BM_SimulateRing/8": 5.1e6, ...},
+      "ckpts_per_s": {"BM_CheckpointCapture/1": ..., ...},
+      "parallel_speedup": {"Fig8Sweep/4": 1.9, ...},   # vs Fig8SweepSerial
+      "events_per_s_before": {...},           # only with --baseline
+      "events_per_s_speedup": {...}           # after / before, per phase
+    }
+
+  "parallel_speedup" divides BM_Fig8SweepSerial's wall time by each
+  BM_Fig8Sweep/T's (both run UseRealTime, so names carry a /real_time
+  suffix which is ignored for pairing). --baseline points at a JSON file
+  holding an "events_per_s" map from an earlier build (either a previous
+  BENCH_sim.json or a hand-recorded {"events_per_s": {...}}); matching
+  phases gain before/after counters. Standard library only.
 
 Usage:
-    tools/bench_to_json.py [--bench PATH] [--out PATH] [--min-time SECS]
+    tools/bench_to_json.py [--suite {analysis,sim}] [--bench PATH]
+                           [--out PATH] [--min-time SECS] [--baseline PATH]
 """
 
 import argparse
@@ -29,8 +52,16 @@ import subprocess
 import sys
 import tempfile
 
-DEFAULT_BENCH = os.path.join("build", "bench", "ablate_analysis_scaling")
-DEFAULT_OUT = "BENCH_analysis.json"
+SUITES = {
+    "analysis": {
+        "bench": os.path.join("build", "bench", "ablate_analysis_scaling"),
+        "out": "BENCH_analysis.json",
+    },
+    "sim": {
+        "bench": os.path.join("build", "bench", "ablate_sim_throughput"),
+        "out": "BENCH_sim.json",
+    },
+}
 
 
 def run_benchmark(bench, min_time):
@@ -66,7 +97,7 @@ def to_ns(value, unit):
     return value * scale[unit]
 
 
-def condense(raw):
+def extract_phases(raw):
     phases = {}
     for bench in raw.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -81,6 +112,16 @@ def condense(raw):
             "iterations": bench["iterations"],
             "counters": counters,
         }
+    return phases
+
+
+def strip_real_time(name):
+    """UseRealTime appends /real_time to the benchmark name."""
+    return name[:-len("/real_time")] if name.endswith("/real_time") else name
+
+
+def condense_analysis(raw):
+    phases = extract_phases(raw)
 
     # Fast path vs its Legacy twin: BM_Foo/N vs BM_FooLegacy/N.
     speedups = {}
@@ -100,26 +141,95 @@ def condense(raw):
     }
 
 
+def condense_sim(raw, baseline):
+    phases = extract_phases(raw)
+
+    events = {}
+    ckpts = {}
+    serial_ns = None
+    parallel_ns = {}  # threads arg (str) -> ns_per_op
+    for name, stats in phases.items():
+        plain = strip_real_time(name)
+        if "events/s" in stats["counters"]:
+            events[plain] = stats["counters"]["events/s"]
+        if "ckpts/s" in stats["counters"]:
+            ckpts[plain] = stats["counters"]["ckpts/s"]
+        base, _, arg = plain.partition("/")
+        if base == "BM_Fig8SweepSerial":
+            serial_ns = stats["ns_per_op"]
+        elif base == "BM_Fig8Sweep" and arg:
+            parallel_ns[arg] = stats["ns_per_op"]
+
+    parallel_speedup = {}
+    if serial_ns:
+        for threads, ns in sorted(parallel_ns.items(), key=lambda kv: kv[0]):
+            if ns > 0:
+                parallel_speedup["Fig8Sweep/%s" % threads] = round(
+                    serial_ns / ns, 2)
+
+    doc = {
+        "benchmark": "ablate_sim_throughput",
+        "context": raw.get("context", {}),
+        "phases": phases,
+        "events_per_s": events,
+        "ckpts_per_s": ckpts,
+        "parallel_speedup": parallel_speedup,
+    }
+
+    if baseline:
+        before = baseline.get("events_per_s", {})
+        doc["events_per_s_before"] = before
+        doc["baseline_note"] = baseline.get(
+            "baseline_note", baseline.get("note", ""))
+        speedup = {}
+        for name, after in events.items():
+            prior = before.get(name)
+            if prior:
+                speedup[name] = round(after / prior, 2)
+        doc["events_per_s_speedup"] = speedup
+    return doc
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--bench", default=DEFAULT_BENCH,
-                        help="benchmark binary (default: %(default)s)")
-    parser.add_argument("--out", default=DEFAULT_OUT,
-                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--suite", choices=sorted(SUITES), default="analysis",
+                        help="benchmark suite to run (default: %(default)s)")
+    parser.add_argument("--bench", default=None,
+                        help="benchmark binary (default: per suite)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: per suite)")
     parser.add_argument("--min-time", type=float, default=None,
                         help="per-benchmark min time in seconds")
+    parser.add_argument("--baseline", default=None,
+                        help="sim suite: JSON with an events_per_s map from "
+                             "an earlier build; adds before/after counters")
     args = parser.parse_args()
 
-    if not os.path.exists(args.bench):
-        sys.exit("benchmark binary not found: %s (build it first)" %
-                 args.bench)
-    doc = condense(run_benchmark(args.bench, args.min_time))
-    with open(args.out, "w") as f:
+    suite = SUITES[args.suite]
+    bench = args.bench or suite["bench"]
+    out = args.out or suite["out"]
+    if not os.path.exists(bench):
+        sys.exit("benchmark binary not found: %s (build it first)" % bench)
+
+    raw = run_benchmark(bench, args.min_time)
+    if args.suite == "analysis":
+        doc = condense_analysis(raw)
+        ratios = doc["speedups"]
+    else:
+        baseline = None
+        if args.baseline:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        doc = condense_sim(raw, baseline)
+        ratios = dict(doc["parallel_speedup"])
+        ratios.update(doc.get("events_per_s_speedup", {}))
+
+    with open(out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
-    for label, speedup in sorted(doc["speedups"].items()):
-        print("%-28s %5.2fx" % (label, speedup))
-    print("wrote %s (%d phases)" % (args.out, len(doc["phases"])))
+    for label, speedup in sorted(ratios.items()):
+        print("%-36s %5.2fx" % (label, speedup))
+    print("wrote %s (%d phases)" % (out, len(doc["phases"])))
 
 
 if __name__ == "__main__":
