@@ -1,0 +1,131 @@
+// Ablation — rollback-recovery cost per protocol (google-benchmark):
+// fault-injected seed sweeps of the faceoff workload under every
+// checkpointing baseline, reporting what a failure actually costs under
+// each scheme — recovery latency (fail → last restart), lost work
+// (Σ_p fail − cut-member commit), rollback distance (demotions below the
+// latest checkpoint; 0 = coordinated-quality recovery, the paper's claim
+// for the app-driven placement), and replayed messages.
+//
+// tools/bench_to_json.py --suite sim runs this binary alongside
+// ablate_sim_throughput and merges the per-protocol counters into the
+// "recovery" map of BENCH_sim.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "place/place.h"
+#include "proto/protocols.h"
+#include "sim/montecarlo.h"
+#include "sim/recovery.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace acfc;
+
+constexpr proto::Protocol kProtocols[] = {
+    proto::Protocol::kAppDriven,     proto::Protocol::kSyncAndStop,
+    proto::Protocol::kChandyLamport, proto::Protocol::kKooToueg,
+    proto::Protocol::kCic,           proto::Protocol::kUncoordinated};
+
+constexpr int kNprocs = 8;
+constexpr int kReplications = 8;
+
+// The faceoff workload: checkpoint-free for the timer-driven protocols,
+// Phase-I/III placed checkpoints for the app-driven arm.
+const mp::Program& plain_program() {
+  static const mp::Program program = benchws::faceoff_plain();
+  return program;
+}
+
+const mp::Program& app_driven_program() {
+  static const mp::Program program = [] {
+    mp::Program p = plain_program().clone();
+    p.renumber();
+    place::InsertOptions iopts;
+    iopts.target_interval = 60.0;
+    const auto report = place::analyze_and_place(p, iopts);
+    ACFC_CHECK_MSG(report.success, "faceoff placement failed");
+    return p;
+  }();
+  return program;
+}
+
+sim::SimOptions base_options() {
+  sim::SimOptions opts;
+  opts.nprocs = kNprocs;
+  opts.checkpoint_overhead = 1.78;
+  opts.compute_jitter = 0.3;
+  opts.recovery_overhead = 2.0;
+  opts.keep_snapshots = true;
+  return opts;
+}
+
+// Failure-free makespan of the plain workload — the horizon fault times
+// are drawn from. Probed once; deterministic.
+double fault_horizon() {
+  static const double horizon = [] {
+    sim::SimOptions opts = base_options();
+    opts.seed = sim::run_seed(/*base_seed=*/3, 0);
+    const auto run = proto::run_protocol(plain_program(),
+                                         proto::Protocol::kUncoordinated,
+                                         opts, proto::ProtocolOptions{});
+    return run.sim.trace.end_time * 0.8;
+  }();
+  return horizon;
+}
+
+// Seed sweep with one pseudo-random fault plan per run. The plans depend
+// only on the run index, never on the protocol, so every arm faces the
+// same failures.
+std::vector<sim::SimOptions> fault_sweep_configs() {
+  std::vector<sim::SimOptions> configs =
+      sim::seed_sweep(base_options(), kReplications);
+  for (size_t i = 0; i < configs.size(); ++i)
+    configs[i].fault_plan = sim::random_fault_plan(
+        sim::run_seed(/*base_seed=*/17, static_cast<long>(i)), kNprocs,
+        fault_horizon());
+  return configs;
+}
+
+void BM_RecoverySweep(benchmark::State& state) {
+  const proto::Protocol protocol =
+      kProtocols[static_cast<size_t>(state.range(0))];
+  const mp::Program& program = protocol == proto::Protocol::kAppDriven
+                                   ? app_driven_program()
+                                   : plain_program();
+  const auto configs = fault_sweep_configs();
+  proto::ProtocolOptions popts;
+  popts.interval = 60.0;
+
+  sim::RecoveryMetrics metrics;
+  for (auto _ : state) {
+    auto runs = sim::parallel_map(
+        static_cast<long>(configs.size()), sim::McOptions{}, [&](long i) {
+          return proto::run_protocol(program, protocol,
+                                     configs[static_cast<size_t>(i)], popts)
+              .sim;
+        });
+    metrics = sim::recovery_metrics(runs);
+    benchmark::DoNotOptimize(&metrics);
+  }
+
+  state.SetLabel(proto::protocol_name(protocol));
+  state.counters["runs"] = static_cast<double>(metrics.runs);
+  state.counters["completed"] = static_cast<double>(metrics.completed);
+  state.counters["rollbacks"] = static_cast<double>(metrics.failures);
+  state.counters["recovery_latency_s"] = metrics.mean_recovery_latency;
+  state.counters["lost_work_s"] = metrics.mean_lost_work;
+  state.counters["rollback_distance"] = metrics.mean_rollback_distance;
+  state.counters["replayed_msgs"] =
+      static_cast<double>(metrics.replayed_messages);
+}
+BENCHMARK(BM_RecoverySweep)
+    ->DenseRange(0, static_cast<int>(std::size(kProtocols)) - 1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -95,5 +95,54 @@ int main() {
   table.print(std::cout);
   std::cout << "\nappl-driven: zero control messages, zero pauses — the "
                "coordination-free claim, measured.\n";
+
+  // Second axis: what a crash actually costs under each scheme. Every
+  // protocol faces the SAME pseudo-random fault plans (plans derive from
+  // the run index only); the engine rolls back to the maximal recovery
+  // line, replays, and records latency / lost work / rollback distance.
+  const double horizon = runs[0].sim.trace.end_time * 0.8;
+  const int replications = 8;
+  sim::SimOptions fault_base = sopts;
+  fault_base.recovery_overhead = 2.0;  // restart delay R
+  std::vector<sim::SimOptions> fault_configs =
+      sim::seed_sweep(fault_base, replications);
+  for (size_t i = 0; i < fault_configs.size(); ++i)
+    fault_configs[i].fault_plan = sim::random_fault_plan(
+        sim::run_seed(/*base_seed=*/17, static_cast<long>(i)), nprocs,
+        horizon);
+
+  util::Table rec_table({"protocol", "rollbacks", "recovery lat (s)",
+                         "lost work (s)", "rollback dist", "replayed msgs"});
+  for (size_t i = 0; i < std::size(protocols); ++i) {
+    const proto::Protocol protocol = protocols[i];
+    const mp::Program& program =
+        protocol == proto::Protocol::kAppDriven ? app_driven : plain;
+    auto faulty = sim::parallel_map(
+        static_cast<long>(fault_configs.size()), sim::McOptions{},
+        [&](long run) {
+          return proto::run_protocol(
+                     program, protocol,
+                     fault_configs[static_cast<size_t>(run)], popts)
+              .sim;
+        });
+    const sim::RecoveryMetrics m = sim::recovery_metrics(faulty);
+    if (m.completed != m.runs) {
+      std::cerr << proto::protocol_name(protocol)
+                << ": fault-injected run incomplete\n";
+      return 1;
+    }
+    rec_table.add_row({proto::protocol_name(protocol),
+                       std::to_string(m.failures),
+                       util::format_double(m.mean_recovery_latency, 3),
+                       util::format_double(m.mean_lost_work, 5),
+                       util::format_double(m.mean_rollback_distance, 3),
+                       std::to_string(m.replayed_messages)});
+  }
+
+  std::cout << "\nfault-injected recovery (" << replications
+            << " runs per protocol, identical fault plans):\n";
+  rec_table.print(std::cout);
+  std::cout << "\nrollback dist 0 = coordinated-quality recovery; the "
+               "uncoordinated baseline dominoes, appl-driven does not.\n";
   return 0;
 }

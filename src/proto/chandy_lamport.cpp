@@ -59,6 +59,16 @@ void ChandyLamportDriver::before_delivery(sim::Engine& engine, int dst,
     engine.note_channel_logged();
 }
 
+void ChandyLamportDriver::on_rollback(sim::Engine& engine,
+                                      int /*failed_proc*/,
+                                      double resume_at) {
+  // Markers in flight were dropped with the rollback; abandon the round.
+  round_active_ = false;
+  markers_remaining_ = 0;
+  if (!engine.all_done())
+    engine.schedule_timer(opts_.coordinator, resume_at + opts_.interval, 0);
+}
+
 void ChandyLamportDriver::maybe_finish(sim::Engine& engine) {
   if (!round_active_ || markers_remaining_ > 0) return;
   round_active_ = false;

@@ -31,6 +31,8 @@ class ChandyLamportDriver final : public sim::ProtocolDriver {
                   long payload) override;
   void before_delivery(sim::Engine& engine, int dst, int src,
                        long piggyback_value) override;
+  void on_rollback(sim::Engine& engine, int failed_proc,
+                   double resume_at) override;
 
   int rounds_completed() const { return rounds_completed_; }
 

@@ -29,6 +29,14 @@ void CicDriver::before_delivery(sim::Engine& engine, int dst, int /*src*/,
     engine.force_checkpoint(dst);
 }
 
+void CicDriver::on_rollback(sim::Engine& engine, int /*failed_proc*/,
+                            double resume_at) {
+  // Per-process basic-checkpoint timers died with the rollback epoch.
+  for (int p = 0; p < engine.nprocs(); ++p)
+    if (!engine.is_done(p))
+      engine.schedule_timer(p, resume_at + opts_.interval, 0);
+}
+
 void UncoordinatedDriver::on_start(sim::Engine& engine) {
   for (int p = 0; p < engine.nprocs(); ++p) {
     const double first = opts_.first_round_at >= 0.0
@@ -52,6 +60,15 @@ void UncoordinatedDriver::on_timer(sim::Engine& engine, int proc,
   engine.schedule_timer(proc,
                         engine.now() + interval_of(proc, engine.nprocs()),
                         0);
+}
+
+void UncoordinatedDriver::on_rollback(sim::Engine& engine,
+                                      int /*failed_proc*/,
+                                      double resume_at) {
+  for (int p = 0; p < engine.nprocs(); ++p)
+    if (!engine.is_done(p))
+      engine.schedule_timer(p, resume_at + interval_of(p, engine.nprocs()),
+                            0);
 }
 
 }  // namespace acfc::proto

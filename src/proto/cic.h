@@ -23,6 +23,8 @@ class CicDriver final : public sim::ProtocolDriver {
   long piggyback(sim::Engine& engine, int src) override;
   void before_delivery(sim::Engine& engine, int dst, int src,
                        long piggyback_value) override;
+  void on_rollback(sim::Engine& engine, int failed_proc,
+                   double resume_at) override;
 
  private:
   ProtocolOptions opts_;
@@ -38,6 +40,8 @@ class UncoordinatedDriver final : public sim::ProtocolDriver {
 
   void on_start(sim::Engine& engine) override;
   void on_timer(sim::Engine& engine, int proc, int timer_id) override;
+  void on_rollback(sim::Engine& engine, int failed_proc,
+                   double resume_at) override;
 
  private:
   double interval_of(int proc, int nprocs) const;

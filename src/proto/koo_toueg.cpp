@@ -65,6 +65,20 @@ void KooTouegDriver::on_control(sim::Engine& engine, int dst, int /*src*/,
   }
 }
 
+void KooTouegDriver::on_rollback(sim::Engine& engine, int /*failed_proc*/,
+                                 double resume_at) {
+  // The in-flight round (if any) died with its REQUEST/ACK traffic, and
+  // the restored states invalidate the recorded dependency sets — start
+  // over conservatively empty; deliveries after the restart repopulate
+  // them.
+  round_active_ = false;
+  outstanding_ = 0;
+  dependency_.assign(static_cast<size_t>(engine.nprocs()), {});
+  tentative_.assign(static_cast<size_t>(engine.nprocs()), 0);
+  if (!engine.all_done())
+    engine.schedule_timer(opts_.coordinator, resume_at + opts_.interval, 0);
+}
+
 void KooTouegDriver::maybe_commit(sim::Engine& engine) {
   if (!round_active_ || outstanding_ > 0) return;
   // Commit: resume every participant.

@@ -62,6 +62,17 @@ ProtocolRunResult run_protocol(const mp::Program& program, Protocol protocol,
   return out;
 }
 
+sim::OracleReport check_protocol_recovery(const mp::Program& program,
+                                          Protocol protocol,
+                                          const sim::SimOptions& sim_opts,
+                                          const sim::FaultPlan& plan,
+                                          const ProtocolOptions& proto_opts,
+                                          const sim::OracleOptions& oracle) {
+  return sim::check_recovery(
+      program, sim_opts, plan, oracle,
+      [protocol, proto_opts] { return make_driver(protocol, proto_opts); });
+}
+
 long expected_control_messages(Protocol protocol, int nprocs) {
   const long n = nprocs;
   switch (protocol) {

@@ -72,6 +72,17 @@ void SyncAndStopDriver::on_control(sim::Engine& engine, int dst, int src,
   }
 }
 
+void SyncAndStopDriver::on_rollback(sim::Engine& engine, int /*failed_proc*/,
+                                    double resume_at) {
+  // Any in-flight round died with the rollback: its STOP/ACK/CKPT control
+  // messages were dropped and every process was restored un-paused.
+  round_active_ = false;
+  ack_count_ = 0;
+  done_count_ = 0;
+  if (!engine.all_done())
+    engine.schedule_timer(opts_.coordinator, resume_at + opts_.interval, 0);
+}
+
 void SyncAndStopDriver::maybe_advance_to_checkpoint(sim::Engine& engine) {
   if (!round_active_ || ack_count_ < participants_) return;
   if (done_count_ > 0) return;  // already in phase 2

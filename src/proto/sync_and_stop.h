@@ -30,6 +30,8 @@ class SyncAndStopDriver final : public sim::ProtocolDriver {
   void on_control(sim::Engine& engine, int dst, int src, int kind,
                   long payload) override;
   void on_paused(sim::Engine& engine, int proc) override;
+  void on_rollback(sim::Engine& engine, int failed_proc,
+                   double resume_at) override;
 
   int rounds_completed() const { return rounds_completed_; }
 

@@ -41,6 +41,14 @@ class ProtocolDriver {
 
   /// A process reached the pause boundary after Engine::request_pause.
   virtual void on_paused(Engine& /*engine*/, int /*proc*/) {}
+
+  /// The engine rolled the whole application back to a recovery line after
+  /// `failed_proc` crashed; every process restarts by `resume_at`. All
+  /// pending timers from before the rollback are dead (epoch-invalidated)
+  /// and in-flight control messages were dropped, so drivers must reset
+  /// any mutable round state and reschedule their timers here.
+  virtual void on_rollback(Engine& /*engine*/, int /*failed_proc*/,
+                           double /*resume_at*/) {}
 };
 
 }  // namespace acfc::sim

@@ -149,10 +149,47 @@ void Engine::push_event(double time, EvKind kind, int proc, long a) {
 
 void Engine::bootstrap() {
   for (int p = 0; p < opts_.nprocs; ++p) push_event(0.0, EvKind::kWake, p);
-  for (size_t i = 0; i < opts_.failures.size(); ++i)
-    push_event(opts_.failures[i].time, EvKind::kFailure,
-               opts_.failures[i].proc, static_cast<long>(i));
+  for (const FailureEvent& failure : opts_.failures)
+    arm_failure(failure.proc, failure.time);
+  for (const FaultSpec& spec : opts_.fault_plan.faults) {
+    ACFC_CHECK_MSG(spec.proc >= 0 && spec.proc < opts_.nprocs,
+                   "fault plan targets a process outside the world");
+    if (spec.trigger == FaultSpec::Trigger::kAtTime)
+      arm_failure(spec.proc, spec.time);
+    else
+      pending_faults_.push_back(PendingFault{spec, false});
+  }
   if (driver_ != nullptr) driver_->on_start(*this);
+}
+
+void Engine::arm_failure(int proc, double time) {
+  armed_failures_.push_back(FailureEvent{proc, time});
+  push_event(time, EvKind::kFailure, proc,
+             static_cast<long>(armed_failures_.size()) - 1);
+}
+
+void Engine::check_checkpoint_faults(int proc) {
+  for (PendingFault& pending : pending_faults_) {
+    if (pending.fired ||
+        pending.spec.trigger != FaultSpec::Trigger::kAfterCheckpoint)
+      continue;
+    if (pending.spec.proc != proc ||
+        ckpt_counts_[static_cast<size_t>(proc)] < pending.spec.count)
+      continue;
+    pending.fired = true;  // once only: rollback rewinds the tally
+    arm_failure(pending.spec.proc, now_);
+  }
+}
+
+void Engine::check_event_faults() {
+  for (PendingFault& pending : pending_faults_) {
+    if (pending.fired ||
+        pending.spec.trigger != FaultSpec::Trigger::kAfterEvents)
+      continue;
+    if (stats_.events_processed < pending.spec.count) continue;
+    pending.fired = true;
+    arm_failure(pending.spec.proc, now_);
+  }
 }
 
 // ===========================================================================
@@ -168,6 +205,7 @@ SimResult Engine::run() {
     ACFC_CHECK_MSG(ev.time + 1e-12 >= now_, "time went backwards");
     now_ = std::max(now_, ev.time);
     dispatch(ev);
+    if (!pending_faults_.empty()) check_event_faults();
   }
   trace_.end_time = now_;
   trace_.completed = true;
@@ -181,6 +219,17 @@ SimResult Engine::run() {
   SimResult result;
   result.trace = std::move(trace_);
   result.stats = stats_;
+  result.recoveries = std::move(recoveries_);
+  const auto n = static_cast<size_t>(opts_.nprocs);
+  result.final_sends.assign(n * n, 0);
+  result.final_recvs.assign(n * n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    const VmSnapshot& state = procs_[p]->vm->state();
+    for (size_t q = 0; q < n; ++q) {
+      result.final_sends[p * n + q] = state.sends_per_channel[q];
+      result.final_recvs[p * n + q] = state.recvs_per_channel[q];
+    }
+  }
   return result;
 }
 
@@ -218,7 +267,7 @@ void Engine::dispatch(const Ev& ev) {
       return;
     }
     case EvKind::kFailure: {
-      handle_failure(opts_.failures.at(static_cast<size_t>(ev.a)));
+      handle_failure(armed_failures_.at(static_cast<size_t>(ev.a)));
       return;
     }
   }
@@ -495,6 +544,7 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
   (forced ? stats_.forced_checkpoints : stats_.statement_checkpoints)++;
   ++ckpt_counts_[static_cast<size_t>(p)];
   if (driver_ != nullptr) driver_->on_checkpoint(*this, p, forced);
+  if (!pending_faults_.empty()) check_checkpoint_faults(p);
   return overhead;
 }
 
@@ -703,12 +753,6 @@ void Engine::handle_failure(const FailureEvent& failure) {
     if (proc->status != Process::Status::kDone) all_done = false;
   if (all_done) return;
 
-  for (const auto& round : rounds_)
-    if (round->kind != CollRound::Kind::kNone && !round->released)
-      throw util::ProgramError(
-          "failure injection with in-flight native collectives is not "
-          "supported — lower collectives first (mp::lower_collectives)");
-
   ++stats_.restarts;
   trace::EventRec fail_rec;
   fail_rec.kind = trace::EventKind::kFailure;
@@ -721,13 +765,38 @@ void Engine::handle_failure(const FailureEvent& failure) {
   const trace::RecoveryLine line = trace::max_recovery_line(trace_, now_);
   ACFC_CHECK_MSG(line.consistent, "recovery line selection failed");
 
+  RecoveryRec record;
+  record.failed_proc = failure.proc;
+  record.fail_time = now_;
+  record.cut = line.cut;
+  record.rollbacks = line.rollbacks;
+  record.lost_work = line.lost_work;
+
   ++epoch_;
   for (auto& box : inbox_) box.clear();
-  const double resume_at = now_ + opts_.recovery_overhead;
-  std::fill(channel_last_deliver_.begin(), channel_last_deliver_.end(),
-            resume_at);
-  std::fill(control_last_deliver_.begin(), control_last_deliver_.end(),
-            resume_at);
+
+  // Per-process restart times: the uniform restart delay R plus an
+  // optional per-process restore cost (e.g. replaying an incremental
+  // checkpoint chain from a StableStore).
+  const double base_resume = now_ + opts_.recovery_overhead;
+  std::vector<double> resume_of(static_cast<size_t>(opts_.nprocs),
+                                base_resume);
+  if (opts_.recovery_cost_fn)
+    for (int p = 0; p < opts_.nprocs; ++p)
+      resume_of[static_cast<size_t>(p)] += opts_.recovery_cost_fn(p);
+  double max_resume = base_resume;
+  for (const double t : resume_of) max_resume = std::max(max_resume, t);
+  record.resume_time = max_resume;
+
+  // FIFO floors: nothing may be delivered to a process before it restarts.
+  for (int src = 0; src < opts_.nprocs; ++src)
+    for (int dst = 0; dst < opts_.nprocs; ++dst) {
+      const size_t chan = static_cast<size_t>(src) *
+                              static_cast<size_t>(opts_.nprocs) +
+                          static_cast<size_t>(dst);
+      channel_last_deliver_[chan] = resume_of[static_cast<size_t>(dst)];
+      control_last_deliver_[chan] = resume_of[static_cast<size_t>(dst)];
+    }
 
   // Restore every process.
   for (int p = 0; p < opts_.nprocs; ++p) {
@@ -746,10 +815,17 @@ void Engine::handle_failure(const FailureEvent& failure) {
       proc.vm->restore(*snap.vm);
       proc.pending_recv = snap.pending_recv;
     }
+    // Rewind the completed-checkpoint tally to the restored state so that
+    // checkpoint_count() (CIC piggybacks) reflects the new incarnation.
+    long restored_ckpts = 0;
+    for (const auto& entry : proc.vm->state().ckpt_instances.entries)
+      restored_ckpts += entry.second;
+    ckpt_counts_[static_cast<size_t>(p)] = restored_ckpts;
     proc.pending_compute_uid = -1;
     proc.pause_requested = false;
     proc.status = proc.pending_recv ? Process::Status::kBlockedRecv
                                     : Process::Status::kReady;
+    const double resume_at = resume_of[static_cast<size_t>(p)];
     trace::EventRec rec;
     rec.kind = trace::EventKind::kRestart;
     rec.proc = p;
@@ -759,6 +835,8 @@ void Engine::handle_failure(const FailureEvent& failure) {
     if (proc.status == Process::Status::kReady)
       push_event(resume_at, EvKind::kWake, p);
   }
+
+  reset_collectives_for_rollback();
 
   // Sender-based message log replay: re-inject messages that were sent
   // before the sender's cut point but not consumed before the receiver's
@@ -790,15 +868,71 @@ void Engine::handle_failure(const FailureEvent& failure) {
         const size_t chan = static_cast<size_t>(src) *
                                 static_cast<size_t>(opts_.nprocs) +
                             static_cast<size_t>(dst);
-        double deliver_at = resume_at + message_delay(copy.bytes);
+        double deliver_at =
+            resume_of[static_cast<size_t>(src)] + message_delay(copy.bytes);
         deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
         channel_last_deliver_[chan] = deliver_at;
         copy.deliver_time = deliver_at;
         trace_.messages.push_back(copy);
         push_event(deliver_at, EvKind::kDeliver, dst,
                    static_cast<long>(trace_.messages.size()) - 1);
+        ++record.replayed_messages;
       }
     }
+  }
+
+  recoveries_.push_back(std::move(record));
+  if (driver_ != nullptr)
+    driver_->on_rollback(*this, failure.proc, max_resume);
+}
+
+void Engine::reset_collectives_for_rollback() {
+  // After the VMs are restored, every collective round must reflect the
+  // join state of the restored counters: a process whose restored
+  // collectives_done is ≤ the round index will re-execute its join, so its
+  // recorded join is cleared; processes already past the round keep their
+  // recorded joins (a re-executing reduce root still needs the
+  // contributions of members who never rolled back). Checkpoints are
+  // statement-boundary snapshots, so restored states are never mid-round.
+  for (size_t i = 0; i < rounds_.size(); ++i) {
+    CollRound& round = *rounds_[i];
+    if (round.kind == CollRound::Kind::kNone) continue;
+    const auto round_index = static_cast<long>(i);
+    bool any_rejoin = false;
+    for (int p = 0; p < opts_.nprocs; ++p) {
+      const bool rejoins =
+          procs_[static_cast<size_t>(p)]->vm->state().collectives_done <=
+          round_index;
+      if (!rejoins) continue;
+      any_rejoin = true;
+      if (round.joined[static_cast<size_t>(p)]) {
+        round.joined[static_cast<size_t>(p)] = 0;
+        --round.joined_count;
+      }
+      if (round.root == p) {
+        round.root_joined = false;
+        round.root_ready = 0.0;
+      }
+    }
+    if (!any_rejoin) continue;
+    if (round.joined_count == 0) {
+      // Everyone re-executes this round: start it from scratch.
+      round = CollRound{};
+      continue;
+    }
+    if (round.kind == CollRound::Kind::kBarrier ||
+        round.kind == CollRound::Kind::kAllreduce) {
+      // All-merge rounds cannot be straddled by a consistent cut: either
+      // every member re-executes (handled above) or none does. A partial
+      // rejoin would deadlock the re-executing members.
+      throw util::ProgramError(
+          "rollback restored a cut straddling an all-merge collective "
+          "round — the recovery line is not consistent with the round");
+    }
+    // Reduce/bcast rounds may be re-released when the re-executing side
+    // (root or contributors) rejoins; the recorded joins of members that
+    // stayed past the round feed the re-release.
+    round.released = false;
   }
 }
 

@@ -22,6 +22,7 @@
 
 #include "mp/stmt.h"
 #include "sim/driver.h"
+#include "sim/fault.h"
 #include "sim/vm.h"
 #include "trace/analysis.h"
 #include "trace/trace.h"
@@ -64,10 +65,20 @@ struct SimOptions {
   double recovery_overhead = 0.0;
   /// Multiplicative jitter on compute durations, uniform in [0, x).
   double compute_jitter = 0.0;
+  /// Per-process restore delay added on top of recovery_overhead when a
+  /// rollback restores that process (e.g. store::restore_cost_fn deriving
+  /// chain-length-aware restore times from a StableStore). Must be
+  /// deterministic for replay.
+  std::function<double(int proc)> recovery_cost_fn;
   /// Per-process relative compute speed (duration /= speed); empty means
   /// homogeneous 1.0. Models heterogeneous grid nodes.
   std::vector<double> compute_speed;
+  /// Legacy time-triggered failure schedule (kept for existing callers);
+  /// `fault_plan` is the richer superset.
   std::vector<FailureEvent> failures;
+  /// Declarative failure-injection schedule (time / after-checkpoint /
+  /// after-events triggers); merged with `failures` at bootstrap.
+  FaultPlan fault_plan;
   /// Retain VM snapshots for checkpoints (needed for failures/restart).
   bool keep_snapshots = true;
   /// Runaway guard.
@@ -92,9 +103,31 @@ struct SimStats {
   long channel_logged_messages = 0;
 };
 
+/// One whole-application rollback, recorded as it happened: which process
+/// failed, the recovery line the engine restored, and what the rollback
+/// cost. The recovery oracle (sim/recovery.h) replays these post-hoc.
+struct RecoveryRec {
+  int failed_proc = -1;
+  double fail_time = 0.0;
+  /// Latest restart time across processes (per-process restores may end at
+  /// different times under recovery_cost_fn).
+  double resume_time = 0.0;
+  trace::Cut cut;               ///< the restored recovery line
+  std::vector<int> rollbacks;   ///< per-process demotion below its latest
+  double lost_work = 0.0;       ///< Σ_p (fail_time − cut member completion)
+  long replayed_messages = 0;   ///< in-transit messages re-injected from log
+};
+
 struct SimResult {
   trace::Trace trace;
   SimStats stats;
+  std::vector<RecoveryRec> recoveries;
+  /// Final per-channel counters, flattened src·n+dst / dst·n+src. The
+  /// zero-orphan recovery invariant is final_recvs[d·n+s] ≤
+  /// final_sends[s·n+d] for every channel: no process ends the run having
+  /// consumed a message its sender's final incarnation never sent.
+  std::vector<long> final_sends;
+  std::vector<long> final_recvs;
 };
 
 class Engine {
@@ -161,6 +194,16 @@ class Engine {
   double take_checkpoint(int proc, int ckpt_id, bool forced);
   void start_collective(int proc, const Action& action);
   void handle_failure(const FailureEvent& failure);
+  /// Arms `fault` (appends to the resolved schedule + queues the event).
+  void arm_failure(int proc, double time);
+  /// Fires any pending after-checkpoint fault of `proc` that its tally
+  /// just satisfied.
+  void check_checkpoint_faults(int proc);
+  /// Fires any pending after-events fault the processed count satisfied.
+  void check_event_faults();
+  /// Rebuilds collective-round join state after a rollback so processes
+  /// re-execute exactly the rounds their restored counters precede.
+  void reset_collectives_for_rollback();
   double message_delay(int bytes);
   void push_event(double time, EvKind kind, int proc, long a = -1);
 
@@ -184,6 +227,15 @@ class Engine {
   int epoch_ = 0;
   SimStats stats_;
   trace::Trace trace_;
+  std::vector<RecoveryRec> recoveries_;
+  /// Resolved failure schedule: legacy opts_.failures plus every fault of
+  /// opts_.fault_plan that has fired (kFailure events index into this).
+  std::vector<FailureEvent> armed_failures_;
+  struct PendingFault {
+    FaultSpec spec;
+    bool fired = false;
+  };
+  std::vector<PendingFault> pending_faults_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<EngineSnapshot> snapshots_;
   /// Per-process completed-checkpoint tally — checkpoint_count() is on the

@@ -1,0 +1,59 @@
+// Fault plans: declarative failure-injection schedules for the simulator.
+//
+// A FaultSpec kills one process at a trigger point; a FaultPlan is a set of
+// (possibly overlapping) faults driven through sim::Engine. Triggers come
+// in three flavors so experiments can pin failures to wall-clock times, to
+// logical progress ("right after p's k-th checkpoint" — the interesting
+// adversarial point for recovery-line selection), or to global event
+// counts. Trigger evaluation is deterministic, so fault-injected runs obey
+// the same parallel≡serial bit-identity contract as failure-free ones.
+#pragma once
+
+#include <vector>
+
+namespace acfc::sim {
+
+struct FaultSpec {
+  enum class Trigger {
+    kAtTime,           ///< fire at an absolute simulated time
+    kAfterCheckpoint,  ///< fire when `proc` completes its `count`-th checkpoint
+    kAfterEvents,      ///< fire once the engine has processed `count` events
+  };
+
+  int proc = 0;
+  Trigger trigger = Trigger::kAtTime;
+  double time = 0.0;  ///< kAtTime only
+  long count = 0;     ///< checkpoint ordinal / global event count
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  static FaultSpec at_time(int proc, double time) {
+    FaultSpec spec;
+    spec.proc = proc;
+    spec.trigger = FaultSpec::Trigger::kAtTime;
+    spec.time = time;
+    return spec;
+  }
+
+  static FaultSpec after_checkpoint(int proc, long count) {
+    FaultSpec spec;
+    spec.proc = proc;
+    spec.trigger = FaultSpec::Trigger::kAfterCheckpoint;
+    spec.count = count;
+    return spec;
+  }
+
+  static FaultSpec after_events(int proc, long count) {
+    FaultSpec spec;
+    spec.proc = proc;
+    spec.trigger = FaultSpec::Trigger::kAfterEvents;
+    spec.count = count;
+    return spec;
+  }
+};
+
+}  // namespace acfc::sim

@@ -1,0 +1,182 @@
+#include "sim/recovery.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "trace/analysis.h"
+#include "util/rng.h"
+
+namespace acfc::sim {
+
+RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
+  RecoveryMetrics metrics;
+  double latency_sum = 0.0;
+  double lost_sum = 0.0;
+  double rollback_sum = 0.0;
+  for (const SimResult& run : runs) {
+    ++metrics.runs;
+    if (run.trace.completed) ++metrics.completed;
+    for (const RecoveryRec& rec : run.recoveries) {
+      ++metrics.failures;
+      latency_sum += rec.resume_time - rec.fail_time;
+      lost_sum += rec.lost_work;
+      long demotions = 0;
+      for (const int d : rec.rollbacks) demotions += d;
+      rollback_sum += static_cast<double>(demotions);
+      metrics.replayed_messages += rec.replayed_messages;
+    }
+  }
+  if (metrics.failures > 0) {
+    metrics.mean_recovery_latency =
+        latency_sum / static_cast<double>(metrics.failures);
+    metrics.mean_lost_work = lost_sum / static_cast<double>(metrics.failures);
+    metrics.mean_rollback_distance =
+        rollback_sum / static_cast<double>(metrics.failures);
+  }
+  return metrics;
+}
+
+FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
+                            int max_faults) {
+  util::Rng rng(seed ^ 0xfa17ULL);
+  FaultPlan plan;
+  const int count =
+      static_cast<int>(rng.uniform_int(1, std::max(1, max_faults)));
+  for (int i = 0; i < count; ++i) {
+    const int proc = static_cast<int>(rng.uniform_int(0, nprocs - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        plan.faults.push_back(FaultPlan::at_time(
+            proc, rng.uniform(horizon * 0.05, horizon)));
+        break;
+      case 1:
+        plan.faults.push_back(FaultPlan::after_checkpoint(
+            proc, rng.uniform_int(1, 3)));
+        break;
+      default:
+        plan.faults.push_back(FaultPlan::after_events(
+            proc, rng.uniform_int(20, 400)));
+        break;
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+std::string describe_channel(int src, int dst) {
+  std::ostringstream out;
+  out << src << "→" << dst;
+  return out.str();
+}
+
+/// First orphan violation in the final channel counters, if any.
+std::string orphan_violation(const SimResult& result, int nprocs) {
+  const auto n = static_cast<size_t>(nprocs);
+  if (result.final_sends.size() != n * n ||
+      result.final_recvs.size() != n * n)
+    return "final channel counters missing";
+  for (int src = 0; src < nprocs; ++src)
+    for (int dst = 0; dst < nprocs; ++dst) {
+      if (src == dst) continue;
+      const long sent =
+          result.final_sends[static_cast<size_t>(src) * n +
+                             static_cast<size_t>(dst)];
+      const long consumed =
+          result.final_recvs[static_cast<size_t>(dst) * n +
+                             static_cast<size_t>(src)];
+      if (consumed > sent) {
+        std::ostringstream out;
+        out << "orphan messages on channel " << describe_channel(src, dst)
+            << ": receiver consumed " << consumed << " but sender's final "
+            << "incarnation sent " << sent;
+        return out.str();
+      }
+    }
+  return {};
+}
+
+}  // namespace
+
+OracleReport check_recovery(const mp::Program& program,
+                            const SimOptions& base, const FaultPlan& plan,
+                            const OracleOptions& oracle,
+                            const DriverFactory& driver_factory) {
+  OracleReport report;
+
+  SimOptions ref_opts = base;
+  ref_opts.failures.clear();
+  ref_opts.fault_plan = FaultPlan{};
+  std::unique_ptr<ProtocolDriver> ref_driver;
+  if (driver_factory) ref_driver = driver_factory();
+  Engine ref_engine(program, std::move(ref_opts), ref_driver.get());
+  const SimResult reference = ref_engine.run();
+
+  SimOptions faulty_opts = base;
+  faulty_opts.fault_plan = plan;
+  faulty_opts.keep_snapshots = true;  // recovery needs restorable images
+  std::unique_ptr<ProtocolDriver> faulty_driver;
+  if (driver_factory) faulty_driver = driver_factory();
+  Engine faulty_engine(program, std::move(faulty_opts),
+                       faulty_driver.get());
+  const SimResult faulty = faulty_engine.run();
+
+  report.restarts = faulty.stats.restarts;
+  report.metrics = recovery_metrics({faulty});
+
+  auto fail = [&report](std::string why) {
+    report.ok = false;
+    report.failure = std::move(why);
+    return report;
+  };
+
+  if (!reference.trace.completed)
+    return fail("reference run did not complete");
+  if (oracle.check_completion && !faulty.trace.completed)
+    return fail("fault-injected run did not complete");
+
+  if (oracle.check_cuts) {
+    for (size_t i = 0; i < faulty.recoveries.size(); ++i) {
+      const trace::CutAnalysis analysis =
+          trace::analyze_cut(faulty.trace, faulty.recoveries[i].cut);
+      if (!analysis.consistent) {
+        std::ostringstream out;
+        out << "rollback " << i << " restored an inconsistent cut ("
+            << analysis.orphan_pairs.size() << " orphan pairs)";
+        return fail(out.str());
+      }
+    }
+  }
+
+  if (oracle.check_orphans) {
+    if (std::string violation = orphan_violation(faulty, base.nprocs);
+        !violation.empty())
+      return fail(std::move(violation));
+  }
+
+  if (oracle.check_digest) {
+    if (faulty.trace.final_digest != reference.trace.final_digest) {
+      for (size_t p = 0; p < reference.trace.final_digest.size(); ++p) {
+        if (faulty.trace.final_digest[p] !=
+            reference.trace.final_digest[p]) {
+          std::ostringstream out;
+          out << "replay diverged from the failure-free reference: process "
+              << p << " digest " << std::hex
+              << faulty.trace.final_digest[p] << " vs reference "
+              << reference.trace.final_digest[p];
+          return fail(out.str());
+        }
+      }
+    }
+    if (faulty.final_sends != reference.final_sends ||
+        faulty.final_recvs != reference.final_recvs)
+      return fail(
+          "replay diverged from the failure-free reference: final "
+          "per-channel send/recv counters differ");
+  }
+
+  report.ok = true;
+  return report;
+}
+
+}  // namespace acfc::sim

@@ -1,0 +1,91 @@
+// The end-to-end recovery oracle: runs a program twice — once failure-free
+// (the reference) and once under a FaultPlan — and checks that rollback
+// recovery actually worked:
+//
+//  1. the fault-injected run completes (every process reaches exit);
+//  2. every rollback restored a *consistent* cut (re-validated post-hoc
+//     with trace::analyze_cut, independently of the engine's own check);
+//  3. the final execution has no orphan messages: for every channel
+//     (s, d), the receiver's consumed count never exceeds the sender's
+//     final send count — no process ends the run having consumed a message
+//     its sender's surviving incarnation never sent;
+//  4. (deterministic schemes, including the paper's coordination-free
+//     placement) the replayed execution is bit-identical to the reference:
+//     same per-process digests and per-channel send/recv counters.
+//
+// A protocol driver factory lets the same oracle exercise the baselines in
+// src/proto/ without a sim→proto layering inversion: the caller supplies
+// fresh drivers, the oracle runs reference and faulty executions with
+// independent instances.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mp/stmt.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+
+namespace acfc::sim {
+
+/// Aggregate rollback-recovery cost over a batch of fault-injected runs —
+/// the per-protocol comparison axes of bench/ablate_recovery.
+struct RecoveryMetrics {
+  long runs = 0;
+  long completed = 0;
+  long failures = 0;  ///< rollbacks actually executed (a fault landing
+                      ///< after completion is a no-op)
+  /// Mean over rollbacks of (latest restart − fail time).
+  double mean_recovery_latency = 0.0;
+  /// Mean over rollbacks of Σ_p (fail time − cut member completion).
+  double mean_lost_work = 0.0;
+  /// Mean over rollbacks of Σ_p demotions below the latest checkpoint —
+  /// 0 means coordinated-quality recovery (the paper's claim); > 0 is the
+  /// domino effect.
+  double mean_rollback_distance = 0.0;
+  long replayed_messages = 0;
+};
+
+RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs);
+
+/// A deterministic pseudo-random fault plan: 1..max_faults faults over
+/// mixed triggers (absolute time within `horizon`, after-k-th-checkpoint,
+/// after-n-events), derived purely from `seed`.
+FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
+                            int max_faults = 2);
+
+struct OracleOptions {
+  /// Require the fault-injected run to complete.
+  bool check_completion = true;
+  /// Re-validate every restored cut with trace::analyze_cut.
+  bool check_cuts = true;
+  /// Require zero orphan messages in the final channel counters.
+  bool check_orphans = true;
+  /// Require bit-identical replay (digests + channel counters) vs the
+  /// failure-free reference. Sound for deterministic schemes; leave on for
+  /// the coordination-free placement and the protocol baselines here (the
+  /// drivers only add control traffic and forced checkpoints, neither of
+  /// which folds into the application digest).
+  bool check_digest = true;
+};
+
+struct OracleReport {
+  bool ok = false;
+  /// Empty when ok; otherwise the first violated property, human-readable.
+  std::string failure;
+  int restarts = 0;
+  RecoveryMetrics metrics;
+};
+
+using DriverFactory = std::function<std::unique_ptr<ProtocolDriver>()>;
+
+/// Runs the oracle: reference (no faults) vs fault-injected run of the
+/// same program/options, then checks the properties enabled in `oracle`.
+/// `driver_factory` may be null (coordination-free runtime).
+OracleReport check_recovery(const mp::Program& program,
+                            const SimOptions& base, const FaultPlan& plan,
+                            const OracleOptions& oracle = {},
+                            const DriverFactory& driver_factory = nullptr);
+
+}  // namespace acfc::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 namespace acfc::store {
 
@@ -124,6 +126,23 @@ DerivedParams derive_checkpoint_params(const StorageModel& model,
   // only pays the snapshot fence.
   out.overhead = async_drain ? model.write_latency : out.latency;
   return out;
+}
+
+std::function<std::pair<double, double>(int)> checkpoint_cost_fn(
+    StableStore& store, std::function<long(int)> state_bytes) {
+  // The shared counter is a plain sequence number: one Engine run calls
+  // this from a single thread (its event loop).
+  auto counter = std::make_shared<long>(0);
+  return [&store, state_bytes = std::move(state_bytes),
+          counter](int proc) -> std::pair<double, double> {
+    const WriteCost cost = store.write_checkpoint(
+        proc, state_bytes(proc), static_cast<double>((*counter)++));
+    return {cost.seconds, cost.seconds};  // synchronous write: o = l
+  };
+}
+
+std::function<double(int)> restore_cost_fn(const StableStore& store) {
+  return [&store](int proc) { return store.restore_seconds(proc); };
 }
 
 }  // namespace acfc::store

@@ -99,4 +99,22 @@ DerivedParams derive_checkpoint_params(const StorageModel& model,
                                        long state_bytes,
                                        bool async_drain = false);
 
+/// Adapters wiring a StableStore into the simulator. The store must
+/// outlive the returned functions and be private to one Engine run (the
+/// engine calls them from its event loop; sharing a store across a
+/// parallel run_batch would race).
+///
+/// For SimOptions::checkpoint_cost_fn: records a checkpoint of
+/// `state_bytes(proc)` bytes on every call and returns the synchronous
+/// (o, l) its write cost implies. Call times are recorded as a per-store
+/// sequence number — the engine knows simulated time, the store only needs
+/// a monotone order for chain bookkeeping.
+std::function<std::pair<double, double>(int)> checkpoint_cost_fn(
+    StableStore& store, std::function<long(int)> state_bytes);
+
+/// For SimOptions::recovery_cost_fn: the chain-length-aware time to
+/// restore the process's newest stored image (full image plus deltas for
+/// incremental chains).
+std::function<double(int)> restore_cost_fn(const StableStore& store);
+
 }  // namespace acfc::store

@@ -214,6 +214,77 @@ TEST(IncrementalRepair, MatchesLegacyOnHandWrittenCounterexample) {
 }
 
 // ---------------------------------------------------------------------------
+// Differential corpus (slow tier): the fast paths vs their legacy
+// counterparts over hundreds of generated programs.
+// ---------------------------------------------------------------------------
+
+// 100 seeds × misaligned {off, on} = 200 programs, sizes cycling through
+// 6..22 segments. Collectives and plain alignment are both represented, so
+// the corpus covers shapes the small tier-1 grids above do not.
+mp::Program corpus_program(int index, bool misalign) {
+  mp::GenerateOptions opts;
+  opts.seed = 0x5eedULL * 2654435761ULL + static_cast<std::uint64_t>(index);
+  opts.segments = 6 + (index % 5) * 4;
+  opts.misalign_checkpoints = misalign;
+  return mp::generate_program(opts);
+}
+
+TEST(DifferentialCorpusSlow, HopClosureMatchesPairwiseOn200Programs) {
+  int programs = 0;
+  for (int index = 0; index < 100; ++index) {
+    for (const bool misalign : {false, true}) {
+      const mp::Program p = corpus_program(index, misalign);
+      const match::ExtendedCfg ext = match::build_extended_cfg(p);
+      CheckOptions fast;
+      CheckOptions legacy;
+      legacy.legacy_pairwise = true;
+      EXPECT_EQ(keys_of(place::check_condition1(ext, fast)),
+                keys_of(place::check_condition1(ext, legacy)))
+          << "index=" << index << " misalign=" << misalign;
+      ++programs;
+    }
+  }
+  EXPECT_GE(programs, 200);
+}
+
+TEST(DifferentialCorpusSlow, IncrementalRepairMatchesFullOn200Programs) {
+  int programs = 0;
+  int repaired = 0;
+  for (int index = 0; index < 100; ++index) {
+    for (const bool misalign : {false, true}) {
+      mp::Program fast_p = corpus_program(index, misalign);
+      mp::Program slow_p = corpus_program(index, misalign);
+
+      RepairOptions fast;  // incremental + hop closure + sat cache (default)
+      RepairOptions slow;
+      slow.incremental = false;
+      slow.check.legacy_pairwise = true;
+      slow.match.sat.use_cache = false;
+
+      const auto a = place::repair_placement(fast_p, fast);
+      const auto b = place::repair_placement(slow_p, slow);
+
+      SCOPED_TRACE("index=" + std::to_string(index) +
+                   " misalign=" + std::to_string(misalign));
+      EXPECT_EQ(a.success, b.success);
+      EXPECT_EQ(a.moves, b.moves);
+      EXPECT_EQ(a.merges, b.merges);
+      EXPECT_EQ(a.hoists, b.hoists);
+      EXPECT_EQ(a.initial_hard, b.initial_hard);
+      EXPECT_EQ(a.initial_total, b.initial_total);
+      EXPECT_EQ(keys_of(a.final_check), keys_of(b.final_check));
+      // Identical placements, not just identical scores.
+      EXPECT_EQ(mp::print(fast_p), mp::print(slow_p));
+      ++programs;
+      if (a.initial_total > 0) ++repaired;
+    }
+  }
+  EXPECT_GE(programs, 200);
+  // The corpus must actually exercise the repair loop, not just the check.
+  EXPECT_GT(repaired, 20);
+}
+
+// ---------------------------------------------------------------------------
 // Satisfiability memoization
 // ---------------------------------------------------------------------------
 

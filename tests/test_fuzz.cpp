@@ -4,6 +4,10 @@
 // still parses.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+#include <vector>
+
 #include "match/match.h"
 #include "mp/generate.h"
 #include "mp/parser.h"
@@ -113,6 +117,198 @@ TEST(Fuzz, ParsedMutantsNeverCrashTheSimulator) {
     }
   }
   EXPECT_GT(simulated, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Token-level mutations: structurally plausible mutants.
+// ---------------------------------------------------------------------------
+
+// Splits DSL source into whole tokens (identifiers/numbers, quoted strings,
+// punctuation runs). The grammar is whitespace-insensitive, so rejoining
+// with single spaces preserves meaning.
+std::vector<std::string> split_tokens(const std::string& source) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const auto word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+  };
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '"') {  // quoted label: one token, quotes included
+      size_t j = i + 1;
+      while (j < source.size() && source[j] != '"') ++j;
+      tokens.push_back(source.substr(i, j + 1 - i));
+      i = j + 1;
+    } else if (word(c)) {
+      size_t j = i;
+      while (j < source.size() && word(source[j])) ++j;
+      tokens.push_back(source.substr(i, j - i));
+      i = j;
+    } else {  // punctuation: multi-char operators stay glued
+      size_t j = i + 1;
+      static const std::string two[] = {"==", "!=", "<=", ">=", "&&",
+                                        "||", ".."};
+      for (const auto& op : two)
+        if (source.compare(i, 2, op) == 0) j = i + 2;
+      tokens.push_back(source.substr(i, j - i));
+      i = j;
+    }
+  }
+  return tokens;
+}
+
+bool is_number(const std::string& t) {
+  if (t.empty()) return false;
+  for (const char c : t)
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.')
+      return false;
+  return true;
+}
+
+// Picks the [start, end] token span of a random simple statement (span ends
+// at a ";" and starts just after the previous ";", "{", or "}").
+bool statement_span(const std::vector<std::string>& tokens, util::Rng& rng,
+                    size_t* start, size_t* end) {
+  std::vector<size_t> semis;
+  for (size_t i = 0; i < tokens.size(); ++i)
+    if (tokens[i] == ";") semis.push_back(i);
+  if (semis.empty()) return false;
+  const size_t e = semis[static_cast<size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(semis.size()) - 1))];
+  size_t s = e;
+  while (s > 0 && tokens[s - 1] != ";" && tokens[s - 1] != "{" &&
+         tokens[s - 1] != "}")
+    --s;
+  if (s >= e) return false;
+  *start = s;
+  *end = e;
+  return true;
+}
+
+// Six whole-token edits: three raw ones (duplicate/drop/swap arbitrary
+// tokens — mostly grammar-fatal, exercising the rejection paths) and three
+// class-aware ones (swap numbers, duplicate or drop a whole statement —
+// mostly parseable, yielding structurally odd programs: retagged or
+// redirected messages, doubled checkpoints, orphaned recvs).
+std::string mutate_tokens(std::vector<std::string> tokens, util::Rng& rng) {
+  const int edits = static_cast<int>(rng.uniform_int(1, 3));
+  for (int e = 0; e < edits && tokens.size() > 1; ++e) {
+    const auto pick = [&] {
+      return static_cast<size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(tokens.size()) - 1));
+    };
+    switch (rng.uniform_int(0, 5)) {
+      case 0:  // duplicate a whole token
+        tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(pick()),
+                      tokens[pick()]);
+        break;
+      case 1:  // drop a whole token
+        tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(pick()));
+        break;
+      case 2:  // swap two whole tokens
+        std::swap(tokens[pick()], tokens[pick()]);
+        break;
+      case 3: {  // swap two number tokens
+        std::vector<size_t> nums;
+        for (size_t i = 0; i < tokens.size(); ++i)
+          if (is_number(tokens[i])) nums.push_back(i);
+        if (nums.size() < 2) break;
+        const auto pick_num = [&] {
+          return nums[static_cast<size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(nums.size()) - 1))];
+        };
+        std::swap(tokens[pick_num()], tokens[pick_num()]);
+        break;
+      }
+      case 4: {  // duplicate a whole simple statement
+        size_t s, t;
+        if (!statement_span(tokens, rng, &s, &t)) break;
+        const std::vector<std::string> span(
+            tokens.begin() + static_cast<std::ptrdiff_t>(s),
+            tokens.begin() + static_cast<std::ptrdiff_t>(t) + 1);
+        tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(t) + 1,
+                      span.begin(), span.end());
+        break;
+      }
+      default: {  // drop a whole simple statement
+        size_t s, t;
+        if (!statement_span(tokens, rng, &s, &t)) break;
+        tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(s),
+                     tokens.begin() + static_cast<std::ptrdiff_t>(t) + 1);
+        break;
+      }
+    }
+  }
+  std::string out;
+  for (const auto& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+TEST(TokenFuzz, SplitterRoundTripsGeneratedPrograms) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    mp::GenerateOptions gopts;
+    gopts.seed = seed;
+    gopts.segments = 6;
+    gopts.misalign_checkpoints = (seed % 2) == 0;
+    const std::string source = mp::print(mp::generate_program(gopts));
+    util::Rng rng(seed);  // unused by a 0-edit join; just rejoin
+    std::string joined;
+    for (const auto& t : split_tokens(source)) {
+      if (!joined.empty()) joined += ' ';
+      joined += t;
+    }
+    // Token-joined source parses back to the identical program.
+    EXPECT_EQ(mp::print(mp::parse(joined)), source) << "seed=" << seed;
+  }
+}
+
+TEST(TokenFuzzSlow, RepairPlacementSurvivesEveryParseableMutant) {
+  // Token-level mutants are far likelier than character mutants to parse —
+  // they stress the analyzer/repair pipeline with *structurally* odd
+  // programs (dangling recvs, doubled checkpoints, swapped bounds) rather
+  // than the lexer. repair_placement must terminate with a report or a
+  // structured util::Error on every one, and must be deterministic (two
+  // repairs of the same mutant agree — no corrupted global state).
+  util::Rng rng(31337);
+  int parsed = 0, rejected = 0, repaired_ok = 0;
+  for (int round = 0; round < 300; ++round) {
+    mp::GenerateOptions gopts;
+    gopts.seed = static_cast<std::uint64_t>(round % 12) + 1;
+    gopts.segments = 5;
+    gopts.misalign_checkpoints = (round % 2) == 0;
+    const std::string source = mp::print(mp::generate_program(gopts));
+    const std::string mutant = mutate_tokens(split_tokens(source), rng);
+    try {
+      (void)mp::parse(mutant);
+    } catch (const util::ProgramError&) {
+      ++rejected;
+      continue;
+    }
+    ++parsed;
+    try {
+      mp::Program p = mp::parse(mutant);
+      mp::Program copy = mp::parse(mutant);
+      const auto a = place::repair_placement(p);
+      const auto b = place::repair_placement(copy);
+      EXPECT_EQ(a.success, b.success) << "round=" << round;
+      EXPECT_EQ(a.moves, b.moves) << "round=" << round;
+      EXPECT_EQ(mp::print(p), mp::print(copy)) << "round=" << round;
+      if (a.success) ++repaired_ok;
+    } catch (const util::Error&) {
+      // Structured rejection (unmatched recv, unsat guard, ...) is fine.
+    }
+  }
+  // The mutator must produce a healthy mix, and repair must actually
+  // succeed on a sizable share of the parseable mutants.
+  EXPECT_GT(parsed, 50);
+  EXPECT_GT(rejected, 10);
+  EXPECT_GT(repaired_ok, 25);
 }
 
 TEST(Fuzz, GarbageInputsRejectedStructurally) {

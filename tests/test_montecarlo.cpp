@@ -36,6 +36,20 @@ void expect_same_run(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.stats.statement_checkpoints, b.stats.statement_checkpoints);
   EXPECT_EQ(a.stats.forced_checkpoints, b.stats.forced_checkpoints);
   EXPECT_EQ(a.stats.restarts, b.stats.restarts);
+  EXPECT_EQ(a.final_sends, b.final_sends);
+  EXPECT_EQ(a.final_recvs, b.final_recvs);
+  ASSERT_EQ(a.recoveries.size(), b.recoveries.size());
+  for (size_t i = 0; i < a.recoveries.size(); ++i) {
+    const RecoveryRec& x = a.recoveries[i];
+    const RecoveryRec& y = b.recoveries[i];
+    EXPECT_EQ(x.failed_proc, y.failed_proc);
+    EXPECT_EQ(x.fail_time, y.fail_time);      // bitwise
+    EXPECT_EQ(x.resume_time, y.resume_time);  // bitwise
+    EXPECT_EQ(x.cut.member, y.cut.member);
+    EXPECT_EQ(x.rollbacks, y.rollbacks);
+    EXPECT_EQ(x.lost_work, y.lost_work);
+    EXPECT_EQ(x.replayed_messages, y.replayed_messages);
+  }
 }
 
 /// seed × nprocs grid with compute jitter, exercising the engine RNG.
@@ -197,6 +211,58 @@ TEST(FailureInjection, ReplaysDeterministicallyUnderPool) {
     const auto clean_run = engine.run();
     EXPECT_EQ(ref[i].trace.final_digest, clean_run.trace.final_digest)
         << "run " << i;
+  }
+}
+
+TEST(FaultPlanBatch, BitIdenticalUnderPool) {
+  // Declarative fault plans (time / after-checkpoint / after-events
+  // triggers) obey the same parallel≡serial contract as plain failure
+  // schedules — including the recorded recovery lines and the final
+  // per-channel counters. Run under -DACFC_TSAN this also proves the
+  // recovery path shares no mutable state across engines.
+  const mp::Program program = mp::parse(kRing);
+
+  std::vector<SimOptions> configs;
+  for (int i = 0; i < 12; ++i) {
+    SimOptions opts;
+    opts.nprocs = 4;
+    opts.seed = run_seed(23, i);
+    opts.recovery_overhead = 1.0;
+    opts.compute_jitter = 0.2;
+    switch (i % 3) {
+      case 0:
+        opts.fault_plan.faults = {FaultPlan::at_time(i % 4, 6.0 + i)};
+        break;
+      case 1:
+        opts.fault_plan.faults = {
+            FaultPlan::after_checkpoint(i % 4, 1 + i % 3)};
+        break;
+      default:
+        opts.fault_plan.faults = {FaultPlan::after_events(i % 4, 30 + 5 * i),
+                                  FaultPlan::at_time((i + 2) % 4, 20.0)};
+        break;
+    }
+    configs.push_back(opts);
+  }
+
+  McOptions serial;
+  serial.threads = 1;
+  const auto ref = run_batch(program, configs, serial);
+  long restarts = 0;
+  for (const auto& r : ref) restarts += r.stats.restarts;
+  EXPECT_GT(restarts, 0);  // the plans really fired
+
+  for (const int threads : {2, 4}) {
+    McOptions pooled;
+    pooled.threads = threads;
+    const auto got = run_batch(program, configs, pooled);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " run=" +
+                   std::to_string(i));
+      EXPECT_TRUE(ref[i].trace.completed);
+      expect_same_run(got[i], ref[i]);
+    }
   }
 }
 

@@ -1,0 +1,384 @@
+// The end-to-end recovery oracle (sim/recovery.h) exercised as a property
+// test — the runnable form of the paper's recovery claim: after Phase III
+// placement, a failed execution rolls back to a consistent cut, replays
+// the in-transit messages, and converges to the exact failure-free
+// execution.
+//
+//  * RecoveryProperty: ≥100 generated program × seed × fault-plan
+//    combinations (misaligned placements included, repaired first); every
+//    combination must restore consistent cuts, end with zero orphan
+//    messages, and replay bit-identically to the failure-free reference.
+//  * FaultPlanTriggers: the after-checkpoint / after-events / at-time
+//    triggers fire where they claim to.
+//  * ProtocolRecovery: the same oracle through every protocol baseline
+//    (sync-and-stop, Chandy–Lamport, Koo–Toueg, CIC, uncoordinated).
+//  * StoreBackedRecovery: restore costs derived from a StableStore's
+//    incremental chains shift the per-process restart times.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mp/generate.h"
+#include "mp/parser.h"
+#include "mp/printer.h"
+#include "place/place.h"
+#include "proto/protocols.h"
+#include "sim/montecarlo.h"
+#include "sim/recovery.h"
+#include "store/store.h"
+#include "trace/analysis.h"
+
+namespace {
+
+using namespace acfc;
+
+constexpr const char* kRing = R"(
+  program ring {
+    loop 6 {
+      compute 3.0;
+      checkpoint;
+      send to (rank + 1) % nprocs tag 1;
+      recv from (rank - 1 + nprocs) % nprocs tag 1;
+    }
+  })";
+
+/// A checkpoint-free ring for the protocol baselines (their drivers
+/// provide all checkpoints).
+constexpr const char* kBareRing = R"(
+  program bare_ring {
+    loop 6 {
+      compute 3.0;
+      send to (rank + 1) % nprocs tag 1;
+      recv from (rank - 1 + nprocs) % nprocs tag 1;
+    }
+  })";
+
+// ---------------------------------------------------------------------------
+// The ≥100-combination property sweep
+// ---------------------------------------------------------------------------
+
+/// One parameter = (generator seed, misaligned placement); each test runs
+/// two independent fault plans, so 26 seeds × 2 alignments × 2 plans gives
+/// 104 program × seed × fault-plan combinations.
+class RecoveryProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(RecoveryProperty, RollbackReplaysToFailureFreeExecution) {
+  const auto [seed, misalign] = GetParam();
+  mp::GenerateOptions gopts;
+  gopts.seed = seed;
+  gopts.segments = 6;
+  gopts.misalign_checkpoints = misalign;
+  gopts.allow_collectives = false;
+  gopts.allow_irregular = false;
+  mp::Program program = mp::generate_program(gopts);
+  const auto report = place::repair_placement(program);
+  ASSERT_TRUE(report.success) << mp::print(program);
+
+  sim::SimOptions base;
+  base.nprocs = 4;
+  base.seed = seed;
+  base.recovery_overhead = 0.5;
+
+  // Scale at-time triggers to this program's actual makespan.
+  const auto probe = sim::simulate(program, base.nprocs, base.seed);
+  ASSERT_TRUE(probe.trace.completed) << mp::print(program);
+
+  for (int variant = 0; variant < 2; ++variant) {
+    SCOPED_TRACE("fault plan variant " + std::to_string(variant));
+    const sim::FaultPlan plan = sim::random_fault_plan(
+        seed * 131 + static_cast<std::uint64_t>(variant), base.nprocs,
+        probe.trace.end_time * 0.9);
+    const sim::OracleReport oracle =
+        sim::check_recovery(program, base, plan);
+    EXPECT_TRUE(oracle.ok) << oracle.failure << "\n" << mp::print(program);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 27),
+                       ::testing::Bool()));
+
+TEST(RecoveryProperty, SweepIsNotVacuous) {
+  // The parameterized sweep re-run in aggregate: a healthy share of the
+  // random fault plans must actually trigger rollbacks (a fault landing
+  // after completion is a silent no-op, so this guards against the whole
+  // sweep degenerating into failure-free runs).
+  long rollbacks = 0;
+  long combos = 0;
+  for (std::uint64_t seed = 1; seed <= 26; ++seed) {
+    for (const bool misalign : {false, true}) {
+      mp::GenerateOptions gopts;
+      gopts.seed = seed;
+      gopts.segments = 6;
+      gopts.misalign_checkpoints = misalign;
+      gopts.allow_collectives = false;
+      gopts.allow_irregular = false;
+      mp::Program program = mp::generate_program(gopts);
+      ASSERT_TRUE(place::repair_placement(program).success);
+      sim::SimOptions base;
+      base.nprocs = 4;
+      base.seed = seed;
+      base.recovery_overhead = 0.5;
+      const auto probe = sim::simulate(program, base.nprocs, base.seed);
+      for (int variant = 0; variant < 2; ++variant) {
+        ++combos;
+        const sim::FaultPlan plan = sim::random_fault_plan(
+            seed * 131 + static_cast<std::uint64_t>(variant), base.nprocs,
+            probe.trace.end_time * 0.9);
+        const sim::OracleReport oracle =
+            sim::check_recovery(program, base, plan);
+        ASSERT_TRUE(oracle.ok) << oracle.failure;
+        rollbacks += oracle.restarts;
+      }
+    }
+  }
+  EXPECT_GE(combos, 100);
+  EXPECT_GE(rollbacks, combos / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan triggers
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTriggers, AtTimeFiresAndRecords) {
+  const mp::Program program = mp::parse(kRing);
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 1.0;
+  opts.fault_plan.faults = {sim::FaultPlan::at_time(2, 10.0)};
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.trace.completed);
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  const sim::RecoveryRec& rec = result.recoveries[0];
+  EXPECT_EQ(rec.failed_proc, 2);
+  EXPECT_DOUBLE_EQ(rec.fail_time, 10.0);
+  EXPECT_GE(rec.resume_time, rec.fail_time + 1.0);
+  EXPECT_GE(rec.lost_work, 0.0);
+  EXPECT_EQ(rec.rollbacks.size(), 4u);
+  EXPECT_TRUE(trace::analyze_cut(result.trace, rec.cut).consistent);
+}
+
+TEST(FaultPlanTriggers, AfterCheckpointFiresAtTheCountedCheckpoint) {
+  const mp::Program program = mp::parse(kRing);
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 0.5;
+  opts.fault_plan.faults = {sim::FaultPlan::after_checkpoint(1, 3)};
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.trace.completed);
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  EXPECT_EQ(result.recoveries[0].failed_proc, 1);
+  // The third checkpoint of process 1 must be committed by the fail time.
+  int committed = 0;
+  for (const auto& c : result.trace.checkpoints)
+    if (c.proc == 1 && c.t_commit <= result.recoveries[0].fail_time)
+      ++committed;
+  EXPECT_GE(committed, 3);
+}
+
+TEST(FaultPlanTriggers, AfterEventsFiresOnceEventCountReached) {
+  const mp::Program program = mp::parse(kRing);
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 0.5;
+  opts.fault_plan.faults = {sim::FaultPlan::after_events(0, 40)};
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.trace.completed);
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  EXPECT_EQ(result.recoveries[0].failed_proc, 0);
+  EXPECT_EQ(result.stats.restarts, 1);
+}
+
+TEST(FaultPlanTriggers, OverlappingFaultsAllRecover) {
+  const mp::Program program = mp::parse(kRing);
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 0.5;
+  opts.fault_plan.faults = {sim::FaultPlan::at_time(0, 8.0),
+                            sim::FaultPlan::at_time(3, 16.0),
+                            sim::FaultPlan::after_checkpoint(2, 4)};
+  const sim::OracleReport oracle =
+      sim::check_recovery(program, opts, opts.fault_plan);
+  EXPECT_TRUE(oracle.ok) << oracle.failure;
+  EXPECT_GE(oracle.restarts, 2);
+}
+
+TEST(FaultPlanTriggers, LegacyFailuresStillWork) {
+  const mp::Program program = mp::parse(kRing);
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 0.5;
+  opts.failures = {{1, 12.0}};
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.trace.completed);
+  EXPECT_EQ(result.stats.restarts, 1);
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  EXPECT_EQ(result.recoveries[0].failed_proc, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery metrics
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryMetrics, AggregatesAcrossRuns) {
+  const mp::Program program = mp::parse(kRing);
+  std::vector<sim::SimOptions> configs;
+  for (int i = 0; i < 4; ++i) {
+    sim::SimOptions opts;
+    opts.nprocs = 4;
+    opts.seed = sim::run_seed(11, i);
+    opts.recovery_overhead = 1.0;
+    opts.fault_plan.faults = {sim::FaultPlan::at_time(i % 4, 9.0 + i)};
+    configs.push_back(opts);
+  }
+  std::vector<sim::SimResult> runs;
+  for (const auto& config : configs) {
+    sim::Engine engine(program, config);
+    runs.push_back(engine.run());
+  }
+  const sim::RecoveryMetrics metrics = sim::recovery_metrics(runs);
+  EXPECT_EQ(metrics.runs, 4);
+  EXPECT_EQ(metrics.completed, 4);
+  EXPECT_EQ(metrics.failures, 4);
+  EXPECT_GE(metrics.mean_recovery_latency, 1.0);  // ≥ recovery_overhead
+  EXPECT_GE(metrics.mean_lost_work, 0.0);
+  EXPECT_GE(metrics.mean_rollback_distance, 0.0);
+}
+
+TEST(RecoveryMetrics, RandomFaultPlansAreDeterministic) {
+  const sim::FaultPlan a = sim::random_fault_plan(7, 4, 100.0);
+  const sim::FaultPlan b = sim::random_fault_plan(7, 4, 100.0);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  EXPECT_FALSE(a.empty());
+  for (size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].proc, b.faults[i].proc);
+    EXPECT_EQ(a.faults[i].trigger, b.faults[i].trigger);
+    EXPECT_EQ(a.faults[i].time, b.faults[i].time);
+    EXPECT_EQ(a.faults[i].count, b.faults[i].count);
+    EXPECT_GE(a.faults[i].proc, 0);
+    EXPECT_LT(a.faults[i].proc, 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol baselines under failure injection
+// ---------------------------------------------------------------------------
+
+class ProtocolRecovery : public ::testing::TestWithParam<proto::Protocol> {};
+
+TEST_P(ProtocolRecovery, OracleHoldsUnderEveryBaseline) {
+  const proto::Protocol protocol = GetParam();
+  const mp::Program program = mp::parse(
+      protocol == proto::Protocol::kAppDriven ? kRing : kBareRing);
+
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 1.0;
+
+  proto::ProtocolOptions popts;
+  popts.interval = 8.0;  // several rounds inside the ~40 s makespan
+
+  sim::FaultPlan plan;
+  plan.faults = {sim::FaultPlan::at_time(1, 13.0)};
+
+  const sim::OracleReport oracle =
+      proto::check_protocol_recovery(program, protocol, opts, plan, popts);
+  EXPECT_TRUE(oracle.ok) << proto::protocol_name(protocol) << ": "
+                         << oracle.failure;
+  EXPECT_GE(oracle.restarts, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, ProtocolRecovery,
+    ::testing::Values(proto::Protocol::kAppDriven,
+                      proto::Protocol::kSyncAndStop,
+                      proto::Protocol::kChandyLamport,
+                      proto::Protocol::kKooToueg, proto::Protocol::kCic,
+                      proto::Protocol::kUncoordinated),
+    [](const ::testing::TestParamInfo<proto::Protocol>& info) {
+      std::string name = proto::protocol_name(info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(ProtocolRecovery, CoordinatedRollbackIsShallow) {
+  // Under app-driven placement the recovery line is the latest checkpoints
+  // (zero demotions) — the paper's coordinated-quality recovery claim.
+  mp::Program program = mp::parse(kRing);
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 1.0;
+  opts.fault_plan.faults = {sim::FaultPlan::at_time(2, 12.0)};
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.trace.completed);
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  for (const int demotions : result.recoveries[0].rollbacks)
+    EXPECT_EQ(demotions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Store-backed restore costs
+// ---------------------------------------------------------------------------
+
+TEST(StoreBackedRecovery, RestoreChainDelaysRestart) {
+  const mp::Program program = mp::parse(kRing);
+
+  store::StorageModel model;
+  model.write_bandwidth = 1e6;  // slow store: visible (o, l) and restores
+  model.read_bandwidth = 1e6;
+  store::StableStore store(model, store::CheckpointMode::kIncremental, 4);
+
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.recovery_overhead = 1.0;
+  opts.checkpoint_cost_fn =
+      store::checkpoint_cost_fn(store, [](int) { return 500'000L; });
+  opts.recovery_cost_fn = store::restore_cost_fn(store);
+  opts.fault_plan.faults = {sim::FaultPlan::at_time(0, 15.0)};
+
+  sim::Engine engine(program, opts);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.trace.completed);
+  ASSERT_EQ(result.recoveries.size(), 1u);
+  const sim::RecoveryRec& rec = result.recoveries[0];
+  // The restart is delayed past R by the store's restore chain. (The
+  // store keeps accumulating records after recovery, so compare against a
+  // lower bound, not the end-of-run chain.)
+  double max_restore = 0.0;
+  for (int p = 0; p < 4; ++p)
+    max_restore = std::max(max_restore, store.restore_seconds(p));
+  EXPECT_GT(max_restore, 0.0);
+  EXPECT_GT(rec.resume_time, rec.fail_time + 1.0);
+  EXPECT_TRUE(trace::analyze_cut(result.trace, rec.cut).consistent);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-orphan counters are exposed even failure-free
+// ---------------------------------------------------------------------------
+
+TEST(FinalCounters, BalancedOnCompletedRuns) {
+  const mp::Program program = mp::parse(kRing);
+  const auto result = sim::simulate(program, 4, 1);
+  ASSERT_TRUE(result.trace.completed);
+  ASSERT_EQ(result.final_sends.size(), 16u);
+  ASSERT_EQ(result.final_recvs.size(), 16u);
+  for (int s = 0; s < 4; ++s)
+    for (int d = 0; d < 4; ++d)
+      EXPECT_EQ(result.final_recvs[static_cast<size_t>(d) * 4 +
+                                   static_cast<size_t>(s)],
+                result.final_sends[static_cast<size_t>(s) * 4 +
+                                   static_cast<size_t>(d)])
+          << s << "→" << d;
+  EXPECT_TRUE(result.recoveries.empty());
+}
+
+}  // namespace

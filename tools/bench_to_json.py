@@ -20,7 +20,8 @@ Two suites:
   "speedups" pairs every fast-path phase with its *Legacy twin at the same
   argument (legacy ns-per-op / fast ns-per-op).
 
-  --suite sim drives bench/ablate_sim_throughput and writes BENCH_sim.json:
+  --suite sim drives bench/ablate_sim_throughput plus bench/ablate_recovery
+  and writes BENCH_sim.json:
 
     {
       "benchmark": "ablate_sim_throughput",
@@ -29,6 +30,12 @@ Two suites:
       "events_per_s": {"BM_SimulateRing/8": 5.1e6, ...},
       "ckpts_per_s": {"BM_CheckpointCapture/1": ..., ...},
       "parallel_speedup": {"Fig8Sweep/4": 1.9, ...},   # vs Fig8SweepSerial
+      "recovery": {                           # fault-injected sweeps, per
+        "appl-driven": {"recovery_latency_s": ...,     # protocol baseline
+                         "lost_work_s": ..., "rollback_distance": ...,
+                         "replayed_msgs": ..., "rollbacks": ..., ...},
+        ...
+      },
       "events_per_s_before": {...},           # only with --baseline
       "events_per_s_speedup": {...}           # after / before, per phase
     }
@@ -59,6 +66,7 @@ SUITES = {
     },
     "sim": {
         "bench": os.path.join("build", "bench", "ablate_sim_throughput"),
+        "recovery_bench": os.path.join("build", "bench", "ablate_recovery"),
         "out": "BENCH_sim.json",
     },
 }
@@ -141,8 +149,29 @@ def condense_analysis(raw):
     }
 
 
-def condense_sim(raw, baseline):
+RECOVERY_COUNTERS = (
+    "runs", "completed", "rollbacks", "recovery_latency_s", "lost_work_s",
+    "rollback_distance", "replayed_msgs",
+)
+
+
+def extract_recovery(raw):
+    """BM_RecoverySweep counters keyed by protocol label."""
+    recovery = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        key = bench.get("label") or strip_real_time(bench["name"])
+        recovery[key] = {
+            c: bench[c] for c in RECOVERY_COUNTERS if c in bench
+        }
+    return recovery
+
+
+def condense_sim(raw, recovery_raw, baseline):
     phases = extract_phases(raw)
+    if recovery_raw:
+        phases.update(extract_phases(recovery_raw))
 
     events = {}
     ckpts = {}
@@ -175,6 +204,8 @@ def condense_sim(raw, baseline):
         "ckpts_per_s": ckpts,
         "parallel_speedup": parallel_speedup,
     }
+    if recovery_raw:
+        doc["recovery"] = extract_recovery(recovery_raw)
 
     if baseline:
         before = baseline.get("events_per_s", {})
@@ -216,11 +247,18 @@ def main():
         doc = condense_analysis(raw)
         ratios = doc["speedups"]
     else:
+        recovery_bench = suite.get("recovery_bench")
+        recovery_raw = None
+        if recovery_bench:
+            if not os.path.exists(recovery_bench):
+                sys.exit("benchmark binary not found: %s (build it first)"
+                         % recovery_bench)
+            recovery_raw = run_benchmark(recovery_bench, args.min_time)
         baseline = None
         if args.baseline:
             with open(args.baseline) as f:
                 baseline = json.load(f)
-        doc = condense_sim(raw, baseline)
+        doc = condense_sim(raw, recovery_raw, baseline)
         ratios = dict(doc["parallel_speedup"])
         ratios.update(doc.get("events_per_s_speedup", {}))
 
