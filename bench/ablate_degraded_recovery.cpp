@@ -1,0 +1,159 @@
+// Ablation — degraded-mode recovery cost per protocol (google-benchmark):
+// the fault sweep of ablate_recovery re-run with rotten storage and a
+// lossy wire. Every arm faces the same crashes twice — once on healthy
+// storage over a reliable network (the baseline), once with pseudo-random
+// storage corruption plus a dropping/duplicating/reordering wire — and
+// reports what degradation adds on top of plain rollback: fallback depth
+// (consistency demotions + corrupt-record skips), extra lost work versus
+// the healthy-storage run, and the reliable-transport retransmit overhead.
+//
+// tools/bench_to_json.py --suite sim runs this binary alongside
+// ablate_recovery and merges the per-protocol counters into the
+// "degraded" map of BENCH_sim.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "place/place.h"
+#include "proto/protocols.h"
+#include "sim/montecarlo.h"
+#include "sim/recovery.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace acfc;
+
+constexpr proto::Protocol kProtocols[] = {
+    proto::Protocol::kAppDriven,     proto::Protocol::kSyncAndStop,
+    proto::Protocol::kChandyLamport, proto::Protocol::kKooToueg,
+    proto::Protocol::kCic,           proto::Protocol::kUncoordinated};
+
+constexpr int kNprocs = 8;
+constexpr int kReplications = 8;
+// Per-process write ordinals the corruption plans may land on. Forced and
+// statement checkpoints both count, so small ordinals hit every arm.
+constexpr long kMaxCorruptOrdinal = 6;
+
+const mp::Program& plain_program() {
+  static const mp::Program program = benchws::faceoff_plain();
+  return program;
+}
+
+const mp::Program& app_driven_program() {
+  static const mp::Program program = [] {
+    mp::Program p = plain_program().clone();
+    p.renumber();
+    place::InsertOptions iopts;
+    iopts.target_interval = 60.0;
+    const auto report = place::analyze_and_place(p, iopts);
+    ACFC_CHECK_MSG(report.success, "faceoff placement failed");
+    return p;
+  }();
+  return program;
+}
+
+sim::SimOptions base_options() {
+  sim::SimOptions opts;
+  opts.nprocs = kNprocs;
+  opts.checkpoint_overhead = 1.78;
+  opts.compute_jitter = 0.3;
+  opts.recovery_overhead = 2.0;
+  opts.keep_snapshots = true;
+  return opts;
+}
+
+double fault_horizon() {
+  static const double horizon = [] {
+    sim::SimOptions opts = base_options();
+    opts.seed = sim::run_seed(/*base_seed=*/3, 0);
+    const auto run = proto::run_protocol(plain_program(),
+                                         proto::Protocol::kUncoordinated,
+                                         opts, proto::ProtocolOptions{});
+    return run.sim.trace.end_time * 0.8;
+  }();
+  return horizon;
+}
+
+// The same crash plans as ablate_recovery (same base seed, same horizon),
+// so "degraded minus healthy" isolates the cost of corruption + loss.
+std::vector<sim::SimOptions> crash_sweep_configs() {
+  std::vector<sim::SimOptions> configs =
+      sim::seed_sweep(base_options(), kReplications);
+  for (size_t i = 0; i < configs.size(); ++i)
+    configs[i].fault_plan = sim::random_fault_plan(
+        sim::run_seed(/*base_seed=*/17, static_cast<long>(i)), kNprocs,
+        fault_horizon());
+  return configs;
+}
+
+std::vector<sim::SimOptions> degraded_sweep_configs() {
+  std::vector<sim::SimOptions> configs = crash_sweep_configs();
+  for (size_t i = 0; i < configs.size(); ++i) {
+    configs[i].storage_faults = sim::random_storage_fault_plan(
+        sim::run_seed(/*base_seed=*/23, static_cast<long>(i)), kNprocs,
+        kMaxCorruptOrdinal);
+    configs[i].delay.drop = 0.03;
+    configs[i].delay.dup = 0.02;
+    configs[i].delay.reorder = 0.1;
+  }
+  return configs;
+}
+
+sim::RecoveryMetrics sweep(const mp::Program& program,
+                           proto::Protocol protocol,
+                           const std::vector<sim::SimOptions>& configs) {
+  proto::ProtocolOptions popts;
+  popts.interval = 60.0;
+  auto runs = sim::parallel_map(
+      static_cast<long>(configs.size()), sim::McOptions{}, [&](long i) {
+        return proto::run_protocol(program, protocol,
+                                   configs[static_cast<size_t>(i)], popts)
+            .sim;
+      });
+  return sim::recovery_metrics(runs);
+}
+
+void BM_DegradedRecoverySweep(benchmark::State& state) {
+  const proto::Protocol protocol =
+      kProtocols[static_cast<size_t>(state.range(0))];
+  const mp::Program& program = protocol == proto::Protocol::kAppDriven
+                                   ? app_driven_program()
+                                   : plain_program();
+  const auto healthy_configs = crash_sweep_configs();
+  const auto degraded_configs = degraded_sweep_configs();
+
+  sim::RecoveryMetrics healthy;
+  sim::RecoveryMetrics degraded;
+  for (auto _ : state) {
+    healthy = sweep(program, protocol, healthy_configs);
+    degraded = sweep(program, protocol, degraded_configs);
+    benchmark::DoNotOptimize(&degraded);
+  }
+
+  state.SetLabel(proto::protocol_name(protocol));
+  state.counters["runs"] = static_cast<double>(degraded.runs);
+  state.counters["completed"] = static_cast<double>(degraded.completed);
+  state.counters["rollbacks"] = static_cast<double>(degraded.failures);
+  state.counters["degraded_rollbacks"] =
+      static_cast<double>(degraded.degraded_rollbacks);
+  state.counters["corrupt_skipped"] =
+      static_cast<double>(degraded.corrupt_records_skipped);
+  state.counters["fallback_depth"] = degraded.mean_fallback_depth;
+  state.counters["lost_work_s"] = degraded.mean_lost_work;
+  // What corruption + loss add over the same crashes on healthy storage.
+  state.counters["extra_lost_work_s"] =
+      degraded.mean_lost_work - healthy.mean_lost_work;
+  state.counters["retransmit_overhead"] = degraded.retransmit_overhead;
+  state.counters["transport_give_ups"] =
+      static_cast<double>(degraded.transport_give_ups);
+}
+BENCHMARK(BM_DegradedRecoverySweep)
+    ->DenseRange(0, static_cast<int>(std::size(kProtocols)) - 1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

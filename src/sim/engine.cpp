@@ -108,6 +108,25 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
   control_last_deliver_.assign(n * n, 0.0);
   inbox_.assign(n * n, {});
   ckpt_counts_.assign(n, 0);
+  take_counts_.assign(n, 0);
+  if (opts_.delay.lossy()) {
+    ACFC_CHECK_MSG(opts_.delay.drop >= 0.0 && opts_.delay.drop < 1.0 &&
+                       opts_.delay.dup >= 0.0 && opts_.delay.dup <= 1.0 &&
+                       opts_.delay.reorder >= 0.0 &&
+                       opts_.delay.reorder <= 1.0,
+                   "loss probabilities out of range (drop must be < 1)");
+    ACFC_CHECK_MSG(opts_.transport.rto > 0.0 &&
+                       opts_.transport.backoff >= 1.0 &&
+                       opts_.transport.max_retries >= 0,
+                   "invalid transport options");
+    xport_.resize(n * n);
+  }
+  for (const auto& f : opts_.storage_faults.faults) {
+    ACFC_CHECK_MSG(f.proc >= 0 && f.proc < opts_.nprocs,
+                   "storage fault targets a process outside the world");
+    ACFC_CHECK_MSG(f.ckpt_ordinal >= 1,
+                   "storage fault ordinals are 1-based");
+  }
 
   // Append-friendly storage: start the trace stores and the event heap at
   // a capacity proportional to the world size so the steady state appends
@@ -143,8 +162,8 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
 
 Engine::~Engine() = default;
 
-void Engine::push_event(double time, EvKind kind, int proc, long a) {
-  queue_.push(Ev{time, event_seq_++, kind, proc, a, epoch_});
+void Engine::push_event(double time, EvKind kind, int proc, long a, long b) {
+  queue_.push(Ev{time, event_seq_++, kind, proc, a, b, epoch_});
 }
 
 void Engine::bootstrap() {
@@ -217,6 +236,9 @@ SimResult Engine::run() {
       trace_.completed = false;
   }
   SimResult result;
+  for (size_t i = 0; i < ckpt_corrupt_.size(); ++i)
+    if (ckpt_corrupt_[i])
+      result.corrupt_checkpoints.push_back(static_cast<int>(i));
   result.trace = std::move(trace_);
   result.stats = stats_;
   result.recoveries = std::move(recoveries_);
@@ -268,6 +290,21 @@ void Engine::dispatch(const Ev& ev) {
     }
     case EvKind::kFailure: {
       handle_failure(armed_failures_.at(static_cast<size_t>(ev.a)));
+      return;
+    }
+    case EvKind::kNetArrive: {
+      if (ev.epoch != epoch_) return;  // in-flight attempt from before rollback
+      handle_net_arrive(ev.a);
+      return;
+    }
+    case EvKind::kAck: {
+      if (ev.epoch != epoch_) return;
+      handle_ack(static_cast<std::size_t>(ev.a), ev.b);
+      return;
+    }
+    case EvKind::kRto: {
+      if (ev.epoch != epoch_) return;
+      handle_rto(static_cast<std::size_t>(ev.a), ev.b);
       return;
     }
   }
@@ -340,12 +377,18 @@ void Engine::advance(int p) {
       const size_t chan = static_cast<size_t>(p) *
                               static_cast<size_t>(opts_.nprocs) +
                           static_cast<size_t>(send->dest);
-      double deliver_at = now_ + message_delay(send->bytes);
-      deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
-      channel_last_deliver_[chan] = deliver_at;
-      msg.deliver_time = deliver_at;
-      trace_.messages.push_back(msg);
-      push_event(deliver_at, EvKind::kDeliver, send->dest, msg.id);
+      if (!opts_.delay.lossy()) {
+        double deliver_at = now_ + message_delay(send->bytes);
+        deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
+        channel_last_deliver_[chan] = deliver_at;
+        msg.deliver_time = deliver_at;
+        trace_.messages.push_back(msg);
+        push_event(deliver_at, EvKind::kDeliver, send->dest, msg.id);
+      } else {
+        msg.deliver_time = -1.0;  // set when the shim accepts it in order
+        trace_.messages.push_back(msg);
+        xport_send(msg.id, now_);
+      }
 
       ++stats_.app_messages;
       stats_.app_bytes += send->bytes;
@@ -530,6 +573,22 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
         proc.pending_recv});
   }
   trace_.checkpoints.push_back(rec);
+
+  // Stable-storage bookkeeping: join this trace checkpoint to its write
+  // ordinal and apply any declarative storage fault landing on the write.
+  const long ordinal = ++take_counts_[static_cast<size_t>(p)];
+  bool corrupt = false;
+  bool stale = false;
+  for (const auto& f : opts_.storage_faults.faults) {
+    if (f.proc != p || f.ckpt_ordinal != ordinal) continue;
+    if (f.kind == store::StorageFault::Kind::kStaleManifest)
+      stale = true;  // transient: heals when a later take publishes
+    else
+      corrupt = true;  // torn / bit flip / lost entry: permanent
+  }
+  ckpt_take_ordinal_.push_back(ordinal);
+  ckpt_corrupt_.push_back(corrupt ? 1 : 0);
+  ckpt_stale_.push_back(stale ? 1 : 0);
 
   trace::EventRec ev;
   ev.kind = trace::EventKind::kCheckpoint;
@@ -747,6 +806,27 @@ void Engine::start_collective(int p, const Action& action) {
 // Failures and recovery
 // ===========================================================================
 
+bool Engine::degraded_selection_active() const {
+  return opts_.verify_stored_checkpoints &&
+         (!opts_.storage_faults.empty() ||
+          static_cast<bool>(opts_.checkpoint_verify_fn));
+}
+
+bool Engine::checkpoint_usable(int ckpt_index) const {
+  const auto i = static_cast<size_t>(ckpt_index);
+  if (ckpt_corrupt_[i]) return false;
+  const auto& ckpt = trace_.checkpoints[i];
+  // A stale manifest hides its record only while it is still the process's
+  // newest write — the next successful publish covers it.
+  if (ckpt_stale_[i] &&
+      take_counts_[static_cast<size_t>(ckpt.proc)] == ckpt_take_ordinal_[i])
+    return false;
+  if (opts_.checkpoint_verify_fn &&
+      !opts_.checkpoint_verify_fn(ckpt.proc, ckpt_take_ordinal_[i]))
+    return false;
+  return true;
+}
+
 void Engine::handle_failure(const FailureEvent& failure) {
   bool all_done = true;
   for (const auto& proc : procs_)
@@ -762,7 +842,15 @@ void Engine::handle_failure(const FailureEvent& failure) {
   trace_.events.push_back(std::move(fail_rec));
 
   // Select the maximal recovery line over everything on stable storage.
-  const trace::RecoveryLine line = trace::max_recovery_line(trace_, now_);
+  // Under degraded selection, unverifiable records are excluded from the
+  // candidate set up front — the chosen cut is the deepest consistent one
+  // whose every member verifies, and corruption NEVER re-enters rollback:
+  // it is resolved inside this one selection, no recursive restart.
+  trace::CkptUsableFn usable;
+  if (degraded_selection_active())
+    usable = [this](int ckpt_index) { return checkpoint_usable(ckpt_index); };
+  const trace::RecoveryLine line =
+      trace::max_recovery_line(trace_, now_, usable);
   ACFC_CHECK_MSG(line.consistent, "recovery line selection failed");
 
   RecoveryRec record;
@@ -771,9 +859,18 @@ void Engine::handle_failure(const FailureEvent& failure) {
   record.cut = line.cut;
   record.rollbacks = line.rollbacks;
   record.lost_work = line.lost_work;
+  for (int p = 0; p < opts_.nprocs; ++p) {
+    const auto sp = static_cast<size_t>(p);
+    record.corrupt_records_skipped += line.skipped_unusable[sp];
+    record.fallback_depth =
+        std::max(record.fallback_depth,
+                 line.rollbacks[sp] + line.skipped_unusable[sp]);
+  }
+  record.degraded = record.corrupt_records_skipped > 0;
 
   ++epoch_;
   for (auto& box : inbox_) box.clear();
+  if (opts_.delay.lossy()) reset_transport_for_rollback();
 
   // Per-process restart times: the uniform restart delay R plus an
   // optional per-process restore cost (e.g. replaying an incremental
@@ -868,14 +965,25 @@ void Engine::handle_failure(const FailureEvent& failure) {
         const size_t chan = static_cast<size_t>(src) *
                                 static_cast<size_t>(opts_.nprocs) +
                             static_cast<size_t>(dst);
-        double deliver_at =
-            resume_of[static_cast<size_t>(src)] + message_delay(copy.bytes);
-        deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
-        channel_last_deliver_[chan] = deliver_at;
-        copy.deliver_time = deliver_at;
-        trace_.messages.push_back(copy);
-        push_event(deliver_at, EvKind::kDeliver, dst,
-                   static_cast<long>(trace_.messages.size()) - 1);
+        if (!opts_.delay.lossy()) {
+          double deliver_at =
+              resume_of[static_cast<size_t>(src)] + message_delay(copy.bytes);
+          deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
+          channel_last_deliver_[chan] = deliver_at;
+          copy.deliver_time = deliver_at;
+          trace_.messages.push_back(copy);
+          push_event(deliver_at, EvKind::kDeliver, dst,
+                     static_cast<long>(trace_.messages.size()) - 1);
+        } else {
+          // Replays are fresh transport sends from the source's restart
+          // time: the shim's cleared sequence space re-delivers them
+          // exactly once even if the wire drops or duplicates attempts.
+          copy.deliver_time = -1.0;
+          copy.xport_seq = -1;
+          trace_.messages.push_back(copy);
+          xport_send(static_cast<long>(trace_.messages.size()) - 1,
+                     resume_of[static_cast<size_t>(src)]);
+        }
         ++record.replayed_messages;
       }
     }
@@ -937,6 +1045,136 @@ void Engine::reset_collectives_for_rollback() {
 }
 
 // ===========================================================================
+// Reliable transport over a lossy wire
+// ===========================================================================
+//
+// Per ordered channel (src, dst): the sender stamps each payload with the
+// next sequence number and keeps it in an unacked window; every arrival at
+// the receiver triggers a cumulative ack (next in-order seq expected); an
+// exponential-backoff RTO retransmits unacked payloads up to a retry cap.
+// The receiver buffers out-of-order arrivals and releases them in sequence
+// order, suppressing duplicates — so the layers above (deliver(), the
+// drivers, the VMs) observe exactly the reliable FIFO channel the system
+// model of Section 2 assumes, just later and with retransmit traffic.
+
+void Engine::xport_send(long msg_index, double at) {
+  auto& msg = trace_.messages[static_cast<size_t>(msg_index)];
+  const size_t chan = static_cast<size_t>(msg.src) *
+                          static_cast<size_t>(opts_.nprocs) +
+                      static_cast<size_t>(msg.dst);
+  XportChan& ch = xport_[chan];
+  msg.xport_seq = ch.next_seq++;
+  ch.unacked.emplace(msg.xport_seq,
+                     XportChan::Unacked{msg_index, 0, opts_.transport.rto});
+  ++stats_.transport_sends;
+  xport_transmit(chan, msg.xport_seq, at);
+  push_event(at + opts_.transport.rto, EvKind::kRto, msg.src,
+             static_cast<long>(chan), msg.xport_seq);
+}
+
+void Engine::xport_transmit(std::size_t chan, long seq, double at) {
+  const auto it = xport_[chan].unacked.find(seq);
+  ACFC_CHECK_MSG(it != xport_[chan].unacked.end(),
+                 "transmit of an unknown transport sequence number");
+  const auto& msg = trace_.messages[static_cast<size_t>(it->second.msg_index)];
+  int copies = 1;
+  if (net_rng_.bernoulli(opts_.delay.drop)) {
+    copies = 0;
+    ++stats_.transport_dropped;
+  } else if (opts_.delay.dup > 0.0 && net_rng_.bernoulli(opts_.delay.dup)) {
+    copies = 2;
+  }
+  for (int c = 0; c < copies; ++c) {
+    double d = message_delay(msg.bytes);
+    if (opts_.delay.reorder > 0.0 && net_rng_.bernoulli(opts_.delay.reorder))
+      d += net_rng_.uniform(0.0, opts_.delay.reorder_extra);
+    // channel_last_deliver_ is the receiver-restart floor here (set by
+    // handle_failure), not a FIFO chain — ordering comes from seq numbers.
+    const double arrive = std::max(at + d, channel_last_deliver_[chan]);
+    push_event(arrive, EvKind::kNetArrive, msg.dst, msg.id);
+  }
+}
+
+void Engine::handle_net_arrive(long msg_index) {
+  const auto& arrived = trace_.messages[static_cast<size_t>(msg_index)];
+  const size_t chan = static_cast<size_t>(arrived.src) *
+                          static_cast<size_t>(opts_.nprocs) +
+                      static_cast<size_t>(arrived.dst);
+  XportChan& ch = xport_[chan];
+  const long seq = arrived.xport_seq;
+  if (seq < ch.next_expected || ch.reorder_buf.count(seq) != 0) {
+    ++stats_.transport_dup_arrivals;  // retransmit or wire-duplicate copy
+  } else {
+    ch.reorder_buf.emplace(seq, msg_index);
+    // Release the in-order prefix. deliver() may run the receiver, which
+    // may send (growing trace_.messages) — re-look-up each iteration.
+    while (true) {
+      const auto ready = ch.reorder_buf.find(ch.next_expected);
+      if (ready == ch.reorder_buf.end()) break;
+      const long idx = ready->second;
+      ch.reorder_buf.erase(ready);
+      ++ch.next_expected;
+      trace_.messages[static_cast<size_t>(idx)].deliver_time = now_;
+      deliver(idx);
+    }
+  }
+  send_xport_ack(chan);
+}
+
+void Engine::send_xport_ack(std::size_t chan) {
+  XportChan& ch = xport_[chan];
+  const auto n = static_cast<size_t>(opts_.nprocs);
+  const int data_src = static_cast<int>(chan / n);
+  const int data_dst = static_cast<int>(chan % n);
+  ++stats_.transport_acks;
+  if (net_rng_.bernoulli(opts_.delay.drop)) {
+    ++stats_.transport_dropped;  // acks ride the same lossy wire
+    return;
+  }
+  double d = message_delay(opts_.transport.ack_bytes);
+  if (opts_.delay.reorder > 0.0 && net_rng_.bernoulli(opts_.delay.reorder))
+    d += net_rng_.uniform(0.0, opts_.delay.reorder_extra);
+  const size_t reverse = static_cast<size_t>(data_dst) * n +
+                         static_cast<size_t>(data_src);
+  const double arrive = std::max(now_ + d, channel_last_deliver_[reverse]);
+  push_event(arrive, EvKind::kAck, data_src, static_cast<long>(chan),
+             ch.next_expected);
+}
+
+void Engine::handle_ack(std::size_t chan, long upto) {
+  XportChan& ch = xport_[chan];
+  while (!ch.unacked.empty() && ch.unacked.begin()->first < upto)
+    ch.unacked.erase(ch.unacked.begin());
+  ch.acked_upto = std::max(ch.acked_upto, upto);
+}
+
+void Engine::handle_rto(std::size_t chan, long seq) {
+  XportChan& ch = xport_[chan];
+  const auto it = ch.unacked.find(seq);
+  if (it == ch.unacked.end()) return;  // acked meanwhile
+  XportChan::Unacked& entry = it->second;
+  if (entry.retries >= opts_.transport.max_retries) {
+    ++stats_.transport_give_ups;
+    ch.unacked.erase(it);  // abandoned; the run may end incomplete
+    return;
+  }
+  ++entry.retries;
+  ++stats_.transport_retransmits;
+  entry.rto *= opts_.transport.backoff;
+  const int owner =
+      static_cast<int>(chan / static_cast<size_t>(opts_.nprocs));
+  xport_transmit(chan, seq, now_);
+  push_event(now_ + entry.rto, EvKind::kRto, owner,
+             static_cast<long>(chan), seq);
+}
+
+void Engine::reset_transport_for_rollback() {
+  // Every in-flight attempt, ack, and armed RTO died with the epoch bump;
+  // replays re-enter through xport_send with fresh sequence numbers.
+  for (XportChan& ch : xport_) ch = XportChan{};
+}
+
+// ===========================================================================
 // Driver API
 // ===========================================================================
 
@@ -960,12 +1198,21 @@ void Engine::send_control(int src, int dst, int bytes, int kind,
   const size_t chan = static_cast<size_t>(src) *
                           static_cast<size_t>(opts_.nprocs) +
                       static_cast<size_t>(dst);
-  double deliver_at = now_ + message_delay(bytes);
-  deliver_at = std::max(deliver_at, control_last_deliver_[chan]);
-  control_last_deliver_[chan] = deliver_at;
-  msg.deliver_time = deliver_at;
-  trace_.messages.push_back(msg);
-  push_event(deliver_at, EvKind::kDeliver, dst, msg.id);
+  if (!opts_.delay.lossy()) {
+    double deliver_at = now_ + message_delay(bytes);
+    deliver_at = std::max(deliver_at, control_last_deliver_[chan]);
+    control_last_deliver_[chan] = deliver_at;
+    msg.deliver_time = deliver_at;
+    trace_.messages.push_back(msg);
+    push_event(deliver_at, EvKind::kDeliver, dst, msg.id);
+  } else {
+    // Control traffic rides the same reliable shim as app messages, in the
+    // same per-channel sequence space — markers keep their FIFO ordering
+    // relative to the app messages they chase (the C-L invariant).
+    msg.deliver_time = -1.0;
+    trace_.messages.push_back(msg);
+    xport_send(msg.id, now_);
+  }
 
   ++stats_.control_messages;
   stats_.control_bytes += bytes;

@@ -24,6 +24,7 @@
 #include "sim/driver.h"
 #include "sim/fault.h"
 #include "sim/vm.h"
+#include "store/fault.h"
 #include "trace/analysis.h"
 #include "trace/trace.h"
 
@@ -31,14 +32,42 @@ namespace acfc::sim {
 
 /// Message latency: setup + per_byte·bytes (the w_m and w_b of Section 4),
 /// plus optional uniform jitter in [0, jitter).
+///
+/// The loss knobs make the network unreliable: each transmission attempt
+/// is independently dropped with probability `drop`, duplicated with
+/// probability `dup`, and detoured (an extra uniform [0, reorder_extra)
+/// delay that lets later attempts overtake it) with probability `reorder`.
+/// Any of them > 0 switches the engine onto the reliable-transport shim
+/// (per-channel sequence numbers, ack + timeout retransmit, duplicate
+/// suppression), which restores exactly-once FIFO delivery to the layers
+/// above — application receives AND protocol control traffic, so
+/// Chandy–Lamport markers and CIC piggybacks survive loss. With all three
+/// at 0 the engine runs the original perfectly-reliable fast path,
+/// bit-identical to previous releases.
 struct DelayModel {
   double setup = 1e-3;
   double per_byte = 1e-6;
   double jitter = 0.0;
+  double drop = 0.0;           ///< P(attempt lost), per transmission
+  double dup = 0.0;            ///< P(attempt arrives twice)
+  double reorder = 0.0;        ///< P(attempt takes a detour)
+  double reorder_extra = 0.05; ///< detour delay bound (s)
 
   double base(int bytes) const {
     return setup + per_byte * static_cast<double>(bytes);
   }
+  bool lossy() const { return drop > 0.0 || dup > 0.0 || reorder > 0.0; }
+};
+
+/// Reliable-transport shim tuning (active only when DelayModel::lossy()).
+struct TransportOptions {
+  double rto = 0.05;     ///< initial retransmit timeout (s)
+  double backoff = 2.0;  ///< RTO multiplier per retry (exponential)
+  int max_retries = 16;  ///< retry cap; past it the message is abandoned
+                         ///< (stats.transport_give_ups) and the run may
+                         ///< end incomplete — exactly like a real channel
+                         ///< declaring its peer unreachable
+  int ack_bytes = 8;     ///< wire size of a cumulative ack
 };
 
 struct FailureEvent {
@@ -50,6 +79,7 @@ struct SimOptions {
   int nprocs = 4;
   std::uint64_t seed = 1;
   DelayModel delay;
+  TransportOptions transport;
   /// o: time a process is blocked while taking one checkpoint.
   double checkpoint_overhead = 0.0;
   /// l: time until the checkpoint is durable on stable storage (commit).
@@ -79,6 +109,24 @@ struct SimOptions {
   /// Declarative failure-injection schedule (time / after-checkpoint /
   /// after-events triggers); merged with `failures` at bootstrap.
   FaultPlan fault_plan;
+  /// Declarative storage corruption: each entry lands on one process's
+  /// n-th checkpoint take (1-based, counting re-takes after rollback).
+  /// Torn writes / bit flips / lost manifest entries make that image
+  /// permanently unusable; a stale manifest hides it only until the next
+  /// successful take publishes over it. No StableStore needed — this is
+  /// the cheap path for large sweeps.
+  store::StorageFaultPlan storage_faults;
+  /// Store-wired integrity: (proc, take ordinal) → does that record's
+  /// restore chain verify RIGHT NOW? Consulted at rollback time, so
+  /// transient faults heal exactly when the backing store says they do
+  /// (see store::checkpoint_verify_fn). Combined (AND) with
+  /// `storage_faults` when both are set.
+  std::function<bool(int proc, long ordinal)> checkpoint_verify_fn;
+  /// Degraded-mode selection switch. True: rollback restores the deepest
+  /// consistent cut whose every member verifies. False: the deliberately
+  /// weakened no-verify mode — rollback trusts corrupt images, which the
+  /// recovery oracle must catch (negative control).
+  bool verify_stored_checkpoints = true;
   /// Retain VM snapshots for checkpoints (needed for failures/restart).
   bool keep_snapshots = true;
   /// Runaway guard.
@@ -101,6 +149,13 @@ struct SimStats {
   double paused_time = 0.0;
   /// Messages recorded as channel state by a C-L-style protocol.
   long channel_logged_messages = 0;
+  // Reliable-transport shim counters (all 0 on the reliable fast path).
+  long transport_sends = 0;        ///< payloads handed to the shim
+  long transport_retransmits = 0;  ///< RTO-triggered re-sends
+  long transport_dropped = 0;      ///< attempts (data or ack) the wire lost
+  long transport_dup_arrivals = 0; ///< arrivals suppressed as duplicates
+  long transport_acks = 0;         ///< cumulative acks sent
+  long transport_give_ups = 0;     ///< payloads abandoned at the retry cap
 };
 
 /// One whole-application rollback, recorded as it happened: which process
@@ -114,8 +169,17 @@ struct RecoveryRec {
   double resume_time = 0.0;
   trace::Cut cut;               ///< the restored recovery line
   std::vector<int> rollbacks;   ///< per-process demotion below its latest
+                                ///< USABLE checkpoint
   double lost_work = 0.0;       ///< Σ_p (fail_time − cut member completion)
   long replayed_messages = 0;   ///< in-transit messages re-injected from log
+  /// Degraded-recovery accounting (all zero/false for clean rollbacks):
+  /// deepest per-process fallback counting both consistency demotions and
+  /// corrupt records stepped over (the ISSUE's fallback depth)...
+  int fallback_depth = 0;
+  /// ...total unverifiable records the selection skipped across processes,
+  long corrupt_records_skipped = 0;
+  /// ...and whether this rollback had to skip any at all.
+  bool degraded = false;
 };
 
 struct SimResult {
@@ -128,6 +192,10 @@ struct SimResult {
   /// consumed a message its sender's final incarnation never sent.
   std::vector<long> final_sends;
   std::vector<long> final_recvs;
+  /// Trace checkpoint indices whose stored images are permanently corrupt
+  /// (torn / bit-flipped / manifest-lost under SimOptions::storage_faults).
+  /// The recovery oracle asserts no restored cut ever contains one.
+  std::vector<int> corrupt_checkpoints;
 };
 
 class Engine {
@@ -165,14 +233,23 @@ class Engine {
  private:
   struct Process;
 
-  enum class EvKind { kWake, kDeliver, kTimer, kFailure };
+  enum class EvKind {
+    kWake,
+    kDeliver,
+    kTimer,
+    kFailure,
+    kNetArrive,  ///< lossy path: a transmission attempt reaches the receiver
+    kAck,        ///< lossy path: a cumulative ack reaches the data sender
+    kRto,        ///< lossy path: retransmission timer fires at the sender
+  };
 
   struct Ev {
     double time = 0.0;
     long seq = 0;  ///< tie-break: FIFO among simultaneous events
     EvKind kind = EvKind::kWake;
     int proc = -1;
-    long a = -1;    ///< msg index / timer id / failure index
+    long a = -1;    ///< msg index / timer id / failure index / channel
+    long b = -1;    ///< transport: ack upto / RTO sequence number
     int epoch = 0;  ///< wake/deliver events from pre-rollback epochs drop
   };
 
@@ -205,7 +282,29 @@ class Engine {
   /// re-execute exactly the rounds their restored counters precede.
   void reset_collectives_for_rollback();
   double message_delay(int bytes);
-  void push_event(double time, EvKind kind, int proc, long a = -1);
+  void push_event(double time, EvKind kind, int proc, long a = -1,
+                  long b = -1);
+  /// Degraded selection: is trace checkpoint `ckpt_index` restorable right
+  /// now? Combines the declarative storage_faults marks (stale entries
+  /// heal once overwritten by a later take) with checkpoint_verify_fn.
+  bool checkpoint_usable(int ckpt_index) const;
+  /// Whether rollback must run degraded selection at all.
+  bool degraded_selection_active() const;
+
+  // -- Reliable transport over a lossy wire (DelayModel::lossy()) ----------
+  /// Hands trace message `msg_index` to the shim at time `at`: assigns the
+  /// channel sequence number, sends the first attempt, arms the RTO.
+  void xport_send(long msg_index, double at);
+  /// One wire attempt (initial or retransmission) of `seq` on `chan`.
+  void xport_transmit(std::size_t chan, long seq, double at);
+  void handle_net_arrive(long msg_index);
+  void handle_ack(std::size_t chan, long upto);
+  void handle_rto(std::size_t chan, long seq);
+  void send_xport_ack(std::size_t chan);
+  /// Clears every channel (unacked windows, reorder buffers, sequence
+  /// counters) after a rollback; in-flight transport events die via the
+  /// epoch bump.
+  void reset_transport_for_rollback();
 
   const mp::Program& program_;
   SimOptions opts_;
@@ -241,6 +340,15 @@ class Engine {
   /// Per-process completed-checkpoint tally — checkpoint_count() is on the
   /// CIC piggyback path (one call per app message), so it must be O(1).
   std::vector<long> ckpt_counts_;
+  /// Per-process take ordinal (1-based, increments on EVERY take including
+  /// post-rollback re-takes, never rewinds) — the key joining trace
+  /// checkpoints to stable-storage records and StorageFault::ckpt_ordinal.
+  std::vector<long> take_counts_;
+  // Parallel to trace_.checkpoints (appended in take_checkpoint):
+  std::vector<long> ckpt_take_ordinal_;  ///< take ordinal of each trace ckpt
+  std::vector<char> ckpt_corrupt_;       ///< permanently unusable image
+  std::vector<char> ckpt_stale_;         ///< manifest publish failed; heals
+                                         ///< when a later take publishes
   /// ckpt_id → static index (S_i), when the placement is balanced.
   std::map<int, int> ckpt_static_index_;
 
@@ -252,6 +360,22 @@ class Engine {
   // Collective rounds (sequence-matched like MPI).
   struct CollRound;
   std::vector<std::unique_ptr<CollRound>> rounds_;
+
+  // Reliable-transport channel state, flattened (src·n + dst); allocated
+  // only when opts_.delay.lossy().
+  struct XportChan {
+    long next_seq = 0;       ///< sender: next sequence number to assign
+    long next_expected = 0;  ///< receiver: next in-order sequence number
+    long acked_upto = 0;     ///< sender: highest cumulative ack seen
+    struct Unacked {
+      long msg_index = -1;
+      int retries = 0;
+      double rto = 0.0;  ///< current timeout (grows by transport.backoff)
+    };
+    std::map<long, Unacked> unacked;       ///< sender window, keyed by seq
+    std::map<long, long> reorder_buf;      ///< receiver: seq → msg index
+  };
+  std::vector<XportChan> xport_;
 
   std::priority_queue<Ev, std::vector<Ev>, EvCmp> queue_;
   util::Rng net_rng_{0x5eedULL};

@@ -1,6 +1,7 @@
 #include "sim/recovery.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "trace/analysis.h"
@@ -13,6 +14,7 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
   double latency_sum = 0.0;
   double lost_sum = 0.0;
   double rollback_sum = 0.0;
+  double fallback_sum = 0.0;
   for (const SimResult& run : runs) {
     ++metrics.runs;
     if (run.trace.completed) ++metrics.completed;
@@ -24,7 +26,13 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
       for (const int d : rec.rollbacks) demotions += d;
       rollback_sum += static_cast<double>(demotions);
       metrics.replayed_messages += rec.replayed_messages;
+      if (rec.degraded) ++metrics.degraded_rollbacks;
+      metrics.corrupt_records_skipped += rec.corrupt_records_skipped;
+      fallback_sum += static_cast<double>(rec.fallback_depth);
     }
+    metrics.transport_sends += run.stats.transport_sends;
+    metrics.transport_retransmits += run.stats.transport_retransmits;
+    metrics.transport_give_ups += run.stats.transport_give_ups;
   }
   if (metrics.failures > 0) {
     metrics.mean_recovery_latency =
@@ -32,7 +40,13 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
     metrics.mean_lost_work = lost_sum / static_cast<double>(metrics.failures);
     metrics.mean_rollback_distance =
         rollback_sum / static_cast<double>(metrics.failures);
+    metrics.mean_fallback_depth =
+        fallback_sum / static_cast<double>(metrics.failures);
   }
+  if (metrics.transport_sends > 0)
+    metrics.retransmit_overhead =
+        static_cast<double>(metrics.transport_retransmits) /
+        static_cast<double>(metrics.transport_sends);
   return metrics;
 }
 
@@ -56,6 +70,40 @@ FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
       default:
         plan.faults.push_back(FaultPlan::after_events(
             proc, rng.uniform_int(20, 400)));
+        break;
+    }
+  }
+  return plan;
+}
+
+store::StorageFaultPlan random_storage_fault_plan(std::uint64_t seed,
+                                                  int nprocs,
+                                                  long max_ordinal,
+                                                  int max_faults) {
+  util::Rng rng(seed ^ 0x5704a6eULL);
+  store::StorageFaultPlan plan;
+  const long hi = std::max<long>(1, max_ordinal);
+  const int count =
+      static_cast<int>(rng.uniform_int(1, std::max(1, max_faults)));
+  for (int i = 0; i < count; ++i) {
+    const int proc = static_cast<int>(rng.uniform_int(0, nprocs - 1));
+    const long ordinal = rng.uniform_int(1, hi);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        plan.faults.push_back(store::StorageFaultPlan::torn_write(proc,
+                                                                  ordinal));
+        break;
+      case 1:
+        plan.faults.push_back(store::StorageFaultPlan::bit_flip(proc,
+                                                                ordinal));
+        break;
+      case 2:
+        plan.faults.push_back(
+            store::StorageFaultPlan::lost_manifest_entry(proc, ordinal));
+        break;
+      default:
+        plan.faults.push_back(
+            store::StorageFaultPlan::stale_manifest(proc, ordinal));
         break;
     }
   }
@@ -143,6 +191,23 @@ OracleReport check_recovery(const mp::Program& program,
         std::ostringstream out;
         out << "rollback " << i << " restored an inconsistent cut ("
             << analysis.orphan_pairs.size() << " orphan pairs)";
+        return fail(out.str());
+      }
+    }
+  }
+
+  if (oracle.check_corrupt_members && !faulty.corrupt_checkpoints.empty()) {
+    const std::set<int> corrupt(faulty.corrupt_checkpoints.begin(),
+                                faulty.corrupt_checkpoints.end());
+    for (size_t i = 0; i < faulty.recoveries.size(); ++i) {
+      for (const int member : faulty.recoveries[i].cut.member) {
+        if (member < 0 || corrupt.count(member) == 0) continue;
+        const auto& ckpt =
+            faulty.trace.checkpoints[static_cast<size_t>(member)];
+        std::ostringstream out;
+        out << "rollback " << i << " restored a cut containing corrupt "
+            << "checkpoint " << member << " (process " << ckpt.proc
+            << ") — recovery trusted rotten storage";
         return fail(out.str());
       }
     }

@@ -45,6 +45,19 @@ struct RecoveryMetrics {
   /// domino effect.
   double mean_rollback_distance = 0.0;
   long replayed_messages = 0;
+  // Degraded-recovery axes (all zero when storage never rots):
+  long degraded_rollbacks = 0;        ///< rollbacks that skipped ≥1 record
+  long corrupt_records_skipped = 0;   ///< unverifiable records stepped over
+  /// Mean over rollbacks of the deepest per-process fallback (consistency
+  /// demotions + corrupt skips). App-driven placements keep this O(1) per
+  /// corrupt record; uncoordinated ones let it grow with the domino chain.
+  double mean_fallback_depth = 0.0;
+  // Reliable-transport overhead (all zero on a loss-free wire):
+  long transport_sends = 0;
+  long transport_retransmits = 0;
+  long transport_give_ups = 0;
+  /// retransmits / payload sends — the wire-level overhead of reliability.
+  double retransmit_overhead = 0.0;
 };
 
 RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs);
@@ -54,6 +67,16 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs);
 /// after-n-events), derived purely from `seed`.
 FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
                             int max_faults = 2);
+
+/// A deterministic pseudo-random storage-corruption plan: 1..max_faults
+/// faults over mixed kinds (torn write, bit flip, lost manifest entry,
+/// stale manifest) landing on write ordinals in [1, max_ordinal], derived
+/// purely from `seed`. Pair with random_fault_plan to sweep crash ×
+/// corruption jointly.
+store::StorageFaultPlan random_storage_fault_plan(std::uint64_t seed,
+                                                  int nprocs,
+                                                  long max_ordinal,
+                                                  int max_faults = 2);
 
 struct OracleOptions {
   /// Require the fault-injected run to complete.
@@ -68,6 +91,12 @@ struct OracleOptions {
   /// drivers only add control traffic and forced checkpoints, neither of
   /// which folds into the application digest).
   bool check_digest = true;
+  /// Require that no restored cut contains a permanently corrupt stored
+  /// image (SimResult::corrupt_checkpoints). This is the oracle's teeth
+  /// against the deliberately-weakened verify_stored_checkpoints=false
+  /// mode: an engine that trusts rotten storage is caught here even when
+  /// the in-memory replay happens to look healthy.
+  bool check_corrupt_members = true;
 };
 
 struct OracleReport {

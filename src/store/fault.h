@@ -1,0 +1,70 @@
+// Storage fault plans: declarative injection of stable-storage defects.
+//
+// Crash faults (sim/fault.h) kill a process; storage faults rot what the
+// process left behind. Four kinds, matching the failure modes a verified
+// storage engine must survive:
+//
+//  * kTornWrite         — the record write was interrupted: only a prefix
+//                         of the image landed, so its checksum can never
+//                         match (permanent).
+//  * kBitFlip           — the stored image decayed after a complete write;
+//                         the recomputed content checksum disagrees with
+//                         the stored one (permanent).
+//  * kLostManifestEntry — the record's manifest entry was dropped: the
+//                         bytes exist but no manifest names them, so
+//                         restore cannot trust them (permanent).
+//  * kStaleManifest     — the write-then-publish of the manifest version
+//                         covering the record failed; the record is
+//                         invisible until the NEXT successful publish
+//                         (i.e. until the process writes its next
+//                         checkpoint) — a transient fault that heals.
+//
+// Faults target a per-process checkpoint WRITE ordinal (1-based, counting
+// every write the process ever performs, including re-takes after a
+// rollback), which makes plans deterministic under replay. This header is
+// shared by store::StableStore (which mutates actual records) and
+// sim::Engine (which can simulate the same plan without a store attached,
+// for the cheap large sweeps).
+#pragma once
+
+#include <vector>
+
+namespace acfc::store {
+
+struct StorageFault {
+  enum class Kind {
+    kTornWrite,
+    kBitFlip,
+    kLostManifestEntry,
+    kStaleManifest,
+  };
+
+  int proc = 0;
+  Kind kind = Kind::kBitFlip;
+  /// The 1-based write ordinal of `proc` the fault lands on.
+  long ckpt_ordinal = 1;
+};
+
+struct StorageFaultPlan {
+  std::vector<StorageFault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  static StorageFault torn_write(int proc, long ordinal) {
+    return StorageFault{proc, StorageFault::Kind::kTornWrite, ordinal};
+  }
+  static StorageFault bit_flip(int proc, long ordinal) {
+    return StorageFault{proc, StorageFault::Kind::kBitFlip, ordinal};
+  }
+  static StorageFault lost_manifest_entry(int proc, long ordinal) {
+    return StorageFault{proc, StorageFault::Kind::kLostManifestEntry,
+                        ordinal};
+  }
+  static StorageFault stale_manifest(int proc, long ordinal) {
+    return StorageFault{proc, StorageFault::Kind::kStaleManifest, ordinal};
+  }
+};
+
+const char* storage_fault_name(StorageFault::Kind kind);
+
+}  // namespace acfc::store

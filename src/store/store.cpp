@@ -2,19 +2,169 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <utility>
 
+#include "util/checksum.h"
+
 namespace acfc::store {
 
-StableStore::StableStore(StorageModel model, CheckpointMode mode, int nprocs)
-    : model_(model), mode_(mode),
+namespace {
+
+/// Content checksum of a record: the store never materializes image bytes,
+/// so the "content" is a canonical descriptor of what a real store would
+/// have written. Deterministic across platforms (fixed-width fields).
+std::uint64_t record_checksum(int proc, long ordinal, long bytes,
+                              bool full_image) {
+  unsigned char buf[25];
+  std::uint64_t p = static_cast<std::uint64_t>(proc);
+  std::uint64_t o = static_cast<std::uint64_t>(ordinal);
+  std::uint64_t b = static_cast<std::uint64_t>(bytes);
+  std::memcpy(buf, &p, 8);
+  std::memcpy(buf + 8, &o, 8);
+  std::memcpy(buf + 16, &b, 8);
+  buf[24] = full_image ? 1 : 0;
+  return util::checksum64(buf, sizeof(buf), /*seed=*/0x5704e5eedULL);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+bool get_u32(std::string_view bytes, size_t& at, std::uint32_t& v) {
+  if (bytes.size() - at < 4) return false;
+  std::memcpy(&v, bytes.data() + at, 4);
+  at += 4;
+  return true;
+}
+
+bool get_u64(std::string_view bytes, size_t& at, std::uint64_t& v) {
+  if (bytes.size() - at < 8) return false;
+  std::memcpy(&v, bytes.data() + at, 8);
+  at += 8;
+  return true;
+}
+
+constexpr char kManifestMagic[4] = {'A', 'C', 'F', 'M'};
+constexpr std::uint32_t kManifestFormat = 1;
+/// Per-entry wire size: ordinal + bytes + full flag + checksum.
+constexpr size_t kEntryBytes = 8 + 8 + 1 + 8;
+
+}  // namespace
+
+const char* storage_fault_name(StorageFault::Kind kind) {
+  switch (kind) {
+    case StorageFault::Kind::kTornWrite:
+      return "torn-write";
+    case StorageFault::Kind::kBitFlip:
+      return "bit-flip";
+    case StorageFault::Kind::kLostManifestEntry:
+      return "lost-manifest-entry";
+    case StorageFault::Kind::kStaleManifest:
+      return "stale-manifest";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Manifest wire format
+// ---------------------------------------------------------------------------
+
+std::string encode_manifest(const Manifest& manifest) {
+  std::string out;
+  out.reserve(4 + 4 + 4 + 8 + 4 + manifest.entries.size() * kEntryBytes + 8);
+  out.append(kManifestMagic, 4);
+  put_u32(out, kManifestFormat);
+  put_u32(out, static_cast<std::uint32_t>(manifest.proc));
+  put_u64(out, static_cast<std::uint64_t>(manifest.version));
+  put_u32(out, static_cast<std::uint32_t>(manifest.entries.size()));
+  for (const ManifestEntry& e : manifest.entries) {
+    put_u64(out, static_cast<std::uint64_t>(e.ordinal));
+    put_u64(out, static_cast<std::uint64_t>(e.bytes));
+    out.push_back(e.full_image ? '\1' : '\0');
+    put_u64(out, e.checksum);
+  }
+  put_u64(out, util::checksum64(out));
+  return out;
+}
+
+std::optional<Manifest> parse_manifest(std::string_view bytes) {
+  // Header: magic + format + proc + version + count.
+  size_t at = 0;
+  if (bytes.size() < 4 + 4 + 4 + 8 + 4 + 8) return std::nullopt;
+  if (std::memcmp(bytes.data(), kManifestMagic, 4) != 0) return std::nullopt;
+  at = 4;
+  std::uint32_t format = 0, proc = 0, count = 0;
+  std::uint64_t version = 0;
+  if (!get_u32(bytes, at, format) || format != kManifestFormat)
+    return std::nullopt;
+  if (!get_u32(bytes, at, proc) || !get_u64(bytes, at, version) ||
+      !get_u32(bytes, at, count))
+    return std::nullopt;
+  // Exact-length check before touching entries: rejects truncation and
+  // trailing garbage alike (and guards count against overflow).
+  const size_t want = at + static_cast<size_t>(count) * kEntryBytes + 8;
+  if (count > (bytes.size() / kEntryBytes) + 1 || bytes.size() != want)
+    return std::nullopt;
+  // Trailing checksum covers everything before it.
+  std::uint64_t stored = 0;
+  size_t tail = bytes.size() - 8;
+  std::memcpy(&stored, bytes.data() + tail, 8);
+  if (util::checksum64(bytes.substr(0, tail)) != stored) return std::nullopt;
+
+  Manifest out;
+  out.proc = static_cast<int>(proc);
+  out.version = static_cast<long>(version);
+  out.entries.reserve(count);
+  long prev_ordinal = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    std::uint64_t ordinal = 0, entry_bytes = 0;
+    if (!get_u64(bytes, at, ordinal) || !get_u64(bytes, at, entry_bytes))
+      return std::nullopt;
+    const char full = bytes[at++];
+    if (full != '\0' && full != '\1') return std::nullopt;
+    if (!get_u64(bytes, at, e.checksum)) return std::nullopt;
+    e.ordinal = static_cast<long>(ordinal);
+    e.bytes = static_cast<long>(entry_bytes);
+    e.full_image = full == '\1';
+    // Structural invariants: ordinals strictly ascend and stay positive.
+    if (e.ordinal <= prev_ordinal || e.bytes < 0) return std::nullopt;
+    prev_ordinal = e.ordinal;
+    out.entries.push_back(e);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StableStore
+// ---------------------------------------------------------------------------
+
+StableStore::StableStore(StorageModel model, CheckpointMode mode, int nprocs,
+                         StorageFaultPlan faults)
+    : model_(model), mode_(mode), faults_(std::move(faults)),
       per_proc_(static_cast<size_t>(nprocs)),
-      since_full_(static_cast<size_t>(nprocs), 0) {
+      since_full_(static_cast<size_t>(nprocs), 0),
+      write_counts_(static_cast<size_t>(nprocs), 0),
+      manifest_version_(static_cast<size_t>(nprocs), 0),
+      published_upto_(static_cast<size_t>(nprocs), 0) {
   ACFC_CHECK_MSG(nprocs > 0, "store needs at least one process");
   ACFC_CHECK_MSG(model_.write_bandwidth > 0 && model_.read_bandwidth > 0,
                  "storage bandwidths must be positive");
   ACFC_CHECK_MSG(model_.full_every >= 1, "full_every must be >= 1");
+  for (const StorageFault& fault : faults_.faults)
+    ACFC_CHECK_MSG(fault.proc >= 0 && fault.proc < nprocs &&
+                       fault.ckpt_ordinal >= 1,
+                   "storage fault targets an invalid (proc, ordinal)");
 }
 
 WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
@@ -22,6 +172,7 @@ WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
   ACFC_CHECK_MSG(state_bytes >= 0, "negative state size");
   auto& records = per_proc_.at(static_cast<size_t>(proc));
   int& since_full = since_full_.at(static_cast<size_t>(proc));
+  const long ordinal = ++write_counts_.at(static_cast<size_t>(proc));
 
   WriteCost cost;
   const bool full = mode_ == CheckpointMode::kFull || records.empty() ||
@@ -40,8 +191,130 @@ WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
   }
   cost.seconds = model_.write_latency +
                  static_cast<double>(cost.bytes) / model_.write_bandwidth;
-  records.push_back(Record{proc, time, cost.bytes, cost.full_image});
+
+  Record record;
+  record.proc = proc;
+  record.ordinal = ordinal;
+  record.time = time;
+  record.bytes = cost.bytes;
+  record.full_image = cost.full_image;
+  record.checksum =
+      record_checksum(proc, ordinal, cost.bytes, cost.full_image);
+  record.stored_checksum = record.checksum;
+
+  // Apply write-time faults landing on this ordinal.
+  bool publish_succeeds = true;
+  for (const StorageFault& fault : faults_.faults) {
+    if (fault.proc != proc || fault.ckpt_ordinal != ordinal) continue;
+    switch (fault.kind) {
+      case StorageFault::Kind::kTornWrite:
+        record.torn = true;
+        // Only a prefix landed: its checksum can never match the content.
+        record.stored_checksum =
+            record_checksum(proc, ordinal, cost.bytes / 2, cost.full_image);
+        break;
+      case StorageFault::Kind::kBitFlip:
+        record.stored_checksum ^= 1ULL << (ordinal % 64);
+        break;
+      case StorageFault::Kind::kLostManifestEntry:
+        record.in_manifest = false;
+        break;
+      case StorageFault::Kind::kStaleManifest:
+        publish_succeeds = false;
+        break;
+    }
+  }
+  records.push_back(record);
+  publish_manifest(proc, publish_succeeds);
   return cost;
+}
+
+void StableStore::publish_manifest(int proc, bool publish_succeeds) {
+  // Write-then-publish: the new manifest version is staged beside the old
+  // one, then atomically swapped in. A failed publish (kStaleManifest)
+  // leaves the previous version live — everything above published_upto_
+  // is invisible to restore until the next successful publish.
+  if (!publish_succeeds) return;
+  ++manifest_version_.at(static_cast<size_t>(proc));
+  published_upto_.at(static_cast<size_t>(proc)) =
+      write_counts_.at(static_cast<size_t>(proc));
+}
+
+const StableStore::Record* StableStore::find_record(int proc,
+                                                    long ordinal) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), ordinal,
+      [](const Record& r, long o) { return r.ordinal < o; });
+  if (it == records.end() || it->ordinal != ordinal) return nullptr;
+  return &*it;
+}
+
+bool StableStore::verify_record(int proc, long ordinal) const {
+  const Record* record = find_record(proc, ordinal);
+  if (record == nullptr) return false;  // collected or never written
+  if (record->torn) return false;
+  if (record->stored_checksum != record->checksum) return false;
+  if (!record->in_manifest) return false;
+  // Published visibility: a record above the live manifest's coverage does
+  // not exist as far as restore is concerned.
+  return ordinal <= published_upto_.at(static_cast<size_t>(proc));
+}
+
+bool StableStore::chain_verifies(int proc, long ordinal) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), ordinal,
+      [](const Record& r, long o) { return r.ordinal < o; });
+  if (it == records.end() || it->ordinal != ordinal) return false;
+  // Walk back to the base full image; every link must verify. The reverse
+  // walk is bounded by the records vector — a chain whose base was
+  // collected (or that never had one) is unrestorable, not a crash.
+  for (auto walk = it;; --walk) {
+    if (!verify_record(proc, walk->ordinal)) return false;
+    if (walk->full_image) return true;
+    if (walk == records.begin()) return false;  // base image collected
+  }
+}
+
+long StableStore::latest_valid_index(int proc) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  for (auto it = records.rbegin(); it != records.rend(); ++it)
+    if (chain_verifies(proc, it->ordinal)) return it->ordinal;
+  return 0;
+}
+
+StableStore::RestoreScan StableStore::scan_restore(int proc) const {
+  RestoreScan scan;
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (!chain_verifies(proc, it->ordinal)) {
+      ++scan.corrupt_skipped;
+      continue;
+    }
+    scan.ordinal = it->ordinal;
+    scan.seconds = restore_seconds(proc, it->ordinal);
+    // Chain length of the chosen point.
+    for (auto walk = it; walk != records.rend(); ++walk) {
+      ++scan.chain_length;
+      if (walk->full_image) break;
+    }
+    break;
+  }
+  return scan;
+}
+
+Manifest StableStore::manifest_of(int proc) const {
+  Manifest manifest;
+  manifest.proc = proc;
+  manifest.version = manifest_version_.at(static_cast<size_t>(proc));
+  const long upto = published_upto_.at(static_cast<size_t>(proc));
+  for (const Record& r : per_proc_.at(static_cast<size_t>(proc))) {
+    if (!r.in_manifest || r.ordinal > upto) continue;
+    manifest.entries.push_back(
+        ManifestEntry{r.ordinal, r.bytes, r.full_image, r.checksum});
+  }
+  return manifest;
 }
 
 int StableStore::chain_length(int proc) const {
@@ -58,22 +331,51 @@ int StableStore::chain_length(int proc) const {
 double StableStore::restore_seconds(int proc) const {
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   if (records.empty()) return 0.0;
+  return restore_seconds(proc, records.back().ordinal);
+}
+
+double StableStore::restore_seconds(int proc, long ordinal) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), ordinal,
+      [](const Record& r, long o) { return r.ordinal < o; });
+  ACFC_CHECK_MSG(it != records.end() && it->ordinal == ordinal,
+                 "restore of a collected or never-written record");
   double seconds = 0.0;
-  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+  for (auto walk = it;; --walk) {
     seconds += model_.read_latency +
-               static_cast<double>(it->bytes) / model_.read_bandwidth;
-    if (it->full_image) break;
+               static_cast<double>(walk->bytes) / model_.read_bandwidth;
+    if (walk->full_image) return seconds;
+    // The chain-walk must never run off the front of the live records — a
+    // delta whose base image was collected is a storage-layer bug, not a
+    // silently-wrong restore time.
+    ACFC_CHECK_MSG(walk != records.begin(),
+                   "restore chain dereferences a collected base image");
   }
-  return seconds;
 }
 
 long StableStore::collect_garbage(int keep_last) {
   ACFC_CHECK_MSG(keep_last >= 1, "must keep at least one restore point");
   long reclaimed = 0;
-  for (auto& records : per_proc_) {
+  for (size_t p = 0; p < per_proc_.size(); ++p) {
+    auto& records = per_proc_[p];
     if (static_cast<int>(records.size()) <= keep_last) continue;
-    // The oldest restore point we must keep.
-    const size_t oldest_kept = records.size() - static_cast<size_t>(keep_last);
+    const int proc = static_cast<int>(p);
+    // The oldest restore point we must keep. Only VERIFIABLE records count
+    // against the quota: a degraded restore falls back past corrupt
+    // records, so the deepest record it could choose must stay chained.
+    // When fewer than keep_last records verify, fall back to the
+    // positional rule (keep the newest keep_last) extended to the oldest
+    // valid one, so a store full of rot still reclaims nothing it might
+    // regret.
+    size_t oldest_kept = records.size() - static_cast<size_t>(keep_last);
+    int valid_seen = 0;
+    for (size_t i = records.size(); i-- > 0;) {
+      if (!chain_verifies(proc, records[i].ordinal)) continue;
+      ++valid_seen;
+      if (i < oldest_kept) oldest_kept = i;
+      if (valid_seen >= keep_last) break;
+    }
     // Walk back from it to the full image its chain starts at.
     size_t chain_base = oldest_kept;
     while (chain_base > 0 && !records[chain_base].full_image) --chain_base;
@@ -100,6 +402,10 @@ long StableStore::bytes_stored(int proc) const {
 
 int StableStore::record_count(int proc) const {
   return static_cast<int>(per_proc_.at(static_cast<size_t>(proc)).size());
+}
+
+long StableStore::write_count(int proc) const {
+  return write_counts_.at(static_cast<size_t>(proc));
 }
 
 std::vector<StableStore::Record> StableStore::records_of(int proc) const {
@@ -143,6 +449,18 @@ std::function<std::pair<double, double>(int)> checkpoint_cost_fn(
 
 std::function<double(int)> restore_cost_fn(const StableStore& store) {
   return [&store](int proc) { return store.restore_seconds(proc); };
+}
+
+std::function<double(int)> degraded_restore_cost_fn(
+    const StableStore& store) {
+  return [&store](int proc) { return store.scan_restore(proc).seconds; };
+}
+
+std::function<bool(int, long)> checkpoint_verify_fn(
+    const StableStore& store) {
+  return [&store](int proc, long ordinal) {
+    return store.chain_verifies(proc, ordinal);
+  };
 }
 
 }  // namespace acfc::store

@@ -8,15 +8,29 @@
 // restore replays the last full image plus every delta after it) and
 // garbage collection that never breaks a chain.
 //
+// Storage integrity (the degraded-recovery subsystem): every record
+// carries an XXH64 content checksum stamped at write time, and each
+// process owns a small versioned manifest republished with a
+// write-then-publish protocol after every checkpoint. A StorageFaultPlan
+// (store/fault.h) injects torn writes, bit flips, lost manifest entries,
+// and stale manifests; verify_record / latest_valid_index let restore skip
+// rotten images and report what it skipped, so recovery can fall back to
+// the deepest fully-verifiable restore point instead of failing outright.
+//
 // The derived (o, l) pairs feed both the simulator (via
 // SimOptions::checkpoint_cost_fn) and the Section-4 analytic model,
 // closing the loop between the storage layer and the overhead-ratio
 // figures.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "store/fault.h"
 #include "util/error.h"
 
 namespace acfc::store {
@@ -44,46 +58,130 @@ struct WriteCost {
   bool full_image = false;
 };
 
+// ---------------------------------------------------------------------------
+// Manifests (the on-disk catalog, one per process)
+// ---------------------------------------------------------------------------
+
+struct ManifestEntry {
+  long ordinal = 0;  ///< per-process write ordinal of the record (1-based)
+  long bytes = 0;
+  bool full_image = true;
+  std::uint64_t checksum = 0;  ///< content checksum of the record
+};
+
+/// A published manifest version: the set of records restore may trust.
+struct Manifest {
+  int proc = -1;
+  long version = 0;  ///< publish counter (bumps on every successful publish)
+  std::vector<ManifestEntry> entries;
+};
+
+/// Binary manifest encoding ("ACFM" magic, format version, entries,
+/// trailing XXH64 of everything before it). docs/analysis.md documents the
+/// exact layout.
+std::string encode_manifest(const Manifest& manifest);
+
+/// Strict parse: rejects (nullopt) bad magic, unknown format versions,
+/// truncation, trailing garbage, and checksum mismatches. Never throws on
+/// arbitrary bytes — tests/test_fuzz.cpp feeds it mutated encodings.
+std::optional<Manifest> parse_manifest(std::string_view bytes);
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
 /// One process's checkpoint storage timeline.
 class StableStore {
  public:
-  StableStore(StorageModel model, CheckpointMode mode, int nprocs);
+  StableStore(StorageModel model, CheckpointMode mode, int nprocs,
+              StorageFaultPlan faults = {});
 
   /// Records a checkpoint of `state_bytes` of process state at `time`;
-  /// returns what the write cost.
+  /// applies any StorageFaultPlan entry landing on this write, then
+  /// republishes the process's manifest (write-then-publish; a
+  /// kStaleManifest fault makes the publish fail, leaving the previous
+  /// version live). Returns the write cost.
   WriteCost write_checkpoint(int proc, long state_bytes, double time);
 
   /// Seconds to restore the process's newest checkpoint (base image plus
-  /// deltas for incremental chains). 0 when nothing is stored.
+  /// deltas for incremental chains). 0 when nothing is stored. Does NOT
+  /// verify integrity — pair with latest_valid_index / scan_restore for
+  /// degraded restores.
   double restore_seconds(int proc) const;
+  /// Seconds to restore the specific record `ordinal` (its full chain).
+  double restore_seconds(int proc, long ordinal) const;
 
   /// Number of stored records whose replay the newest restore point of
   /// `proc` needs (1 for full mode).
   int chain_length(int proc) const;
 
+  /// Integrity of one record in isolation: present (not collected), write
+  /// completed (not torn), content checksum matches the stored one, and a
+  /// currently-published manifest names it.
+  bool verify_record(int proc, long ordinal) const;
+
+  /// Integrity of the record's whole restore chain: verify_record holds
+  /// for it and for every record back to (and including) its base full
+  /// image — a delta whose base rotted is itself unrestorable.
+  bool chain_verifies(int proc, long ordinal) const;
+
+  /// Newest ordinal whose chain fully verifies; 0 when none does.
+  long latest_valid_index(int proc) const;
+
+  /// What a degraded restore of `proc` would do right now.
+  struct RestoreScan {
+    long ordinal = 0;         ///< chosen restore point (0 = none valid)
+    int corrupt_skipped = 0;  ///< newer records skipped as unverifiable
+    int chain_length = 0;     ///< records replayed for the chosen point
+    double seconds = 0.0;     ///< restore cost of the chosen chain
+  };
+  RestoreScan scan_restore(int proc) const;
+
+  /// The currently published manifest of `proc` (what restore would read).
+  Manifest manifest_of(int proc) const;
+
   /// Drops records not needed to restore any of the `keep_last` newest
-  /// restore points of each process; never breaks an incremental chain.
+  /// VERIFIABLE restore points of each process; never breaks an
+  /// incremental chain, and in particular never unchains the record a
+  /// degraded restore would fall back to (corrupt records do not count
+  /// against the quota — they are not restore points).
   /// Returns bytes reclaimed.
   long collect_garbage(int keep_last);
 
   long bytes_stored() const;
   long bytes_stored(int proc) const;
   int record_count(int proc) const;
+  /// Total writes `proc` ever performed (GC does not rewind this).
+  long write_count(int proc) const;
 
   struct Record {
     int proc = -1;
+    long ordinal = 0;  ///< 1-based per-process write ordinal; survives GC
     double time = 0.0;
     long bytes = 0;
     bool full_image = true;
+    std::uint64_t checksum = 0;         ///< true content checksum at write
+    std::uint64_t stored_checksum = 0;  ///< what landed on disk
+    bool torn = false;                  ///< write interrupted mid-record
+    bool in_manifest = true;            ///< manifest entry survived
   };
   /// All live records of one process, oldest first.
   std::vector<Record> records_of(int proc) const;
 
  private:
+  const Record* find_record(int proc, long ordinal) const;
+  void publish_manifest(int proc, bool publish_succeeds);
+
   StorageModel model_;
   CheckpointMode mode_;
+  StorageFaultPlan faults_;
   std::vector<std::vector<Record>> per_proc_;
   std::vector<int> since_full_;
+  std::vector<long> write_counts_;
+  /// Per-process publish state: version counter and the highest ordinal
+  /// the live manifest covers (records above it are invisible to restore).
+  std::vector<long> manifest_version_;
+  std::vector<long> published_upto_;
 };
 
 /// The (o, l) this storage model implies for a given state size: o is the
@@ -116,5 +214,15 @@ std::function<std::pair<double, double>(int)> checkpoint_cost_fn(
 /// restore the process's newest stored image (full image plus deltas for
 /// incremental chains).
 std::function<double(int)> restore_cost_fn(const StableStore& store);
+
+/// Degraded variant: the restore cost of the deepest fully-verifiable
+/// chain (what a corruption-aware restore actually pays).
+std::function<double(int)> degraded_restore_cost_fn(const StableStore& store);
+
+/// For SimOptions::checkpoint_verify_fn: asks the store whether the record
+/// written at `(proc, ordinal)` currently has a fully-verifiable restore
+/// chain. The engine consults it at rollback time, so transient faults
+/// (stale manifests) heal exactly when the store says they do.
+std::function<bool(int, long)> checkpoint_verify_fn(const StableStore& store);
 
 }  // namespace acfc::store

@@ -125,16 +125,27 @@ std::optional<Cut> latest_straight_cut_at(const Trace& trace,
   return cut;
 }
 
-RecoveryLine max_recovery_line(const Trace& trace, double at_time) {
+RecoveryLine max_recovery_line(const Trace& trace, double at_time,
+                               const CkptUsableFn& usable) {
   // Per-process stack of candidate checkpoints — only ones durable on
-  // stable storage (committed) by the failure time are restorable.
+  // stable storage (committed) by the failure time AND verifiable (when a
+  // usability predicate is supplied) are restorable. Unusable committed
+  // checkpoints are counted per process so degraded recovery can report
+  // what it had to step over.
   std::vector<std::vector<int>> candidates(
+      static_cast<size_t>(trace.nprocs));
+  std::vector<std::vector<int>> unusable_at(
       static_cast<size_t>(trace.nprocs));
   for (size_t i = 0; i < trace.checkpoints.size(); ++i) {
     const auto& c = trace.checkpoints[i];
     const double durable_at = std::max(c.t_end, c.t_commit);
-    if (durable_at <= at_time)
-      candidates[static_cast<size_t>(c.proc)].push_back(static_cast<int>(i));
+    if (durable_at > at_time) continue;
+    if (usable && !usable(static_cast<int>(i))) {
+      unusable_at[static_cast<size_t>(c.proc)].push_back(
+          static_cast<int>(i));
+      continue;
+    }
+    candidates[static_cast<size_t>(c.proc)].push_back(static_cast<int>(i));
   }
   // cursor[p] = index into candidates[p] of the current member; -1 = initial.
   std::vector<int> cursor(static_cast<size_t>(trace.nprocs));
@@ -170,13 +181,19 @@ RecoveryLine max_recovery_line(const Trace& trace, double at_time) {
 
   out.cut.member.resize(static_cast<size_t>(trace.nprocs));
   out.rollbacks.resize(static_cast<size_t>(trace.nprocs));
+  out.skipped_unusable.assign(static_cast<size_t>(trace.nprocs), 0);
   for (int p = 0; p < trace.nprocs; ++p) {
-    out.cut.member[static_cast<size_t>(p)] = member_of(p);
+    const int member = member_of(p);
+    out.cut.member[static_cast<size_t>(p)] = member;
     out.rollbacks[static_cast<size_t>(p)] =
         static_cast<int>(candidates[static_cast<size_t>(p)].size()) - 1 -
         cursor[static_cast<size_t>(p)];
-    out.lost_work +=
-        at_time - member_time(trace, out.cut.member[static_cast<size_t>(p)]);
+    // Unusable checkpoints above the chosen member: what a degraded
+    // restore stepped over. Same-process trace indices are in completion
+    // order, so a plain index comparison orders them.
+    for (const int u : unusable_at[static_cast<size_t>(p)])
+      if (u > member) ++out.skipped_unusable[static_cast<size_t>(p)];
+    out.lost_work += at_time - member_time(trace, member);
   }
   out.consistent = analyze_cut(trace, out.cut).consistent;
   return out;

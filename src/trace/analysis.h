@@ -17,6 +17,7 @@
 //  * Netzer–Xu zigzag-cycle detection of useless checkpoints.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -67,19 +68,32 @@ std::optional<Cut> latest_straight_cut_at(const Trace& trace,
 struct RecoveryLine {
   Cut cut;
   bool consistent = false;
-  /// Per process: how many checkpoints it was demoted below its latest —
-  /// 0 everywhere means "roll back to the latest checkpoint", the paper's
-  /// coordinated-quality recovery.
+  /// Per process: how many USABLE checkpoints it was demoted below its
+  /// latest usable one — 0 everywhere means "roll back to the latest
+  /// checkpoint", the paper's coordinated-quality recovery.
   std::vector<int> rollbacks;
+  /// Per process: committed-but-unusable checkpoints (corrupt images,
+  /// unpublished manifests) above the chosen member that the selection had
+  /// to skip. All-zero unless a usability predicate was supplied.
+  std::vector<int> skipped_unusable;
   /// Σ_p (t_fail − completion time of p's cut member); the work lost.
   double lost_work = 0.0;
 };
 
+/// True when the checkpoint at this trace index is restorable (verifiable
+/// on stable storage). Degraded recovery passes one of these to exclude
+/// rotten images from the candidate set.
+using CkptUsableFn = std::function<bool(int ckpt_index)>;
+
 /// Computes the maximal consistent cut dominated by the latest checkpoints
 /// at `at_time`, by greedy demotion of orphan-receiving members (standard
 /// rollback propagation). Always terminates — the all-initial cut is
-/// consistent.
-RecoveryLine max_recovery_line(const Trace& trace, double at_time);
+/// consistent. When `usable` is supplied, unusable checkpoints are excluded
+/// from the candidate set entirely (degraded-mode selection: the deepest
+/// consistent cut whose every member verifies) and skipped_unusable counts
+/// what was stepped over.
+RecoveryLine max_recovery_line(const Trace& trace, double at_time,
+                               const CkptUsableFn& usable = nullptr);
 
 /// Rollback-dependency graph over checkpoint intervals. Interval (p, k)
 /// covers events after p's (k-1)-th checkpoint completion and before its

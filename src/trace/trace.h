@@ -65,6 +65,9 @@ struct MsgRec {
   long piggyback = 0;
   /// True for messages re-injected from the sender log after a rollback.
   bool replayed = false;
+  /// Reliable-transport sequence number on the (src, dst) channel; -1 on
+  /// the reliable fast path (no shim involved).
+  long xport_seq = -1;
 };
 
 struct CkptRec {

@@ -1,0 +1,46 @@
+// Content checksums for the stable-storage layer.
+//
+// XXH64 (Yann Collet's xxHash, 64-bit variant — public-domain algorithm,
+// reimplemented here from the specification so the repo stays
+// dependency-free). The storage layer stamps every checkpoint record and
+// every published manifest with one of these; restore verifies before it
+// trusts an image. The algorithm is fixed — changing it would invalidate
+// every stored manifest — so treat the constants as an on-disk format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace acfc::util {
+
+/// One-shot XXH64 of `len` bytes. Matches the reference xxHash library
+/// bit-for-bit (tests/test_checksum.cpp pins the published vectors).
+std::uint64_t checksum64(const void* data, std::size_t len,
+                         std::uint64_t seed = 0);
+
+inline std::uint64_t checksum64(std::string_view bytes,
+                                std::uint64_t seed = 0) {
+  return checksum64(bytes.data(), bytes.size(), seed);
+}
+
+/// Streaming XXH64: feed chunks in any split, finish() equals the one-shot
+/// checksum of the concatenation. Used to checksum manifests as they are
+/// encoded without materializing a second buffer.
+class Checksum64 {
+ public:
+  explicit Checksum64(std::uint64_t seed = 0);
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+  std::uint64_t finish() const;
+
+ private:
+  std::uint64_t acc_[4];
+  unsigned char buffer_[32];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace acfc::util

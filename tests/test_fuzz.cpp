@@ -14,6 +14,7 @@
 #include "mp/printer.h"
 #include "place/place.h"
 #include "sim/engine.h"
+#include "store/store.h"
 #include "util/rng.h"
 
 namespace {
@@ -309,6 +310,88 @@ TEST(TokenFuzzSlow, RepairPlacementSurvivesEveryParseableMutant) {
   EXPECT_GT(parsed, 50);
   EXPECT_GT(rejected, 10);
   EXPECT_GT(repaired_ok, 25);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest fuzzing: the on-disk catalog parser must reject, never crash.
+// ---------------------------------------------------------------------------
+
+// A realistic encoded manifest: several records, incremental mode.
+std::string sample_manifest_bytes(int writes) {
+  store::StableStore s(store::StorageModel{},
+                       store::CheckpointMode::kIncremental, 2);
+  for (int i = 0; i < writes; ++i)
+    s.write_checkpoint(1, 1'000'000 + i * 10'000, static_cast<double>(i));
+  return store::encode_manifest(s.manifest_of(1));
+}
+
+TEST(ManifestFuzz, MutatedManifestsParseOrRejectCleanly) {
+  // Byte-level mutants of a valid encoding: parse_manifest must return
+  // nullopt or a manifest that round-trips — never throw or crash. The
+  // trailing checksum makes essentially every real mutation detectable, so
+  // almost all mutants must be rejected.
+  const std::string clean = sample_manifest_bytes(6);
+  ASSERT_TRUE(store::parse_manifest(clean).has_value());
+
+  util::Rng rng(20260806);
+  int accepted = 0, rejected = 0;
+  for (int round = 0; round < 500; ++round) {
+    const std::string mutant = mutate(clean, rng);
+    const auto parsed = store::parse_manifest(mutant);
+    if (!parsed.has_value()) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    // Anything accepted must re-encode to a parseable, equal manifest.
+    const std::string reencoded = store::encode_manifest(*parsed);
+    const auto again = store::parse_manifest(reencoded);
+    ASSERT_TRUE(again.has_value()) << "round=" << round;
+    EXPECT_EQ(again->proc, parsed->proc);
+    EXPECT_EQ(again->version, parsed->version);
+    EXPECT_EQ(again->entries.size(), parsed->entries.size());
+  }
+  // The checksum gate: mutations land somewhere in the covered bytes (or
+  // in the checksum itself) virtually always, so acceptance is the rare
+  // case (identity mutants: swap-with-self, duplicate-then-delete).
+  EXPECT_GT(rejected, 450);
+  EXPECT_LT(accepted, 50);
+}
+
+TEST(ManifestFuzz, TruncatedPrefixesAllRejected) {
+  const std::string clean = sample_manifest_bytes(4);
+  for (size_t len = 0; len < clean.size(); ++len) {
+    EXPECT_FALSE(
+        store::parse_manifest(std::string_view(clean.data(), len))
+            .has_value())
+        << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(ManifestFuzz, TrailingGarbageRejected) {
+  const std::string clean = sample_manifest_bytes(3);
+  util::Rng rng(55);
+  for (int round = 0; round < 50; ++round) {
+    std::string padded = clean;
+    const auto extra = rng.uniform_int(1, 32);
+    for (std::int64_t i = 0; i < extra; ++i)
+      padded += static_cast<char>(rng.uniform_int(0, 255));
+    EXPECT_FALSE(store::parse_manifest(padded).has_value())
+        << "round=" << round;
+  }
+}
+
+TEST(ManifestFuzz, RandomGarbageNeverCrashes) {
+  util::Rng rng(314159);
+  int accepted = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const auto len = rng.uniform_int(0, 300);
+    for (std::int64_t i = 0; i < len; ++i)
+      garbage += static_cast<char>(rng.uniform_int(0, 255));
+    if (store::parse_manifest(garbage).has_value()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);  // random bytes never pass magic + checksum
 }
 
 TEST(Fuzz, GarbageInputsRejectedStructurally) {

@@ -133,6 +133,177 @@ TEST(Store, InvalidArgumentsThrow) {
 }
 
 // ---------------------------------------------------------------------------
+// Storage integrity: checksums, manifests, fault injection, verification
+// ---------------------------------------------------------------------------
+
+using store::StorageFaultPlan;
+
+TEST(StoreIntegrity, CleanRecordsVerify) {
+  StableStore s(fast_model(), CheckpointMode::kIncremental, 2);
+  for (int i = 0; i < 5; ++i) s.write_checkpoint(0, 1'000'000, i);
+  for (long ordinal = 1; ordinal <= 5; ++ordinal) {
+    EXPECT_TRUE(s.verify_record(0, ordinal)) << ordinal;
+    EXPECT_TRUE(s.chain_verifies(0, ordinal)) << ordinal;
+  }
+  EXPECT_EQ(s.latest_valid_index(0), 5);
+  EXPECT_FALSE(s.verify_record(0, 6));   // never written
+  EXPECT_FALSE(s.verify_record(1, 1));   // other process untouched
+  EXPECT_EQ(s.latest_valid_index(1), 0);
+  const auto scan = s.scan_restore(0);
+  EXPECT_EQ(scan.ordinal, 5);
+  EXPECT_EQ(scan.corrupt_skipped, 0);
+  EXPECT_NEAR(scan.seconds, s.restore_seconds(0), 1e-12);
+}
+
+TEST(StoreIntegrity, TornWriteNeverVerifies) {
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::torn_write(0, 2)};
+  StableStore s(fast_model(), CheckpointMode::kFull, 1, plan);
+  for (int i = 0; i < 3; ++i) s.write_checkpoint(0, 1'000'000, i);
+  EXPECT_TRUE(s.verify_record(0, 1));
+  EXPECT_FALSE(s.verify_record(0, 2));
+  EXPECT_TRUE(s.verify_record(0, 3));
+  EXPECT_EQ(s.latest_valid_index(0), 3);  // full mode: records independent
+}
+
+TEST(StoreIntegrity, BitFlipOnBaseRotsTheWholeChain) {
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::bit_flip(0, 1)};  // the first full image
+  StableStore s(fast_model(), CheckpointMode::kIncremental, 1, plan);
+  // full_every = 4: ordinals 1 full, 2-4 deltas, 5 full, ...
+  for (int i = 0; i < 6; ++i) s.write_checkpoint(0, 1'000'000, i);
+  for (long ordinal = 1; ordinal <= 4; ++ordinal)
+    EXPECT_FALSE(s.chain_verifies(0, ordinal)) << ordinal;
+  EXPECT_TRUE(s.chain_verifies(0, 5));  // fresh full image: clean chain
+  EXPECT_TRUE(s.chain_verifies(0, 6));
+  EXPECT_EQ(s.latest_valid_index(0), 6);
+  const auto scan = s.scan_restore(0);
+  EXPECT_EQ(scan.ordinal, 6);
+  EXPECT_EQ(scan.corrupt_skipped, 0);  // nothing newer than the valid chain
+}
+
+TEST(StoreIntegrity, ScanSkipsCorruptNewestAndReports) {
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::bit_flip(0, 4),
+                 StorageFaultPlan::torn_write(0, 3)};
+  StableStore s(fast_model(), CheckpointMode::kFull, 1, plan);
+  for (int i = 0; i < 4; ++i) s.write_checkpoint(0, 1'000'000, i);
+  EXPECT_EQ(s.latest_valid_index(0), 2);
+  const auto scan = s.scan_restore(0);
+  EXPECT_EQ(scan.ordinal, 2);
+  EXPECT_EQ(scan.corrupt_skipped, 2);
+  EXPECT_EQ(scan.chain_length, 1);
+  EXPECT_GT(scan.seconds, 0.0);
+}
+
+TEST(StoreIntegrity, LostManifestEntryHidesTheRecord) {
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::lost_manifest_entry(0, 2)};
+  StableStore s(fast_model(), CheckpointMode::kFull, 1, plan);
+  for (int i = 0; i < 3; ++i) s.write_checkpoint(0, 1'000'000, i);
+  EXPECT_FALSE(s.verify_record(0, 2));
+  const store::Manifest manifest = s.manifest_of(0);
+  for (const auto& entry : manifest.entries) EXPECT_NE(entry.ordinal, 2);
+  EXPECT_EQ(manifest.entries.size(), 2u);
+}
+
+TEST(StoreIntegrity, StaleManifestHealsOnNextPublish) {
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::stale_manifest(0, 2)};
+  StableStore s(fast_model(), CheckpointMode::kFull, 1, plan);
+  s.write_checkpoint(0, 1'000'000, 0.0);
+  const long version_before = s.manifest_of(0).version;
+  s.write_checkpoint(0, 1'000'000, 1.0);
+  // Publish failed: the live manifest still only covers ordinal 1.
+  EXPECT_FALSE(s.verify_record(0, 2));
+  EXPECT_EQ(s.latest_valid_index(0), 1);
+  EXPECT_EQ(s.manifest_of(0).version, version_before);
+  // The next write's publish covers it: the fault heals.
+  s.write_checkpoint(0, 1'000'000, 2.0);
+  EXPECT_TRUE(s.verify_record(0, 2));
+  EXPECT_EQ(s.latest_valid_index(0), 3);
+  EXPECT_GT(s.manifest_of(0).version, version_before);
+}
+
+TEST(StoreIntegrity, ManifestRoundTrips) {
+  StableStore s(fast_model(), CheckpointMode::kIncremental, 2);
+  for (int i = 0; i < 5; ++i) s.write_checkpoint(1, 2'000'000, i);
+  const store::Manifest manifest = s.manifest_of(1);
+  const std::string encoded = store::encode_manifest(manifest);
+  const auto parsed = store::parse_manifest(encoded);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proc, manifest.proc);
+  EXPECT_EQ(parsed->version, manifest.version);
+  ASSERT_EQ(parsed->entries.size(), manifest.entries.size());
+  for (size_t i = 0; i < manifest.entries.size(); ++i) {
+    EXPECT_EQ(parsed->entries[i].ordinal, manifest.entries[i].ordinal);
+    EXPECT_EQ(parsed->entries[i].bytes, manifest.entries[i].bytes);
+    EXPECT_EQ(parsed->entries[i].full_image,
+              manifest.entries[i].full_image);
+    EXPECT_EQ(parsed->entries[i].checksum, manifest.entries[i].checksum);
+  }
+}
+
+TEST(StoreIntegrity, GcNeverUnchainsTheDegradedFallbackTarget) {
+  // Records 1..4, the two newest rotten: a degraded restore falls back to
+  // ordinal 2. collect_garbage(1) must keep it restorable — corrupt
+  // records do not count against the keep quota.
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::bit_flip(0, 3),
+                 StorageFaultPlan::bit_flip(0, 4)};
+  StableStore s(fast_model(), CheckpointMode::kFull, 1, plan);
+  for (int i = 0; i < 4; ++i) s.write_checkpoint(0, 1'000'000, i);
+  ASSERT_EQ(s.latest_valid_index(0), 2);
+  s.collect_garbage(1);
+  EXPECT_EQ(s.latest_valid_index(0), 2);
+  const auto scan = s.scan_restore(0);
+  EXPECT_EQ(scan.ordinal, 2);
+  EXPECT_GT(scan.seconds, 0.0);  // restore still possible — chain intact
+}
+
+TEST(StoreIntegrity, GcKeepsIncrementalChainOfTheFallbackTarget) {
+  // Incremental: ordinals 1 full, 2-4 deltas, 5 full, 6-7 deltas; rot the
+  // second full image and everything after — the fallback target is the
+  // delta at ordinal 4, whose chain reaches back to ordinal 1. GC with
+  // keep_last=1 must keep ordinals 1-4.
+  StorageFaultPlan plan;
+  plan.faults = {StorageFaultPlan::bit_flip(0, 5),
+                 StorageFaultPlan::torn_write(0, 6),
+                 StorageFaultPlan::bit_flip(0, 7)};
+  StableStore s(fast_model(), CheckpointMode::kIncremental, 1, plan);
+  for (int i = 0; i < 7; ++i) s.write_checkpoint(0, 1'000'000, i);
+  ASSERT_EQ(s.latest_valid_index(0), 4);
+  s.collect_garbage(1);
+  EXPECT_EQ(s.latest_valid_index(0), 4);
+  const auto records = s.records_of(0);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front().ordinal, 1);  // the chain base survived
+  EXPECT_TRUE(records.front().full_image);
+  EXPECT_EQ(s.scan_restore(0).ordinal, 4);
+}
+
+TEST(StoreIntegrity, RestoreOfCollectedRecordThrows) {
+  StableStore s(fast_model(), CheckpointMode::kFull, 1);
+  for (int i = 0; i < 5; ++i) s.write_checkpoint(0, 1'000'000, i);
+  s.collect_garbage(1);
+  EXPECT_THROW(s.restore_seconds(0, 1), util::InternalError);
+  EXPECT_THROW(s.restore_seconds(0, 99), util::InternalError);
+  EXPECT_FALSE(s.verify_record(0, 1));  // collected: no longer verifiable
+}
+
+TEST(StoreIntegrity, InvalidFaultPlansRejected) {
+  StorageFaultPlan bad_proc;
+  bad_proc.faults = {StorageFaultPlan::bit_flip(3, 1)};
+  EXPECT_THROW(StableStore(fast_model(), CheckpointMode::kFull, 2, bad_proc),
+               util::InternalError);
+  StorageFaultPlan bad_ordinal;
+  bad_ordinal.faults = {StorageFaultPlan::bit_flip(0, 0)};
+  EXPECT_THROW(
+      StableStore(fast_model(), CheckpointMode::kFull, 2, bad_ordinal),
+      util::InternalError);
+}
+
+// ---------------------------------------------------------------------------
 // Derived parameters → perf model
 // ---------------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ Two suites:
   argument (legacy ns-per-op / fast ns-per-op).
 
   --suite sim drives bench/ablate_sim_throughput plus bench/ablate_recovery
-  and writes BENCH_sim.json:
+  and bench/ablate_degraded_recovery, and writes BENCH_sim.json:
 
     {
       "benchmark": "ablate_sim_throughput",
@@ -34,6 +34,13 @@ Two suites:
         "appl-driven": {"recovery_latency_s": ...,     # protocol baseline
                          "lost_work_s": ..., "rollback_distance": ...,
                          "replayed_msgs": ..., "rollbacks": ..., ...},
+        ...
+      },
+      "degraded": {                           # same crashes + rotten
+        "appl-driven": {"fallback_depth": ...,         # storage + lossy wire
+                         "extra_lost_work_s": ...,
+                         "retransmit_overhead": ...,
+                         "corrupt_skipped": ..., ...},
         ...
       },
       "events_per_s_before": {...},           # only with --baseline
@@ -67,6 +74,8 @@ SUITES = {
     "sim": {
         "bench": os.path.join("build", "bench", "ablate_sim_throughput"),
         "recovery_bench": os.path.join("build", "bench", "ablate_recovery"),
+        "degraded_bench": os.path.join(
+            "build", "bench", "ablate_degraded_recovery"),
         "out": "BENCH_sim.json",
     },
 }
@@ -154,24 +163,30 @@ RECOVERY_COUNTERS = (
     "rollback_distance", "replayed_msgs",
 )
 
+DEGRADED_COUNTERS = (
+    "runs", "completed", "rollbacks", "degraded_rollbacks",
+    "corrupt_skipped", "fallback_depth", "lost_work_s", "extra_lost_work_s",
+    "retransmit_overhead", "transport_give_ups",
+)
 
-def extract_recovery(raw):
-    """BM_RecoverySweep counters keyed by protocol label."""
-    recovery = {}
+
+def extract_per_protocol(raw, counters):
+    """Per-protocol sweep counters keyed by the benchmark's label."""
+    table = {}
     for bench in raw.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         key = bench.get("label") or strip_real_time(bench["name"])
-        recovery[key] = {
-            c: bench[c] for c in RECOVERY_COUNTERS if c in bench
-        }
-    return recovery
+        table[key] = {c: bench[c] for c in counters if c in bench}
+    return table
 
 
-def condense_sim(raw, recovery_raw, baseline):
+def condense_sim(raw, recovery_raw, degraded_raw, baseline):
     phases = extract_phases(raw)
     if recovery_raw:
         phases.update(extract_phases(recovery_raw))
+    if degraded_raw:
+        phases.update(extract_phases(degraded_raw))
 
     events = {}
     ckpts = {}
@@ -205,7 +220,11 @@ def condense_sim(raw, recovery_raw, baseline):
         "parallel_speedup": parallel_speedup,
     }
     if recovery_raw:
-        doc["recovery"] = extract_recovery(recovery_raw)
+        doc["recovery"] = extract_per_protocol(recovery_raw,
+                                               RECOVERY_COUNTERS)
+    if degraded_raw:
+        doc["degraded"] = extract_per_protocol(degraded_raw,
+                                               DEGRADED_COUNTERS)
 
     if baseline:
         before = baseline.get("events_per_s", {})
@@ -247,18 +266,26 @@ def main():
         doc = condense_analysis(raw)
         ratios = doc["speedups"]
     else:
-        recovery_bench = suite.get("recovery_bench")
         recovery_raw = None
-        if recovery_bench:
-            if not os.path.exists(recovery_bench):
+        degraded_raw = None
+        for key, slot in (("recovery_bench", "recovery"),
+                          ("degraded_bench", "degraded")):
+            path = suite.get(key)
+            if not path:
+                continue
+            if not os.path.exists(path):
                 sys.exit("benchmark binary not found: %s (build it first)"
-                         % recovery_bench)
-            recovery_raw = run_benchmark(recovery_bench, args.min_time)
+                         % path)
+            parsed = run_benchmark(path, args.min_time)
+            if slot == "recovery":
+                recovery_raw = parsed
+            else:
+                degraded_raw = parsed
         baseline = None
         if args.baseline:
             with open(args.baseline) as f:
                 baseline = json.load(f)
-        doc = condense_sim(raw, recovery_raw, baseline)
+        doc = condense_sim(raw, recovery_raw, degraded_raw, baseline)
         ratios = dict(doc["parallel_speedup"])
         ratios.update(doc.get("events_per_s_speedup", {}))
 
