@@ -19,7 +19,7 @@
 #include "proto/protocols.h"
 #include "sim/montecarlo.h"
 #include "sim/recovery.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace {
 

@@ -15,7 +15,7 @@
 #include "trace/analysis.h"
 #include "util/stats.h"
 #include "util/table.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 int main() {
   using namespace acfc;

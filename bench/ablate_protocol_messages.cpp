@@ -6,7 +6,7 @@
 
 #include "proto/protocols.h"
 #include "util/table.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 int main() {
   using namespace acfc;

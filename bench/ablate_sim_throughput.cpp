@@ -9,8 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include "sim/montecarlo.h"
+#include "sim/snapshot_codec.h"
+#include "store/store.h"
 #include "trace/analysis.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace {
 
@@ -70,29 +72,48 @@ void BM_SnapshotOverhead(benchmark::State& state) {
 BENCHMARK(BM_SnapshotOverhead)->Arg(0)->Arg(1);
 
 // Isolated per-checkpoint capture cost: a checkpoint-dense program (one
-// checkpoint per simulated event pair) with snapshots on vs off.
+// checkpoint per simulated event pair). Arms:
+//   /0  snapshots off (pure engine baseline)
+//   /1  snapshots on (in-memory VmSnapshot retention)
+//   /2  payload capture, full records (serialize + store every image)
+//   /3  payload capture, incremental ACFD delta records
+// The bytes/ckpt counter on /2 vs /3 is the delta codec's footprint win.
 void BM_CheckpointCapture(benchmark::State& state) {
   benchws::RingParams params;
   params.iterations = 64;
   params.compute_cost = 1.0;
   params.checkpoint = true;
   const mp::Program program = benchws::ring_exchange(params);
-  const bool keep = state.range(0) != 0;
+  const int arm = static_cast<int>(state.range(0));
   long checkpoints = 0;
+  long stored_bytes = 0;
   for (auto _ : state) {
     sim::SimOptions opts;
     opts.nprocs = 8;
-    opts.keep_snapshots = keep;
+    opts.keep_snapshots = arm == 1;
+    store::StableStore stable(
+        store::StorageModel{},
+        arm == 3 ? store::CheckpointMode::kIncremental
+                 : store::CheckpointMode::kFull,
+        opts.nprocs);
+    if (arm >= 2) opts.checkpoint_capture_fn = sim::store_capture_fn(stable);
     sim::Engine engine(program, opts);
     const auto result = engine.run();
     checkpoints += result.stats.statement_checkpoints;
+    stored_bytes += stable.bytes_stored();
     benchmark::DoNotOptimize(result.trace.end_time);
   }
   state.counters["ckpts/s"] = benchmark::Counter(
       static_cast<double>(checkpoints), benchmark::Counter::kIsRate);
-  state.SetLabel(keep ? "snapshots on" : "snapshots off");
+  if (arm >= 2 && checkpoints > 0)
+    state.counters["bytes/ckpt"] = benchmark::Counter(
+        static_cast<double>(stored_bytes) /
+        static_cast<double>(checkpoints));
+  static const char* kLabels[] = {"snapshots off", "snapshots on",
+                                  "capture full", "capture delta"};
+  state.SetLabel(kLabels[arm]);
 }
-BENCHMARK(BM_CheckpointCapture)->Arg(0)->Arg(1);
+BENCHMARK(BM_CheckpointCapture)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // Fig8-style Monte-Carlo sweep: world sizes × seed replications of the
 // checkpointed ring, exactly what the overhead-curve experiments rerun.

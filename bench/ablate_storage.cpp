@@ -12,7 +12,7 @@
 #include "sim/engine.h"
 #include "store/store.h"
 #include "util/table.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 int main() {
   using namespace acfc;

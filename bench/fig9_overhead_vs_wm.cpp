@@ -14,7 +14,7 @@
 #include "perf/model.h"
 #include "sim/montecarlo.h"
 #include "util/table.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 int main() {
   using namespace acfc;

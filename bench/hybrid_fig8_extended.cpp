@@ -18,7 +18,7 @@
 #include "proto/koo_toueg.h"
 #include "proto/protocols.h"
 #include "util/table.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace {
 

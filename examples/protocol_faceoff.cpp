@@ -11,7 +11,7 @@
 #include "sim/montecarlo.h"
 #include "trace/analysis.h"
 #include "util/table.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 int main() {
   using namespace acfc;

@@ -33,7 +33,7 @@
 #include "mp/printer.h"
 #include "mp/stmt.h"
 #include "mp/subst.h"
-#include "mp/workloads.h"
+#include "workloads/workloads.h"
 #include "perf/markov.h"
 #include "perf/model.h"
 #include "place/place.h"

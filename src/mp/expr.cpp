@@ -13,8 +13,19 @@ std::optional<std::int64_t> EvalCtx::lookup(const std::string& var) const {
   return std::nullopt;
 }
 
+// Dependence facts, precomputed bottom-up at construction so the per-node
+// queries cost one byte-test instead of a tree walk.
+namespace {
+enum : std::uint8_t {
+  kFlagRank = 1,       // reads `rank` somewhere
+  kFlagLoopVar = 2,    // reads a loop variable somewhere
+  kFlagIrregular = 4,  // contains a data-dependent value somewhere
+};
+}  // namespace
+
 struct Expr::Node {
   ExprKind kind = ExprKind::kConst;
+  std::uint8_t flags = 0;           // kFlag* union over the subtree
   std::int64_t value = 0;           // kConst
   std::string name;                 // kLoopVar
   int irregular_id = 0;             // kIrregular
@@ -35,6 +46,7 @@ Expr Expr::constant(std::int64_t v) {
 Expr Expr::rank() {
   auto n = std::make_shared<Node>();
   n->kind = ExprKind::kRank;
+  n->flags = kFlagRank;
   return Expr(std::move(n));
 }
 
@@ -48,6 +60,7 @@ Expr Expr::loop_var(std::string name) {
   ACFC_CHECK_MSG(!name.empty(), "loop variable needs a name");
   auto n = std::make_shared<Node>();
   n->kind = ExprKind::kLoopVar;
+  n->flags = kFlagLoopVar;
   n->name = std::move(name);
   return Expr(std::move(n));
 }
@@ -55,6 +68,7 @@ Expr Expr::loop_var(std::string name) {
 Expr Expr::irregular(int id) {
   auto n = std::make_shared<Node>();
   n->kind = ExprKind::kIrregular;
+  n->flags = kFlagIrregular;
   n->irregular_id = id;
   return Expr(std::move(n));
 }
@@ -62,6 +76,7 @@ Expr Expr::irregular(int id) {
 Expr Expr::binary(ExprKind kind, const Expr& lhs, const Expr& rhs) {
   auto n = std::make_shared<Node>();
   n->kind = kind;
+  n->flags = lhs.node_->flags | rhs.node_->flags;
   n->lhs = lhs.node_;
   n->rhs = rhs.node_;
   return Expr(std::move(n));
@@ -125,50 +140,17 @@ Expr Expr::rhs() const {
   return Expr(node_->rhs);
 }
 
-bool Expr::depends_on_rank() const {
-  switch (node_->kind) {
-    case ExprKind::kRank:
-      return true;
-    case ExprKind::kConst:
-    case ExprKind::kNProcs:
-    case ExprKind::kLoopVar:
-    case ExprKind::kIrregular:
-      return false;
-    default:
-      return Expr(node_->lhs).depends_on_rank() ||
-             Expr(node_->rhs).depends_on_rank();
-  }
+bool Expr::depends_on_rank() const { return node_->flags & kFlagRank; }
+
+bool Expr::has_irregular() const { return node_->flags & kFlagIrregular; }
+
+bool Expr::has_loop_var() const { return node_->flags & kFlagLoopVar; }
+
+bool Expr::loop_invariant() const {
+  return (node_->flags & (kFlagLoopVar | kFlagIrregular)) == 0;
 }
 
-bool Expr::has_irregular() const {
-  switch (node_->kind) {
-    case ExprKind::kIrregular:
-      return true;
-    case ExprKind::kConst:
-    case ExprKind::kRank:
-    case ExprKind::kNProcs:
-    case ExprKind::kLoopVar:
-      return false;
-    default:
-      return Expr(node_->lhs).has_irregular() ||
-             Expr(node_->rhs).has_irregular();
-  }
-}
-
-bool Expr::has_loop_var() const {
-  switch (node_->kind) {
-    case ExprKind::kLoopVar:
-      return true;
-    case ExprKind::kConst:
-    case ExprKind::kRank:
-    case ExprKind::kNProcs:
-    case ExprKind::kIrregular:
-      return false;
-    default:
-      return Expr(node_->lhs).has_loop_var() ||
-             Expr(node_->rhs).has_loop_var();
-  }
-}
+const void* Expr::node_id() const { return node_.get(); }
 
 std::vector<std::string> Expr::loop_vars() const {
   std::vector<std::string> out;

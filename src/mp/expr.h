@@ -89,12 +89,23 @@ class Expr {
   Expr lhs() const;                      ///< Requires a binary kind.
   Expr rhs() const;                      ///< Requires a binary kind.
 
+  // The three dependence queries below are O(1): the answers are computed
+  // once at construction and stored on the node, so hot evaluators can
+  // consult them per evaluation without walking the tree.
+
   /// True if any subexpression reads `rank` (the paper's ID-dependence).
   bool depends_on_rank() const;
   /// True if any subexpression is irregular (data-dependent).
   bool has_irregular() const;
   /// True if any subexpression reads a loop variable.
   bool has_loop_var() const;
+  /// True when evaluation is a pure function of (rank, nprocs) — no loop
+  /// variables, no irregular values: the result never changes within a
+  /// process, so evaluators may memoize it.
+  bool loop_invariant() const;
+  /// Stable identity of the underlying immutable node — the key for such
+  /// memo tables. Valid as long as any Expr referencing the node lives.
+  const void* node_id() const;
   /// Collects the names of referenced loop variables (deduplicated).
   std::vector<std::string> loop_vars() const;
 

@@ -4,8 +4,25 @@
 
 namespace acfc::mp {
 
+// Dependence facts, precomputed bottom-up at construction (mirrors the
+// flag scheme on Expr::Node) so the per-node queries are O(1).
+namespace {
+enum : std::uint8_t {
+  kFlagRank = 1,
+  kFlagLoopVar = 2,
+  kFlagIrregular = 4,
+};
+
+std::uint8_t expr_flags(const Expr& e) {
+  return static_cast<std::uint8_t>((e.depends_on_rank() ? kFlagRank : 0) |
+                                   (e.has_loop_var() ? kFlagLoopVar : 0) |
+                                   (e.has_irregular() ? kFlagIrregular : 0));
+}
+}  // namespace
+
 struct Pred::Node {
   PredKind kind = PredKind::kTrue;
+  std::uint8_t flags = 0;  // kFlag* union over the subtree
   CmpOp op = CmpOp::kEq;
   Expr e_lhs;
   Expr e_rhs;
@@ -29,12 +46,14 @@ Pred Pred::cmp(CmpOp op, Expr lhs, Expr rhs) {
   n->op = op;
   n->e_lhs = std::move(lhs);
   n->e_rhs = std::move(rhs);
+  n->flags = expr_flags(n->e_lhs) | expr_flags(n->e_rhs);
   return Pred(std::move(n));
 }
 
 Pred Pred::irregular(int id) {
   auto n = std::make_shared<Node>();
   n->kind = PredKind::kIrregular;
+  n->flags = kFlagIrregular;
   n->irregular_id = id;
   return Pred(std::move(n));
 }
@@ -42,6 +61,7 @@ Pred Pred::irregular(int id) {
 Pred Pred::operator!() const {
   auto n = std::make_shared<Node>();
   n->kind = PredKind::kNot;
+  n->flags = node_->flags;
   n->p_lhs = node_;
   return Pred(std::move(n));
 }
@@ -49,6 +69,7 @@ Pred Pred::operator!() const {
 Pred Pred::operator&&(const Pred& rhs) const {
   auto n = std::make_shared<Node>();
   n->kind = PredKind::kAnd;
+  n->flags = node_->flags | rhs.node_->flags;
   n->p_lhs = node_;
   n->p_rhs = rhs.node_;
   return Pred(std::move(n));
@@ -57,6 +78,7 @@ Pred Pred::operator&&(const Pred& rhs) const {
 Pred Pred::operator||(const Pred& rhs) const {
   auto n = std::make_shared<Node>();
   n->kind = PredKind::kOr;
+  n->flags = node_->flags | rhs.node_->flags;
   n->p_lhs = node_;
   n->p_rhs = rhs.node_;
   return Pred(std::move(n));
@@ -99,57 +121,17 @@ Pred Pred::rhs() const {
   return Pred(node_->p_rhs);
 }
 
-bool Pred::depends_on_rank() const {
-  switch (node_->kind) {
-    case PredKind::kTrue:
-    case PredKind::kIrregular:
-      return false;
-    case PredKind::kCmp:
-      return node_->e_lhs.depends_on_rank() || node_->e_rhs.depends_on_rank();
-    case PredKind::kNot:
-      return Pred(node_->p_lhs).depends_on_rank();
-    case PredKind::kAnd:
-    case PredKind::kOr:
-      return Pred(node_->p_lhs).depends_on_rank() ||
-             Pred(node_->p_rhs).depends_on_rank();
-  }
-  return false;
+bool Pred::depends_on_rank() const { return node_->flags & kFlagRank; }
+
+bool Pred::has_irregular() const { return node_->flags & kFlagIrregular; }
+
+bool Pred::has_loop_var() const { return node_->flags & kFlagLoopVar; }
+
+bool Pred::loop_invariant() const {
+  return (node_->flags & (kFlagLoopVar | kFlagIrregular)) == 0;
 }
 
-bool Pred::has_irregular() const {
-  switch (node_->kind) {
-    case PredKind::kTrue:
-      return false;
-    case PredKind::kIrregular:
-      return true;
-    case PredKind::kCmp:
-      return node_->e_lhs.has_irregular() || node_->e_rhs.has_irregular();
-    case PredKind::kNot:
-      return Pred(node_->p_lhs).has_irregular();
-    case PredKind::kAnd:
-    case PredKind::kOr:
-      return Pred(node_->p_lhs).has_irregular() ||
-             Pred(node_->p_rhs).has_irregular();
-  }
-  return false;
-}
-
-bool Pred::has_loop_var() const {
-  switch (node_->kind) {
-    case PredKind::kTrue:
-    case PredKind::kIrregular:
-      return false;
-    case PredKind::kCmp:
-      return node_->e_lhs.has_loop_var() || node_->e_rhs.has_loop_var();
-    case PredKind::kNot:
-      return Pred(node_->p_lhs).has_loop_var();
-    case PredKind::kAnd:
-    case PredKind::kOr:
-      return Pred(node_->p_lhs).has_loop_var() ||
-             Pred(node_->p_rhs).has_loop_var();
-  }
-  return false;
-}
+const void* Pred::node_id() const { return node_.get(); }
 
 std::optional<bool> Pred::eval(const EvalCtx& ctx) const {
   switch (node_->kind) {

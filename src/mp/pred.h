@@ -56,10 +56,16 @@ class Pred {
   Pred lhs() const;          ///< Requires kAnd/kOr.
   Pred rhs() const;          ///< Requires kAnd/kOr.
 
+  // Dependence queries are O(1) — precomputed at construction, as on Expr.
+
   /// ID-dependence per the paper: some operand reads `rank`.
   bool depends_on_rank() const;
   bool has_irregular() const;
   bool has_loop_var() const;
+  /// Pure function of (rank, nprocs): no loop variables, no irregulars.
+  bool loop_invariant() const;
+  /// Stable identity of the underlying immutable node (memo-table key).
+  const void* node_id() const;
 
   /// Evaluates; nullopt when an operand is unresolvable.
   std::optional<bool> eval(const EvalCtx& ctx) const;

@@ -131,12 +131,15 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
   // Append-friendly storage: start the trace stores and the event heap at
   // a capacity proportional to the world size so the steady state appends
   // without reallocating. Growth beyond the hint stays geometric.
-  trace_.reserve(/*events=*/64 * n, /*messages=*/32 * n,
-                 /*checkpoints=*/8 * n);
-  std::vector<Ev> backing;
-  backing.reserve(16 * n + 64);
-  queue_ = std::priority_queue<Ev, std::vector<Ev>, EvCmp>(
-      EvCmp{}, std::move(backing));
+  trace_.reserve(/*events=*/256 * n, /*messages=*/96 * n,
+                 /*checkpoints=*/32 * n);
+  use_legacy_queue_ = opts_.legacy_scheduler;
+  if (use_legacy_queue_) {
+    std::vector<Ev> backing;
+    backing.reserve(16 * n + 64);
+    queue_ = std::priority_queue<Ev, std::vector<Ev>, EvCmp>(
+        EvCmp{}, std::move(backing));
+  }
 
   // Static index of each checkpoint statement (when placement is balanced).
   try {
@@ -145,7 +148,12 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
     for (const auto& [node, index] : indexing.index_of) {
       const auto* stmt = static_cast<const mp::CheckpointStmt*>(
           graph.node(node).stmt);
-      ckpt_static_index_[stmt->ckpt_id] = index;
+      if (stmt->ckpt_id >= 0) {
+        if (static_cast<size_t>(stmt->ckpt_id) >= ckpt_static_index_.size())
+          ckpt_static_index_.resize(
+              static_cast<size_t>(stmt->ckpt_id) + 1, -1);
+        ckpt_static_index_[static_cast<size_t>(stmt->ckpt_id)] = index;
+      }
     }
   } catch (const util::ProgramError&) {
     // Unbalanced placement: static indices stay unknown (-1); straight-cut
@@ -163,7 +171,11 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
 Engine::~Engine() = default;
 
 void Engine::push_event(double time, EvKind kind, int proc, long a, long b) {
-  queue_.push(Ev{time, event_seq_++, kind, proc, a, b, epoch_});
+  const Ev ev{time, event_seq_++, kind, proc, a, b, epoch_};
+  if (use_legacy_queue_)
+    queue_.push(ev);
+  else
+    calqueue_.push(ev);
 }
 
 void Engine::bootstrap() {
@@ -217,9 +229,16 @@ void Engine::check_event_faults() {
 
 SimResult Engine::run() {
   bootstrap();
-  while (!queue_.empty() && stats_.events_processed < opts_.max_events) {
-    const Ev ev = queue_.top();
-    queue_.pop();
+  while (stats_.events_processed < opts_.max_events) {
+    Ev ev;
+    if (use_legacy_queue_) {
+      if (queue_.empty()) break;
+      ev = queue_.top();
+      queue_.pop();
+    } else {
+      if (calqueue_.empty()) break;
+      ev = calqueue_.pop();
+    }
     ++stats_.events_processed;
     ACFC_CHECK_MSG(ev.time + 1e-12 >= now_, "time went backwards");
     now_ = std::max(now_, ev.time);
@@ -263,13 +282,12 @@ void Engine::dispatch(const Ev& ev) {
       if (proc.status == Process::Status::kComputing) {
         if (proc.pending_compute_uid >= 0) {
           proc.vm->tick();
-          trace::EventRec rec;
+          trace::EventRec& rec = trace_.events.emplace_back();
           rec.kind = trace::EventKind::kCompute;
           rec.proc = ev.proc;
           rec.time = now_;
           rec.vc = proc.vm->clock();
           rec.stmt_uid = proc.pending_compute_uid;
-          trace_.events.push_back(std::move(rec));
           proc.pending_compute_uid = -1;
         }
         proc.status = Process::Status::kReady;
@@ -392,7 +410,7 @@ void Engine::advance(int p) {
 
       ++stats_.app_messages;
       stats_.app_bytes += send->bytes;
-      trace::EventRec rec;
+      trace::EventRec& rec = trace_.events.emplace_back();
       rec.kind = trace::EventKind::kSend;
       rec.proc = p;
       rec.time = now_;
@@ -401,7 +419,6 @@ void Engine::advance(int p) {
       rec.msg_id = msg.id;
       rec.peer = send->dest;
       rec.tag = send->tag;
-      trace_.events.push_back(std::move(rec));
       continue;  // sends are asynchronous
     }
 
@@ -481,7 +498,7 @@ void Engine::complete_recv(int p, long msg_index) {
   msg.recv_vc = proc.vm->clock();
   msg.recv_stmt_uid = proc.pending_recv ? proc.pending_recv->stmt_uid : -1;
 
-  trace::EventRec rec;
+  trace::EventRec& rec = trace_.events.emplace_back();
   rec.kind = trace::EventKind::kRecv;
   rec.proc = p;
   rec.time = now_;
@@ -490,7 +507,6 @@ void Engine::complete_recv(int p, long msg_index) {
   rec.msg_id = msg.id;
   rec.peer = msg.src;
   rec.tag = msg.tag;
-  trace_.events.push_back(std::move(rec));
   proc.pending_recv.reset();
 }
 
@@ -542,9 +558,9 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
   proc.vm->tick();
 
   int static_index = -1;
-  if (const auto it = ckpt_static_index_.find(ckpt_id);
-      it != ckpt_static_index_.end())
-    static_index = it->second;
+  if (ckpt_id >= 0 &&
+      static_cast<size_t>(ckpt_id) < ckpt_static_index_.size())
+    static_index = ckpt_static_index_[static_cast<size_t>(ckpt_id)];
 
   const long instance = proc.vm->note_checkpoint_instance(static_index);
 
@@ -555,6 +571,10 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
     overhead = forced ? 0.0 : o;
     latency = l;
   }
+  // Real payload capture: hand the full VM state to the storage layer
+  // (serialization + delta encoding happen behind the hook).
+  if (opts_.checkpoint_capture_fn)
+    opts_.checkpoint_capture_fn(p, proc.vm->state());
 
   trace::CkptRec rec;
   rec.proc = p;
@@ -1064,8 +1084,8 @@ void Engine::xport_send(long msg_index, double at) {
                       static_cast<size_t>(msg.dst);
   XportChan& ch = xport_[chan];
   msg.xport_seq = ch.next_seq++;
-  ch.unacked.emplace(msg.xport_seq,
-                     XportChan::Unacked{msg_index, 0, opts_.transport.rto});
+  ch.unacked.insert(msg.xport_seq,
+                    XportChan::Unacked{msg_index, 0, opts_.transport.rto});
   ++stats_.transport_sends;
   xport_transmit(chan, msg.xport_seq, at);
   push_event(at + opts_.transport.rto, EvKind::kRto, msg.src,
@@ -1073,10 +1093,10 @@ void Engine::xport_send(long msg_index, double at) {
 }
 
 void Engine::xport_transmit(std::size_t chan, long seq, double at) {
-  const auto it = xport_[chan].unacked.find(seq);
-  ACFC_CHECK_MSG(it != xport_[chan].unacked.end(),
+  const auto* entry = xport_[chan].unacked.find(seq);
+  ACFC_CHECK_MSG(entry != nullptr,
                  "transmit of an unknown transport sequence number");
-  const auto& msg = trace_.messages[static_cast<size_t>(it->second.msg_index)];
+  const auto& msg = trace_.messages[static_cast<size_t>(entry->msg_index)];
   int copies = 1;
   if (net_rng_.bernoulli(opts_.delay.drop)) {
     copies = 0;
@@ -1102,17 +1122,17 @@ void Engine::handle_net_arrive(long msg_index) {
                       static_cast<size_t>(arrived.dst);
   XportChan& ch = xport_[chan];
   const long seq = arrived.xport_seq;
-  if (seq < ch.next_expected || ch.reorder_buf.count(seq) != 0) {
+  if (seq < ch.next_expected || ch.reorder_buf.contains(seq)) {
     ++stats_.transport_dup_arrivals;  // retransmit or wire-duplicate copy
   } else {
-    ch.reorder_buf.emplace(seq, msg_index);
+    ch.reorder_buf.insert(seq, msg_index);
     // Release the in-order prefix. deliver() may run the receiver, which
     // may send (growing trace_.messages) — re-look-up each iteration.
     while (true) {
-      const auto ready = ch.reorder_buf.find(ch.next_expected);
-      if (ready == ch.reorder_buf.end()) break;
-      const long idx = ready->second;
-      ch.reorder_buf.erase(ready);
+      const long* ready = ch.reorder_buf.find(ch.next_expected);
+      if (ready == nullptr) break;
+      const long idx = *ready;
+      ch.reorder_buf.erase_below(ch.next_expected + 1);
       ++ch.next_expected;
       trace_.messages[static_cast<size_t>(idx)].deliver_time = now_;
       deliver(idx);
@@ -1143,35 +1163,41 @@ void Engine::send_xport_ack(std::size_t chan) {
 
 void Engine::handle_ack(std::size_t chan, long upto) {
   XportChan& ch = xport_[chan];
-  while (!ch.unacked.empty() && ch.unacked.begin()->first < upto)
-    ch.unacked.erase(ch.unacked.begin());
+  ch.unacked.erase_below(upto);
   ch.acked_upto = std::max(ch.acked_upto, upto);
 }
 
 void Engine::handle_rto(std::size_t chan, long seq) {
   XportChan& ch = xport_[chan];
-  const auto it = ch.unacked.find(seq);
-  if (it == ch.unacked.end()) return;  // acked meanwhile
-  XportChan::Unacked& entry = it->second;
-  if (entry.retries >= opts_.transport.max_retries) {
+  XportChan::Unacked* entry = ch.unacked.find(seq);
+  if (entry == nullptr) return;  // acked meanwhile
+  if (entry->retries >= opts_.transport.max_retries) {
     ++stats_.transport_give_ups;
-    ch.unacked.erase(it);  // abandoned; the run may end incomplete
+    ch.unacked.erase(seq);  // abandoned; the run may end incomplete
     return;
   }
-  ++entry.retries;
+  ++entry->retries;
   ++stats_.transport_retransmits;
-  entry.rto *= opts_.transport.backoff;
+  entry->rto *= opts_.transport.backoff;
+  const double next_rto = entry->rto;
   const int owner =
       static_cast<int>(chan / static_cast<size_t>(opts_.nprocs));
   xport_transmit(chan, seq, now_);
-  push_event(now_ + entry.rto, EvKind::kRto, owner,
+  push_event(now_ + next_rto, EvKind::kRto, owner,
              static_cast<long>(chan), seq);
 }
 
 void Engine::reset_transport_for_rollback() {
   // Every in-flight attempt, ack, and armed RTO died with the epoch bump;
-  // replays re-enter through xport_send with fresh sequence numbers.
-  for (XportChan& ch : xport_) ch = XportChan{};
+  // replays re-enter through xport_send with fresh sequence numbers. The
+  // rings keep their slot capacity — post-rollback traffic reuses it.
+  for (XportChan& ch : xport_) {
+    ch.next_seq = 0;
+    ch.next_expected = 0;
+    ch.acked_upto = 0;
+    ch.unacked.clear();
+    ch.reorder_buf.clear();
+  }
 }
 
 // ===========================================================================

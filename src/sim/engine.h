@@ -14,15 +14,17 @@
 //    pause/resume, piggybacking) for the baseline protocols.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "mp/stmt.h"
+#include "sim/calqueue.h"
 #include "sim/driver.h"
+#include "sim/event.h"
 #include "sim/fault.h"
+#include "sim/seqring.h"
 #include "sim/vm.h"
 #include "store/fault.h"
 #include "trace/analysis.h"
@@ -127,8 +129,21 @@ struct SimOptions {
   /// weakened no-verify mode — rollback trusts corrupt images, which the
   /// recovery oracle must catch (negative control).
   bool verify_stored_checkpoints = true;
+  /// Capture hook fired on every checkpoint take with the process's full
+  /// VM state — the bridge to real stored payloads (serialize the snapshot
+  /// and hand it to a StableStore's payload API; see
+  /// store::checkpoint_capture_fn). Independent of keep_snapshots. Must be
+  /// deterministic for replay.
+  std::function<void(int proc, const VmSnapshot& state)> checkpoint_capture_fn;
   /// Retain VM snapshots for checkpoints (needed for failures/restart).
   bool keep_snapshots = true;
+  /// Schedule events on the original std::priority_queue core instead of
+  /// the calendar queue. (time, seq) is a unique total order, so the two
+  /// schedulers pop identical sequences and produce bit-identical digests
+  /// — tests/test_scheduler.cpp holds them to that; this switch exists for
+  /// that differential suite and as an escape hatch, mirroring the
+  /// analysis engine's legacy_pairwise.
+  bool legacy_scheduler = false;
   /// Runaway guard.
   long max_events = 5'000'000;
   /// Resolver for irregular expressions; when empty, a deterministic
@@ -233,33 +248,6 @@ class Engine {
  private:
   struct Process;
 
-  enum class EvKind {
-    kWake,
-    kDeliver,
-    kTimer,
-    kFailure,
-    kNetArrive,  ///< lossy path: a transmission attempt reaches the receiver
-    kAck,        ///< lossy path: a cumulative ack reaches the data sender
-    kRto,        ///< lossy path: retransmission timer fires at the sender
-  };
-
-  struct Ev {
-    double time = 0.0;
-    long seq = 0;  ///< tie-break: FIFO among simultaneous events
-    EvKind kind = EvKind::kWake;
-    int proc = -1;
-    long a = -1;    ///< msg index / timer id / failure index / channel
-    long b = -1;    ///< transport: ack upto / RTO sequence number
-    int epoch = 0;  ///< wake/deliver events from pre-rollback epochs drop
-  };
-
-  struct EvCmp {
-    bool operator()(const Ev& x, const Ev& y) const {
-      if (x.time != y.time) return x.time > y.time;
-      return x.seq > y.seq;
-    }
-  };
-
   void bootstrap();
   void dispatch(const Ev& ev);
   /// Drives `proc` forward from the current time until it blocks.
@@ -349,8 +337,11 @@ class Engine {
   std::vector<char> ckpt_corrupt_;       ///< permanently unusable image
   std::vector<char> ckpt_stale_;         ///< manifest publish failed; heals
                                          ///< when a later take publishes
-  /// ckpt_id → static index (S_i), when the placement is balanced.
-  std::map<int, int> ckpt_static_index_;
+  /// ckpt_id → static index (S_i), when the placement is balanced. Flat:
+  /// the parser assigns dense checkpoint ids, so the vector is indexed by
+  /// ckpt_id directly (-1 = unknown; forced checkpoints carry id -1 and
+  /// skip the lookup).
+  std::vector<int> ckpt_static_index_;
 
   // Channels: (src, dst) → FIFO bookkeeping.
   std::vector<double> channel_last_deliver_;   // app channels
@@ -372,12 +363,17 @@ class Engine {
       int retries = 0;
       double rto = 0.0;  ///< current timeout (grows by transport.backoff)
     };
-    std::map<long, Unacked> unacked;       ///< sender window, keyed by seq
-    std::map<long, long> reorder_buf;      ///< receiver: seq → msg index
+    SeqRing<Unacked> unacked;     ///< sender window, keyed by seq
+    SeqRing<long> reorder_buf;    ///< receiver: seq → msg index
   };
   std::vector<XportChan> xport_;
 
+  /// The event core: the calendar queue by default, the original binary
+  /// heap behind opts_.legacy_scheduler (use_legacy_queue_ caches the
+  /// flag for the hot path). Both pop the identical (time, seq) order.
+  CalendarQueue calqueue_;
   std::priority_queue<Ev, std::vector<Ev>, EvCmp> queue_;
+  bool use_legacy_queue_ = false;
   util::Rng net_rng_{0x5eedULL};
 };
 

@@ -1,0 +1,85 @@
+#include "sim/snapshot_codec.h"
+
+#include <cstring>
+#include <memory>
+
+namespace acfc::sim {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'C', 'F', 'S'};
+constexpr std::uint32_t kFormat = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_counters(std::string& out, const CounterMap& counters) {
+  put_u32(out, static_cast<std::uint32_t>(counters.entries.size()));
+  for (const auto& [key, value] : counters.entries) {
+    put_u32(out, static_cast<std::uint32_t>(key));
+    put_i64(out, value);
+  }
+}
+
+}  // namespace
+
+std::string serialize_snapshot(const VmSnapshot& snapshot) {
+  std::string out;
+  // Dominant fields are the three per-process arrays (clock + channel
+  // counters); size for them up front.
+  out.reserve(64 + static_cast<std::size_t>(snapshot.vc.size()) * 8 +
+              snapshot.sends_per_channel.size() * 16 +
+              snapshot.stack.size() * 28);
+  out.append(kMagic, 4);
+  put_u32(out, kFormat);
+  put_u64(out, snapshot.digest);
+  std::uint64_t rng_state[4];
+  snapshot.rng.save_state(rng_state);
+  for (const std::uint64_t word : rng_state) put_u64(out, word);
+  put_u32(out, static_cast<std::uint32_t>(snapshot.vc.size()));
+  for (int i = 0; i < snapshot.vc.size(); ++i) put_u64(out, snapshot.vc[i]);
+  put_i64(out, snapshot.collectives_done);
+  put_u32(out, static_cast<std::uint32_t>(snapshot.sends_per_channel.size()));
+  for (const long sends : snapshot.sends_per_channel) put_i64(out, sends);
+  put_u32(out, static_cast<std::uint32_t>(snapshot.recvs_per_channel.size()));
+  for (const long recvs : snapshot.recvs_per_channel) put_i64(out, recvs);
+  put_counters(out, snapshot.irregular_counts);
+  put_counters(out, snapshot.ckpt_instances);
+  // Control stack: frames by loop-statement uid (or -1 for plain blocks)
+  // plus position — address-free, so the encoding is replay-stable.
+  put_u32(out, static_cast<std::uint32_t>(snapshot.stack.size()));
+  for (const Frame& frame : snapshot.stack) {
+    put_u32(out, static_cast<std::uint32_t>(
+                     frame.loop != nullptr ? frame.loop->uid() : -1));
+    put_u64(out, static_cast<std::uint64_t>(frame.index));
+    put_i64(out, frame.loop_value);
+    put_i64(out, frame.loop_hi);
+  }
+  return out;
+}
+
+std::function<void(int, const VmSnapshot&)> store_capture_fn(
+    store::StableStore& store) {
+  // Sequence counter shared by the returned closure; one Engine run calls
+  // the hook from a single thread (its event loop).
+  auto counter = std::make_shared<long>(0);
+  return [&store, counter](int proc, const VmSnapshot& state) {
+    store.write_payload(proc, serialize_snapshot(state),
+                        static_cast<double>((*counter)++));
+  };
+}
+
+}  // namespace acfc::sim

@@ -57,21 +57,41 @@ void Vm::refresh_ctx() {
 }
 
 std::int64_t Vm::eval_or_throw(const mp::Expr& expr, const char* what) {
+  // Loop-invariant expressions (no loop vars, no irregulars) are pure in
+  // (rank, nprocs): evaluate once, then serve from the memo table. The
+  // digest fold still happens per use with the identical value, so the
+  // digest stream is bit-for-bit the same as uncached evaluation.
+  const bool invariant = expr.loop_invariant();
+  if (invariant) {
+    if (const std::int64_t* hit = invariant_cache_.find(expr.node_id())) {
+      fold_digest(static_cast<std::uint64_t>(*hit) ^ 0xe7037ed1a0b428dbULL);
+      return *hit;
+    }
+  }
   refresh_ctx();
   const auto v = expr.eval(ctx_);
   if (!v)
     throw util::ProgramError(std::string("rank ") + std::to_string(rank_) +
                              ": cannot evaluate " + what + ": " + expr.str());
+  if (invariant) invariant_cache_.insert(expr.node_id(), *v);
   fold_digest(static_cast<std::uint64_t>(*v) ^ 0xe7037ed1a0b428dbULL);
   return *v;
 }
 
 bool Vm::eval_pred(const mp::Pred& pred) {
+  const bool invariant = pred.loop_invariant();
+  if (invariant) {
+    if (const std::int64_t* hit = invariant_cache_.find(pred.node_id())) {
+      fold_digest(*hit != 0 ? 0x51ed270b7a03f2c1ULL : 0x0d742fc937a3bb01ULL);
+      return *hit != 0;
+    }
+  }
   refresh_ctx();
   const auto v = pred.eval(ctx_);
   if (!v)
     throw util::ProgramError(std::string("rank ") + std::to_string(rank_) +
                              ": cannot evaluate condition: " + pred.str());
+  if (invariant) invariant_cache_.insert(pred.node_id(), *v ? 1 : 0);
   fold_digest(*v ? 0x51ed270b7a03f2c1ULL : 0x0d742fc937a3bb01ULL);
   return *v;
 }

@@ -22,6 +22,65 @@
 
 namespace acfc::sim {
 
+/// Memo table for loop-invariant expression and predicate values, keyed
+/// by the shared AST node's address. A process evaluates the same static
+/// send/recv-parameter expressions millions of times, and for exprs with
+/// no loop variables and no irregular values the answer is a pure function
+/// of (rank, nprocs) — constant for the Vm's whole life. Open-addressed
+/// flat table: a handful of entries, all lookups O(1) pointer probes.
+///
+/// Deliberately NOT part of VmSnapshot: the cache is derived data, valid
+/// across rollback/restore (the keys are the program's immutable nodes and
+/// the values rank-pure), so checkpoints never pay to copy it.
+class InvariantCache {
+ public:
+  const std::int64_t* find(const void* key) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = hash(key) & (slots_.size() - 1);
+    while (slots_[i].key != nullptr) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return nullptr;
+  }
+
+  void insert(const void* key, std::int64_t value) {
+    if ((count_ + 1) * 2 > slots_.size()) grow();
+    std::size_t i = hash(key) & (slots_.size() - 1);
+    while (slots_[i].key != nullptr) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = Slot{key, value};
+    ++count_;
+  }
+
+ private:
+  struct Slot {
+    const void* key = nullptr;
+    std::int64_t value = 0;
+  };
+
+  static std::size_t hash(const void* p) {
+    auto x = reinterpret_cast<std::uintptr_t>(p);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.key == nullptr) continue;
+      std::size_t i = hash(s.key) & (slots_.size() - 1);
+      while (slots_[i].key != nullptr) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+};
+
 /// Tiny flat key → counter map. A process touches a handful of irregular
 /// sites and checkpoint ids, so a contiguous array with linear lookup beats
 /// a node-based map on both access and — critically for checkpointing —
@@ -169,6 +228,7 @@ class Vm {
   VmSnapshot state_;
   mp::EvalCtx ctx_;
   mp::IrregularResolver wrapper_;
+  InvariantCache invariant_cache_;
 };
 
 }  // namespace acfc::sim

@@ -1,0 +1,177 @@
+#include "store/delta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/checksum.h"
+
+namespace acfc::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'C', 'F', 'D'};
+constexpr std::uint32_t kFormat = 1;
+constexpr std::uint8_t kOpCopy = 0;
+constexpr std::uint8_t kOpLiteral = 1;
+/// magic + format + kind + payload_len + base_check.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+bool get_u32(std::string_view bytes, std::size_t& at, std::uint32_t& v) {
+  if (bytes.size() - at < 4) return false;
+  std::memcpy(&v, bytes.data() + at, 4);
+  at += 4;
+  return true;
+}
+
+bool get_u64(std::string_view bytes, std::size_t& at, std::uint64_t& v) {
+  if (bytes.size() - at < 8) return false;
+  std::memcpy(&v, bytes.data() + at, 8);
+  at += 8;
+  return true;
+}
+
+std::string header(RecordKind kind, std::size_t payload_len,
+                   std::uint64_t base_check) {
+  std::string out;
+  out.append(kMagic, 4);
+  put_u32(out, kFormat);
+  out.push_back(static_cast<char>(kind));
+  put_u64(out, static_cast<std::uint64_t>(payload_len));
+  put_u64(out, base_check);
+  return out;
+}
+
+void seal(std::string& record) {
+  put_u64(record, util::checksum64(record));
+}
+
+}  // namespace
+
+std::string encode_full_record(std::string_view payload) {
+  std::string out = header(RecordKind::kFull, payload.size(), 0);
+  out.reserve(out.size() + payload.size() + 8);
+  out.append(payload);
+  seal(out);
+  return out;
+}
+
+std::string encode_delta_record(std::string_view base,
+                                std::string_view payload) {
+  std::string out =
+      header(RecordKind::kDelta, payload.size(), util::checksum64(base));
+
+  // Block-granular diff at matching offsets: positions where base and
+  // payload agree become copy ops, everything else literal runs. Adjacent
+  // same-kind runs coalesce, so op overhead is one per changed region.
+  std::size_t at = 0;
+  while (at < payload.size()) {
+    const std::size_t block =
+        std::min(kDeltaBlockBytes, payload.size() - at);
+    const bool match =
+        at + block <= base.size() &&
+        std::memcmp(base.data() + at, payload.data() + at, block) == 0;
+    std::size_t end = at + block;
+    // Extend the run while subsequent blocks keep the same match-ness.
+    while (end < payload.size()) {
+      const std::size_t next =
+          std::min(kDeltaBlockBytes, payload.size() - end);
+      const bool next_match =
+          end + next <= base.size() &&
+          std::memcmp(base.data() + end, payload.data() + end, next) == 0;
+      if (next_match != match) break;
+      end += next;
+    }
+    if (match) {
+      out.push_back(static_cast<char>(kOpCopy));
+      put_u32(out, static_cast<std::uint32_t>(at));
+      put_u32(out, static_cast<std::uint32_t>(end - at));
+    } else {
+      out.push_back(static_cast<char>(kOpLiteral));
+      put_u32(out, static_cast<std::uint32_t>(end - at));
+      out.append(payload.substr(at, end - at));
+    }
+    at = end;
+  }
+  seal(out);
+  return out;
+}
+
+std::optional<RecordKind> record_kind(std::string_view record) {
+  if (record.size() < kHeaderBytes) return std::nullopt;
+  if (std::memcmp(record.data(), kMagic, 4) != 0) return std::nullopt;
+  std::uint32_t format = 0;
+  std::memcpy(&format, record.data() + 4, 4);
+  if (format != kFormat) return std::nullopt;
+  const auto kind = static_cast<std::uint8_t>(record[8]);
+  if (kind != static_cast<std::uint8_t>(RecordKind::kFull) &&
+      kind != static_cast<std::uint8_t>(RecordKind::kDelta))
+    return std::nullopt;
+  return static_cast<RecordKind>(kind);
+}
+
+std::optional<std::string> decode_record(std::string_view record,
+                                         std::string_view base) {
+  const auto kind = record_kind(record);
+  if (!kind) return std::nullopt;
+  if (record.size() < kHeaderBytes + 8) return std::nullopt;
+
+  // Trailing checksum first: everything else assumes intact bytes.
+  const std::size_t tail = record.size() - 8;
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, record.data() + tail, 8);
+  if (util::checksum64(record.substr(0, tail)) != stored)
+    return std::nullopt;
+
+  std::size_t at = 9;
+  std::uint64_t payload_len = 0, base_check = 0;
+  if (!get_u64(record, at, payload_len) ||
+      !get_u64(record, at, base_check))
+    return std::nullopt;
+  const std::string_view body = record.substr(at, tail - at);
+
+  if (*kind == RecordKind::kFull) {
+    if (base_check != 0) return std::nullopt;
+    if (body.size() != payload_len) return std::nullopt;
+    return std::string(body);
+  }
+
+  // Delta: bind to the exact base payload before applying ops.
+  if (util::checksum64(base) != base_check) return std::nullopt;
+  std::string payload;
+  payload.reserve(static_cast<std::size_t>(payload_len));
+  std::size_t op_at = 0;
+  while (op_at < body.size()) {
+    const auto op = static_cast<std::uint8_t>(body[op_at++]);
+    std::uint32_t a = 0, b = 0;
+    if (op == kOpCopy) {
+      if (!get_u32(body, op_at, a) || !get_u32(body, op_at, b))
+        return std::nullopt;
+      if (a > base.size() || b > base.size() - a) return std::nullopt;
+      payload.append(base.substr(a, b));
+    } else if (op == kOpLiteral) {
+      if (!get_u32(body, op_at, a)) return std::nullopt;
+      if (a > body.size() - op_at) return std::nullopt;
+      payload.append(body.substr(op_at, a));
+      op_at += a;
+    } else {
+      return std::nullopt;
+    }
+    if (payload.size() > payload_len) return std::nullopt;
+  }
+  if (payload.size() != payload_len) return std::nullopt;
+  return payload;
+}
+
+}  // namespace acfc::store

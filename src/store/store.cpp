@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "store/delta.h"
 #include "util/checksum.h"
 
 namespace acfc::store {
@@ -153,6 +154,7 @@ StableStore::StableStore(StorageModel model, CheckpointMode mode, int nprocs,
                          StorageFaultPlan faults)
     : model_(model), mode_(mode), faults_(std::move(faults)),
       per_proc_(static_cast<size_t>(nprocs)),
+      last_payload_(static_cast<size_t>(nprocs)),
       since_full_(static_cast<size_t>(nprocs), 0),
       write_counts_(static_cast<size_t>(nprocs), 0),
       manifest_version_(static_cast<size_t>(nprocs), 0),
@@ -227,6 +229,114 @@ WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
   records.push_back(record);
   publish_manifest(proc, publish_succeeds);
   return cost;
+}
+
+WriteCost StableStore::write_payload(int proc, std::string_view payload,
+                                     double time) {
+  auto& records = per_proc_.at(static_cast<size_t>(proc));
+  std::string& last = last_payload_.at(static_cast<size_t>(proc));
+  int& since_full = since_full_.at(static_cast<size_t>(proc));
+  const long ordinal = ++write_counts_.at(static_cast<size_t>(proc));
+
+  // Full vs delta follows the same cadence as write_checkpoint, plus two
+  // payload-specific fallbacks: no base yet, or a delta that failed to
+  // shrink (unrelated payloads — store the full image and restart the
+  // chain rather than pay chain length for nothing).
+  bool full = mode_ == CheckpointMode::kFull || records.empty() ||
+              last.empty() || since_full + 1 >= model_.full_every;
+  std::string encoded;
+  if (!full) {
+    encoded = encode_delta_record(last, payload);
+    if (encoded.size() >= payload.size() + /*record framing=*/33) {
+      full = true;
+      encoded.clear();
+    }
+  }
+  if (full) {
+    encoded = encode_full_record(payload);
+    since_full = 0;
+  } else {
+    ++since_full;
+  }
+
+  WriteCost cost;
+  cost.bytes = static_cast<long>(encoded.size());
+  cost.full_image = full;
+  cost.seconds = model_.write_latency +
+                 static_cast<double>(cost.bytes) / model_.write_bandwidth;
+
+  Record record;
+  record.proc = proc;
+  record.ordinal = ordinal;
+  record.time = time;
+  record.bytes = cost.bytes;
+  record.full_image = full;
+  record.checksum = util::checksum64(encoded);
+
+  // Apply write-time faults to the stored bytes themselves: integrity
+  // checks and decode then reject the record for the same physical reason.
+  bool publish_succeeds = true;
+  for (const StorageFault& fault : faults_.faults) {
+    if (fault.proc != proc || fault.ckpt_ordinal != ordinal) continue;
+    switch (fault.kind) {
+      case StorageFault::Kind::kTornWrite:
+        record.torn = true;
+        encoded.resize(encoded.size() / 2);
+        break;
+      case StorageFault::Kind::kBitFlip:
+        encoded[static_cast<size_t>(ordinal) % encoded.size()] ^=
+            static_cast<char>(1 << (ordinal % 8));
+        break;
+      case StorageFault::Kind::kLostManifestEntry:
+        record.in_manifest = false;
+        break;
+      case StorageFault::Kind::kStaleManifest:
+        publish_succeeds = false;
+        break;
+    }
+  }
+  record.stored_checksum = util::checksum64(encoded);
+  record.encoded = std::move(encoded);
+  records.push_back(std::move(record));
+  // The writer deltas against what it intended to write, not against what
+  // landed on disk: its in-memory state is authoritative.
+  last.assign(payload);
+  publish_manifest(proc, publish_succeeds);
+  return cost;
+}
+
+std::optional<std::string> StableStore::restore_payload(int proc,
+                                                        long ordinal) const {
+  const auto& records = per_proc_.at(static_cast<size_t>(proc));
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), ordinal,
+      [](const Record& r, long o) { return r.ordinal < o; });
+  if (it == records.end() || it->ordinal != ordinal) return std::nullopt;
+
+  // Collect the chain: target back to its base full image.
+  std::vector<const Record*> chain;
+  for (auto walk = it;; --walk) {
+    if (!verify_record(proc, walk->ordinal)) return std::nullopt;
+    chain.push_back(&*walk);
+    if (walk->full_image) break;
+    if (walk == records.begin()) return std::nullopt;  // base collected
+  }
+
+  // Replay oldest-first; every link must decode against the one before.
+  std::string payload;
+  for (auto link = chain.rbegin(); link != chain.rend(); ++link) {
+    auto decoded = decode_record((*link)->encoded, payload);
+    if (!decoded) return std::nullopt;
+    payload = std::move(*decoded);
+  }
+  return payload;
+}
+
+std::optional<std::string> StableStore::restore_latest_payload(
+    int proc) const {
+  const RestoreScan scan = scan_restore(proc);
+  if (scan.ordinal == 0) return std::nullopt;
+  return restore_payload(proc, scan.ordinal);
 }
 
 void StableStore::publish_manifest(int proc, bool publish_succeeds) {

@@ -103,6 +103,27 @@ class StableStore {
   /// version live). Returns the write cost.
   WriteCost write_checkpoint(int proc, long state_bytes, double time);
 
+  /// Payload-backed variant: stores actual bytes through the ACFD codec
+  /// (store/delta.h). Incremental mode delta-encodes `payload` against the
+  /// process's previous payload and falls back to a full record every
+  /// full_every-th take — or whenever the delta would not be smaller — so
+  /// chain lengths stay bounded and delta encoding never inflates the
+  /// store. Faults landing on this ordinal corrupt the stored bytes
+  /// themselves (a torn write keeps only a prefix, a bit flip damages one
+  /// byte), so both checksum verification and decode reject the record.
+  /// All manifest/GC bookkeeping matches write_checkpoint.
+  WriteCost write_payload(int proc, std::string_view payload, double time);
+
+  /// Decodes the payload of record `ordinal` by replaying its delta chain
+  /// from the base full image. nullopt when any link is missing, fails
+  /// verification, or fails to decode — the payload analogue of
+  /// chain_verifies.
+  std::optional<std::string> restore_payload(int proc, long ordinal) const;
+
+  /// Payload of the newest restorable record (scan_restore's choice).
+  /// nullopt when no chain verifies.
+  std::optional<std::string> restore_latest_payload(int proc) const;
+
   /// Seconds to restore the process's newest checkpoint (base image plus
   /// deltas for incremental chains). 0 when nothing is stored. Does NOT
   /// verify integrity — pair with latest_valid_index / scan_restore for
@@ -164,6 +185,9 @@ class StableStore {
     std::uint64_t stored_checksum = 0;  ///< what landed on disk
     bool torn = false;                  ///< write interrupted mid-record
     bool in_manifest = true;            ///< manifest entry survived
+    /// Encoded ACFD record bytes as they sit on disk (faults included).
+    /// Empty for byte-count-only records from write_checkpoint.
+    std::string encoded;
   };
   /// All live records of one process, oldest first.
   std::vector<Record> records_of(int proc) const;
@@ -176,6 +200,9 @@ class StableStore {
   CheckpointMode mode_;
   StorageFaultPlan faults_;
   std::vector<std::vector<Record>> per_proc_;
+  /// Last payload each process wrote (the delta base for its next write).
+  /// The writer's own in-memory copy: disk faults never corrupt it.
+  std::vector<std::string> last_payload_;
   std::vector<int> since_full_;
   std::vector<long> write_counts_;
   /// Per-process publish state: version counter and the highest ordinal

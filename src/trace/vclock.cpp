@@ -1,15 +1,23 @@
 #include "trace/vclock.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/error.h"
 
 namespace acfc::trace {
 
-std::size_t VClock::check_index(int i) const {
-  ACFC_CHECK_MSG(i >= 0 && i < size_, "vector clock index out of range");
-  return static_cast<std::size_t>(i);
+void VClock::index_fail() {
+  ACFC_CHECK_MSG(false, "vector clock index out of range");
+  std::abort();  // unreachable: ACFC_CHECK_MSG throws
+}
+
+void VClock::detach() {
+  auto fresh = std::make_shared_for_overwrite<std::uint64_t[]>(
+      static_cast<std::size_t>(size_));
+  std::copy(heap_.get(), heap_.get() + size_, fresh.get());
+  heap_ = std::move(fresh);
 }
 
 void VClock::merge(const VClock& other) {

@@ -5,16 +5,28 @@
 // (Mattern/Fidge characterization of Lamport's relation).
 //
 // The simulator stamps one clock per event record and two per message, so
-// clock copies are the allocation hot path of the engine. Components live
-// inline (no heap) up to kInlineCapacity processes and spill to a vector
-// only beyond that; copying a clock for the common world sizes is a plain
-// memcpy.
+// clock copies are the allocation hot path of the engine. Two layers keep
+// that path cheap:
+//
+//  * Components live inline (no heap) up to kInlineCapacity processes;
+//    copying an inline clock is a plain memcpy.
+//  * Spilled clocks (> kInlineCapacity) share an immutable payload
+//    copy-on-write: copying is a refcount bump, and only mutation
+//    (tick/set/merge) clones a shared payload. Stamping the live clock
+//    into a trace record therefore allocates nothing; the engine pays one
+//    payload clone per *mutation* instead of one per *copy*, and records
+//    stamped from the same instant (an event record and its message
+//    record, say) share a single block.
+//
+// The payload refcount is std::shared_ptr's (atomic), so clocks may be
+// copied across threads; as always, concurrent mutation of one VClock
+// object requires external synchronization.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <vector>
 
 namespace acfc::trace {
 
@@ -26,15 +38,16 @@ class VClock {
   VClock() = default;
   explicit VClock(int nprocs) : size_(nprocs) {
     if (size_ > kInlineCapacity)
-      heap_.assign(static_cast<size_t>(size_), 0);
+      heap_ = std::make_shared<std::uint64_t[]>(
+          static_cast<std::size_t>(size_));  // value-initialized: all zero
     else
       std::fill(small_, small_ + size_, 0);
   }
 
   // Copy/move only the active storage: inline clocks are a fixed-size
-  // memcpy with no heap traffic, spilled clocks never touch small_ (which
-  // stays uninitialized — it is only ever read through data(), gated on
-  // size_ ≤ kInlineCapacity).
+  // memcpy with no heap traffic, spilled clocks share the payload (a
+  // refcount bump). small_ stays uninitialized for spilled clocks — it is
+  // only ever read through data(), gated on size_ ≤ kInlineCapacity.
   VClock(const VClock& other) : size_(other.size_) {
     if (size_ > kInlineCapacity)
       heap_ = other.heap_;
@@ -44,7 +57,7 @@ class VClock {
   VClock& operator=(const VClock& other) {
     size_ = other.size_;
     if (size_ > kInlineCapacity)
-      heap_ = other.heap_;  // reuses existing capacity where possible
+      heap_ = other.heap_;
     else
       std::copy(other.small_, other.small_ + size_, small_);
     return *this;
@@ -91,18 +104,33 @@ class VClock {
 
  private:
   const std::uint64_t* data() const {
-    return size_ > kInlineCapacity ? heap_.data() : small_;
+    return size_ > kInlineCapacity ? heap_.get() : small_;
   }
+  /// Mutable access: the write gate of the copy-on-write scheme. A payload
+  /// referenced by other clocks is cloned before this clock writes to it,
+  /// so shared payloads are immutable in practice.
   std::uint64_t* data() {
-    return size_ > kInlineCapacity ? heap_.data() : small_;
+    if (size_ > kInlineCapacity) {
+      if (heap_.use_count() != 1) detach();
+      return heap_.get();
+    }
+    return small_;
   }
-  std::size_t check_index(int i) const;
+  void detach();
+  // Bounds check on the hot indexing path: inline compare, out-of-line
+  // throw (keeps util/error.h out of this header and the failure path off
+  // the fast path).
+  std::size_t check_index(int i) const {
+    if (i < 0 || i >= size_) index_fail();
+    return static_cast<std::size_t>(i);
+  }
+  [[noreturn]] static void index_fail();
 
   int size_ = 0;
   // Deliberately no initializer: the ctors zero exactly the components in
   // use, so spilled clocks never pay a 128-byte memset per construction.
   std::uint64_t small_[kInlineCapacity];
-  std::vector<std::uint64_t> heap_;
+  std::shared_ptr<std::uint64_t[]> heap_;
 };
 
 }  // namespace acfc::trace

@@ -1,4 +1,4 @@
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 #include <sstream>
 

@@ -1,4 +1,4 @@
-#include "mp/workloads.h"
+#include "workloads/workloads.h"
 
 #include "mp/builder.h"
 #include "util/error.h"

@@ -1,0 +1,121 @@
+// All shared workload builders, one library (acfc_workloads).
+//
+// Two families that used to live in two places (src/mp/workloads and a
+// bench-local copy) with subtly drifting constants:
+//
+//  * acfc::mp — canonical SPMD communication patterns, programmatically
+//    parameterized, used by the analyses, tests, and the CLI. All are
+//    deadlock-free for every nprocs ≥ 2 and, unless noted, ship with
+//    aligned checkpoint statements (safe placements); the *_misaligned
+//    variants reproduce the paper's Figure-2 pathology.
+//
+//  * acfc::benchws — the exact programs the reproduction's figures and
+//    ablations were written against (tags, byte counts, labels, and
+//    checkpoint placement included), plus the paired-baseline overhead
+//    measurement the fig8/fig9 sweeps share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/stmt.h"
+#include "proto/protocols.h"
+#include "sim/engine.h"
+
+namespace acfc::mp {
+
+struct WorkloadParams {
+  int iterations = 8;
+  double compute_cost = 10.0;
+  int message_bytes = 1024;
+  /// Insert a checkpoint statement once per iteration.
+  bool checkpoints = true;
+};
+
+/// 1-D Jacobi neighbour exchange, checkpoint at the top of the body
+/// (paper Figure 1).
+Program jacobi_aligned(const WorkloadParams& params = {});
+
+/// The same exchange with parity-misaligned checkpoints (paper Figure 2).
+Program jacobi_misaligned(const WorkloadParams& params = {});
+
+/// Ring shift: send right, receive left, compute.
+Program ring(const WorkloadParams& params = {});
+
+/// Master/worker scatter-gather with any-source collection at the master.
+Program master_worker(const WorkloadParams& params = {});
+
+/// One-directional pipeline (stage r feeds r+1).
+Program pipeline(const WorkloadParams& params = {});
+
+/// Butterfly (hypercube) exchange: ⌈log₂ n⌉ rounds, partner = rank XOR 2^k,
+/// expressed with arithmetic guards (ranks beyond the largest power of two
+/// sit rounds out). A hard case for Algorithm 3.1's matching: every round
+/// has two symmetric guarded send/recv pairs.
+Program butterfly(const WorkloadParams& params = {});
+
+/// Red/black two-phase stencil with a periodic reduction.
+Program stencil_two_phase(const WorkloadParams& params = {});
+
+/// All of the above by name (for CLI/bench parameterization); throws
+/// util::ProgramError for unknown names.
+Program workload_by_name(const std::string& name,
+                         const WorkloadParams& params = {});
+
+/// Names accepted by workload_by_name.
+std::vector<std::string> workload_names();
+
+}  // namespace acfc::mp
+
+namespace acfc::benchws {
+
+struct RingParams {
+  int iterations = 6;
+  double compute_cost = 10.0;
+  /// Message payload; ≤ 0 omits the `bytes` clause (DSL default size).
+  int message_bytes = 0;
+  int tag = 1;
+  /// Insert `checkpoint;` after the compute (aligned placement).
+  bool checkpoint = false;
+  /// Optional label on the compute statement.
+  std::string compute_label;
+};
+
+/// The figure-8-style ring exchange:
+///   loop I { compute C; [checkpoint;] send right; recv left; }
+mp::Program ring_exchange(const RingParams& params = {});
+
+/// Ablation A2's domino workload: a ring exchange plus a parity-guarded
+/// neighbour handshake that desynchronizes checkpoint opportunities.
+mp::Program domino_exchange(int iterations = 12, double compute_cost = 15.0);
+
+/// The protocol-faceoff / A1 plain workload: ring_exchange without
+/// checkpoints, 1 KiB payloads, labelled compute.
+mp::Program faceoff_plain(int iterations = 10, double compute_cost = 20.0);
+
+/// One Monte-Carlo measured overhead point for the figure 8/9 sweeps.
+struct MeasuredOverhead {
+  /// Mean over replications of makespan(protocol)/makespan(baseline) − 1,
+  /// where the baseline is the checkpoint-free program with zero
+  /// checkpoint costs under the same seed and network.
+  double overhead_ratio = 0.0;
+  /// Mean control messages per protocol run.
+  long control_messages = 0;
+};
+
+/// Simulates `reps` seed replications of `protocol` against a paired
+/// no-checkpointing baseline and reports the measured overhead ratio.
+/// kAppDriven runs `placed` (the program with checkpoint statements);
+/// every other protocol runs `plain` and checkpoints via its driver.
+/// All 2·reps runs are independent and are fanned across the Monte-Carlo
+/// pool; seeds derive from (seed_salt, replication index) only, so the
+/// result is identical at any thread count.
+MeasuredOverhead measure_overhead(const mp::Program& plain,
+                                  const mp::Program& placed,
+                                  proto::Protocol protocol,
+                                  const sim::SimOptions& base_opts,
+                                  const proto::ProtocolOptions& proto_opts,
+                                  int reps, std::uint64_t seed_salt);
+
+}  // namespace acfc::benchws

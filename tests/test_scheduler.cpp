@@ -1,0 +1,185 @@
+// Differential coverage for the calendar-queue event core: the new
+// scheduler must pop the exact (time, seq) sequence the legacy
+// std::priority_queue core pops, so every observable of a run —
+// final digest, event counts, end time, per-channel counters, recovery
+// history — is bit-identical with `SimOptions::legacy_scheduler` on and
+// off. A fast grid runs in tier 1; the 200-program generated corpus
+// (with fault plans, serial and parallel) runs in the slow tier.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mp/generate.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+#include "sim/montecarlo.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace acfc;
+
+sim::SimResult run_with(const mp::Program& program, sim::SimOptions opts,
+                        bool legacy) {
+  opts.legacy_scheduler = legacy;
+  sim::Engine engine(program, opts);
+  return engine.run();
+}
+
+/// Every observable the two schedulers must agree on, bitwise.
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.trace.final_digest, b.trace.final_digest);
+  EXPECT_EQ(a.trace.end_time, b.trace.end_time);
+  EXPECT_EQ(a.trace.events.size(), b.trace.events.size());
+  EXPECT_EQ(a.trace.messages.size(), b.trace.messages.size());
+  EXPECT_EQ(a.trace.checkpoints.size(), b.trace.checkpoints.size());
+  EXPECT_EQ(a.stats.events_processed, b.stats.events_processed);
+  EXPECT_EQ(a.stats.app_messages, b.stats.app_messages);
+  EXPECT_EQ(a.stats.statement_checkpoints, b.stats.statement_checkpoints);
+  EXPECT_EQ(a.stats.forced_checkpoints, b.stats.forced_checkpoints);
+  EXPECT_EQ(a.final_sends, b.final_sends);
+  EXPECT_EQ(a.final_recvs, b.final_recvs);
+  EXPECT_EQ(a.recoveries.size(), b.recoveries.size());
+  for (std::size_t i = 0; i < a.recoveries.size(); ++i) {
+    EXPECT_EQ(a.recoveries[i].fail_time, b.recoveries[i].fail_time);
+    EXPECT_EQ(a.recoveries[i].failed_proc, b.recoveries[i].failed_proc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast grid (tier 1): workloads × world sizes × jitter × faults
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, MatchesLegacyOnRingGrid) {
+  benchws::RingParams params;
+  params.iterations = 8;
+  params.compute_cost = 2.0;
+  params.checkpoint = true;
+  const mp::Program program = benchws::ring_exchange(params);
+  for (const int n : {2, 5, 8, 16}) {
+    for (const double jitter : {0.0, 0.3}) {
+      sim::SimOptions opts;
+      opts.nprocs = n;
+      opts.compute_jitter = jitter;
+      opts.seed = 11 + static_cast<std::uint64_t>(n);
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " jitter=" + std::to_string(jitter));
+      expect_identical(run_with(program, opts, false),
+                       run_with(program, opts, true));
+    }
+  }
+}
+
+TEST(Scheduler, MatchesLegacyOnDominoWithFaults) {
+  const mp::Program program = benchws::domino_exchange(10, 3.0);
+  sim::SimOptions opts;
+  opts.nprocs = 6;
+  opts.compute_jitter = 0.25;
+  opts.checkpoint_overhead = 0.5;
+  opts.recovery_overhead = 2.0;
+  opts.fault_plan.faults.push_back(sim::FaultPlan::after_checkpoint(2, 2));
+  opts.fault_plan.faults.push_back(sim::FaultPlan::after_events(4, 150));
+  const auto a = run_with(program, opts, false);
+  const auto b = run_with(program, opts, true);
+  // The plan must actually fire for this test to mean anything.
+  ASSERT_FALSE(a.recoveries.empty());
+  expect_identical(a, b);
+}
+
+TEST(Scheduler, MatchesLegacyUnderTimedFaultAndSparseTimes) {
+  // at_time faults plus a long-tailed delay model exercise bucket
+  // rotation over mostly-empty calendar days.
+  benchws::RingParams params;
+  params.iterations = 6;
+  params.compute_cost = 50.0;
+  params.checkpoint = true;
+  const mp::Program program = benchws::ring_exchange(params);
+  sim::SimOptions opts;
+  opts.nprocs = 5;
+  opts.compute_jitter = 0.5;
+  opts.checkpoint_overhead = 1.0;
+  opts.recovery_overhead = 5.0;
+  opts.fault_plan.faults.push_back(sim::FaultPlan::at_time(1, 120.0));
+  expect_identical(run_with(program, opts, false),
+                   run_with(program, opts, true));
+}
+
+// ---------------------------------------------------------------------------
+// Generated corpus (slow tier): 200 programs, with and without faults,
+// serial and parallel
+// ---------------------------------------------------------------------------
+
+// Same corpus recipe as test_fastpath.cpp: 100 seeds × misaligned
+// {off, on}, sizes cycling through 6..22 segments.
+mp::Program corpus_program(int index, bool misalign) {
+  mp::GenerateOptions opts;
+  opts.seed = 0x5eedULL * 2654435761ULL + static_cast<std::uint64_t>(index);
+  opts.segments = 6 + (index % 5) * 4;
+  opts.misalign_checkpoints = misalign;
+  return mp::generate_program(opts);
+}
+
+sim::SimOptions corpus_options(int index) {
+  sim::SimOptions opts;
+  opts.nprocs = 3 + index % 6;
+  opts.seed = 1000 + static_cast<std::uint64_t>(index);
+  opts.compute_jitter = (index % 3) * 0.2;
+  opts.checkpoint_overhead = 0.25;
+  opts.recovery_overhead = 1.0;
+  // Every third program gets a fault plan, cycling through trigger kinds.
+  switch (index % 6) {
+    case 0:
+      opts.fault_plan.faults.push_back(
+          sim::FaultPlan::after_checkpoint(index % opts.nprocs, 1));
+      break;
+    case 3:
+      opts.fault_plan.faults.push_back(
+          sim::FaultPlan::after_events(index % opts.nprocs, 200));
+      break;
+    default:
+      break;
+  }
+  return opts;
+}
+
+TEST(SchedulerCorpusSlow, MatchesLegacyOn200Programs) {
+  int programs = 0;
+  for (int index = 0; index < 100; ++index) {
+    for (const bool misalign : {false, true}) {
+      const mp::Program program = corpus_program(index, misalign);
+      const sim::SimOptions opts = corpus_options(index);
+      SCOPED_TRACE("index=" + std::to_string(index) +
+                   " misalign=" + std::to_string(misalign));
+      expect_identical(run_with(program, opts, false),
+                       run_with(program, opts, true));
+      ++programs;
+    }
+  }
+  EXPECT_GE(programs, 200);
+}
+
+TEST(SchedulerCorpusSlow, ParallelBatchMatchesLegacySerialBatch) {
+  // The full cross product: calendar-parallel vs legacy-serial. Any
+  // scheduler divergence OR any pool nondeterminism breaks the digests.
+  const mp::Program program = benchws::domino_exchange(8, 4.0);
+  std::vector<sim::SimOptions> calendar, legacy;
+  for (int index = 0; index < 24; ++index) {
+    sim::SimOptions opts = corpus_options(index);
+    opts.legacy_scheduler = false;
+    calendar.push_back(opts);
+    opts.legacy_scheduler = true;
+    legacy.push_back(opts);
+  }
+  const auto fast =
+      sim::run_batch(program, calendar, sim::McOptions{4});
+  const auto slow =
+      sim::run_batch(program, legacy, sim::McOptions{1});
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    expect_identical(fast[i], slow[i]);
+  }
+}
+
+}  // namespace

@@ -5,7 +5,7 @@
 
 #include "match/match.h"
 #include "mp/printer.h"
-#include "mp/workloads.h"
+#include "workloads/workloads.h"
 #include "place/place.h"
 #include "sim/engine.h"
 #include "trace/analysis.h"

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on throughput regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Reads the `events_per_s` (and, when present, `ckpts_per_s`) maps emitted
+by tools/bench_to_json.py, prints a per-benchmark table of
+candidate/baseline ratios, and exits nonzero if any benchmark present in
+BOTH files regressed by more than the threshold (default 10%).
+Benchmarks present in only one file are reported but never fail the
+check — renames and new arms should not break CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+METRICS = ("events_per_s", "ckpts_per_s")
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max tolerated fractional regression (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    regressions = []
+    rows = []
+    for metric in METRICS:
+        base_map = base.get(metric, {})
+        cand_map = cand.get(metric, {})
+        for name in sorted(set(base_map) | set(cand_map)):
+            b = base_map.get(name)
+            c = cand_map.get(name)
+            if b is None or c is None:
+                rows.append((metric, name, b, c, None, "only-one-side"))
+                continue
+            ratio = c / b if b else float("inf")
+            status = "ok"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSION"
+                regressions.append((metric, name, ratio))
+            rows.append((metric, name, b, c, ratio, status))
+
+    if not rows:
+        sys.exit("bench_diff: no comparable metrics found in either file")
+
+    name_w = max(len(f"{m}:{n}") for m, n, *_ in rows)
+    print(f"{'benchmark':<{name_w}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'ratio':>7}  status")
+    for metric, name, b, c, ratio, status in rows:
+        label = f"{metric}:{name}"
+        b_s = f"{b:14.0f}" if b is not None else f"{'-':>14}"
+        c_s = f"{c:14.0f}" if c is not None else f"{'-':>14}"
+        r_s = f"{ratio:7.3f}" if ratio is not None else f"{'-':>7}"
+        print(f"{label:<{name_w}}  {b_s}  {c_s}  {r_s}  {status}")
+
+    if regressions:
+        print(
+            f"\nbench_diff: {len(regressions)} benchmark(s) regressed more "
+            f"than {args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for metric, name, ratio in regressions:
+            print(f"  {metric}:{name}  {ratio:.3f}x", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: no regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
