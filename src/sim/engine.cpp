@@ -571,10 +571,18 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
     overhead = forced ? 0.0 : o;
     latency = l;
   }
-  // Real payload capture: hand the full VM state to the storage layer
-  // (serialization + delta encoding happen behind the hook).
+  // Real payload capture: hand the full VM state to the storage layer.
+  // The synchronous hook serializes + delta-encodes inline; the shared
+  // hook hands an immutable image to an asynchronous persister instead,
+  // and the same image doubles as the engine's retained snapshot below —
+  // async capture plus keep_snapshots costs exactly one state copy.
   if (opts_.checkpoint_capture_fn)
     opts_.checkpoint_capture_fn(p, proc.vm->state());
+  std::shared_ptr<const VmSnapshot> shared_state;
+  if (opts_.checkpoint_capture_shared_fn || opts_.keep_snapshots)
+    shared_state = std::make_shared<const VmSnapshot>(proc.vm->state());
+  if (opts_.checkpoint_capture_shared_fn)
+    opts_.checkpoint_capture_shared_fn(p, shared_state);
 
   trace::CkptRec rec;
   rec.proc = p;
@@ -588,9 +596,8 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
   rec.forced = forced;
   if (opts_.keep_snapshots) {
     rec.snapshot = static_cast<int>(snapshots_.size());
-    snapshots_.push_back(EngineSnapshot{
-        std::make_shared<const VmSnapshot>(proc.vm->state()),
-        proc.pending_recv});
+    snapshots_.push_back(
+        EngineSnapshot{std::move(shared_state), proc.pending_recv});
   }
   trace_.checkpoints.push_back(rec);
 

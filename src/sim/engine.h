@@ -135,6 +135,17 @@ struct SimOptions {
   /// store::checkpoint_capture_fn). Independent of keep_snapshots. Must be
   /// deterministic for replay.
   std::function<void(int proc, const VmSnapshot& state)> checkpoint_capture_fn;
+  /// Shared-image capture hook for ASYNCHRONOUS persistence: fired on
+  /// every take with an immutable shared snapshot of the process state.
+  /// The engine aliases this image with its own retained snapshot when
+  /// keep_snapshots is on, so enabling both costs a single copy; the
+  /// receiver may serialize and store it on another thread (see
+  /// sim::async_store_capture_fn + store::AsyncPersister — the handoff is
+  /// O(1), taking capture off the simulation critical path). Synchronous
+  /// capture via checkpoint_capture_fn stays the default; when both are
+  /// set, the synchronous hook fires first.
+  std::function<void(int proc, std::shared_ptr<const VmSnapshot> state)>
+      checkpoint_capture_shared_fn;
   /// Retain VM snapshots for checkpoints (needed for failures/restart).
   bool keep_snapshots = true;
   /// Schedule events on the original std::priority_queue core instead of

@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 namespace acfc::sim {
 
@@ -38,8 +40,15 @@ void put_counters(std::string& out, const CounterMap& counters) {
 
 std::string serialize_snapshot(const VmSnapshot& snapshot) {
   std::string out;
+  serialize_snapshot_into(snapshot, out);
+  return out;
+}
+
+void serialize_snapshot_into(const VmSnapshot& snapshot, std::string& out) {
+  out.clear();
   // Dominant fields are the three per-process arrays (clock + channel
-  // counters); size for them up front.
+  // counters); size for them up front. A reused scratch buffer already has
+  // the capacity, making this a no-op.
   out.reserve(64 + static_cast<std::size_t>(snapshot.vc.size()) * 8 +
               snapshot.sends_per_channel.size() * 16 +
               snapshot.stack.size() * 28);
@@ -68,17 +77,71 @@ std::string serialize_snapshot(const VmSnapshot& snapshot) {
     put_i64(out, frame.loop_value);
     put_i64(out, frame.loop_hi);
   }
-  return out;
 }
 
 std::function<void(int, const VmSnapshot&)> store_capture_fn(
     store::StableStore& store) {
-  // Sequence counter shared by the returned closure; one Engine run calls
-  // the hook from a single thread (its event loop).
-  auto counter = std::make_shared<long>(0);
-  return [&store, counter](int proc, const VmSnapshot& state) {
-    store.write_payload(proc, serialize_snapshot(state),
-                        static_cast<double>((*counter)++));
+  // Sequence counter and serialization scratch shared by the returned
+  // closure; one Engine run calls the hook from a single thread (its
+  // event loop), so neither needs synchronization. The scratch buffer
+  // makes steady-state capture allocation-free.
+  struct CaptureState {
+    long counter = 0;
+    std::string scratch;
+  };
+  auto state_holder = std::make_shared<CaptureState>();
+  return [&store, state_holder](int proc, const VmSnapshot& state) {
+    serialize_snapshot_into(state, state_holder->scratch);
+    store.write_payload(proc, state_holder->scratch,
+                        static_cast<double>(state_holder->counter++));
+  };
+}
+
+std::function<void(int, const VmSnapshot&)> async_store_capture_fn(
+    store::AsyncPersister& persister) {
+  // Freelist of snapshots cycling producer → queue → writer → producer.
+  // Copy-assigning into a recycled snapshot reuses every member vector's
+  // capacity, so a steady-state take allocates nothing; and because the
+  // writer RETURNS snapshots instead of freeing them, producer-allocated
+  // blocks are never released on a writer thread (which would route every
+  // subsequent capture allocation through the allocator's slow cross-
+  // thread path). The mutex hand-off doubles as the happens-before edge
+  // between the writer's last read of a snapshot and its reuse.
+  struct Pool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<VmSnapshot>> free;
+  };
+  auto pool = std::make_shared<Pool>();
+  return [&persister, pool](int proc, const VmSnapshot& state) {
+    std::unique_ptr<VmSnapshot> snap;
+    {
+      const std::lock_guard<std::mutex> lock(pool->mu);
+      if (!pool->free.empty()) {
+        snap = std::move(pool->free.back());
+        pool->free.pop_back();
+      }
+    }
+    if (snap)
+      *snap = state;
+    else
+      snap = std::make_unique<VmSnapshot>(state);
+    persister.submit(
+        proc, [snap = std::move(snap), pool](std::string& out) mutable {
+          serialize_snapshot_into(*snap, out);
+          const std::lock_guard<std::mutex> lock(pool->mu);
+          pool->free.push_back(std::move(snap));
+        });
+  };
+}
+
+std::function<void(int, std::shared_ptr<const VmSnapshot>)>
+async_store_capture_shared_fn(store::AsyncPersister& persister) {
+  return [&persister](int proc, std::shared_ptr<const VmSnapshot> state) {
+    // The snapshot rides into the job closure; the writer thread owns the
+    // last reference once the engine's own copy (if any) is released.
+    persister.submit(proc, [state = std::move(state)](std::string& out) {
+      serialize_snapshot_into(*state, out);
+    });
   };
 }
 

@@ -10,17 +10,38 @@
 // uid, never by address, so encodings are stable across runs and
 // processes.
 //
-// store_capture_fn packages the serializer as a
-// SimOptions::checkpoint_capture_fn: every checkpoint take serializes the
-// snapshot and writes it into a StableStore via write_payload (full or
-// delta record per the store's cadence). The store must outlive the
-// returned function and belong to a single Engine run.
+// Three capture adapters package the serializer as engine hooks:
+//
+//  * store_capture_fn (SimOptions::checkpoint_capture_fn) serializes every
+//    take inline and writes it into a StableStore via write_payload — the
+//    synchronous path. A per-closure scratch buffer is reused across
+//    takes, so steady-state serialization allocates nothing.
+//  * async_store_capture_fn (SimOptions::checkpoint_capture_fn) copies the
+//    take into a recycled snapshot and submits it to a
+//    store::AsyncPersister; serialization, delta encoding, checksumming,
+//    and publication all happen on its writer threads, off the simulation
+//    critical path. Snapshots cycle through a freelist — writers return
+//    them after serializing — so steady-state capture performs zero heap
+//    allocations AND never frees producer-allocated memory on a writer
+//    thread (cross-thread malloc/free churn defeats the allocator's
+//    per-thread caches; recycling is most of this adapter's speedup).
+//  * async_store_capture_shared_fn (checkpoint_capture_shared_fn) submits
+//    the engine's shared immutable snapshot instead. Use it with
+//    keep_snapshots on: the engine aliases the persisted image with its
+//    own retained snapshot, so a recovery-capable run pays ONE copy per
+//    take total. (With keep_snapshots off, prefer async_store_capture_fn —
+//    same bytes, cheaper take path.)
+//
+// The store (and persister) must outlive the returned function and belong
+// to a single Engine run.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sim/vm.h"
+#include "store/async_persist.h"
 #include "store/store.h"
 
 namespace acfc::sim {
@@ -32,10 +53,31 @@ namespace acfc::sim {
 /// loop_value / loop_hi per frame).
 std::string serialize_snapshot(const VmSnapshot& snapshot);
 
+/// In-place variant: clears `out` and writes the canonical encoding into
+/// it. Callers that persist many snapshots reuse one scratch buffer and
+/// pay zero allocations per take once it has warmed up.
+void serialize_snapshot_into(const VmSnapshot& snapshot, std::string& out);
+
 /// A SimOptions::checkpoint_capture_fn that serializes every captured
 /// snapshot into `store`. Write times are a per-store sequence number (the
 /// store only needs a monotone order, as with store::checkpoint_cost_fn).
 std::function<void(int, const VmSnapshot&)> store_capture_fn(
     store::StableStore& store);
+
+/// A SimOptions::checkpoint_capture_fn that copies every take into a
+/// pooled snapshot and submits it to `persister`: the take path costs one
+/// copy-assignment into recycled storage (no allocation, no frees), and
+/// the persister's writer threads serialize + store it in take order.
+/// After persister.drain() — or any barrier-triggering store read — the
+/// store is byte-identical to what store_capture_fn would have produced.
+std::function<void(int, const VmSnapshot&)> async_store_capture_fn(
+    store::AsyncPersister& persister);
+
+/// A SimOptions::checkpoint_capture_shared_fn variant for runs that retain
+/// snapshots (keep_snapshots on): the engine hands over its own shared
+/// immutable snapshot, so persistence and in-memory retention share one
+/// copy. Same drained store bytes as the other two adapters.
+std::function<void(int, std::shared_ptr<const VmSnapshot>)>
+async_store_capture_shared_fn(store::AsyncPersister& persister);
 
 }  // namespace acfc::sim

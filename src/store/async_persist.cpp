@@ -1,0 +1,141 @@
+#include "store/async_persist.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace acfc::store {
+
+AsyncPersister::AsyncPersister(StableStore& store, AsyncPersistOptions opts)
+    : store_(store), opts_(opts) {
+  ACFC_CHECK_MSG(opts_.queue_capacity >= 1, "queue capacity must be >= 1");
+  ACFC_CHECK_MSG(opts_.writer_threads >= 1, "need at least one writer");
+  if (opts_.manifest_batch >= 1)
+    store_.set_manifest_batch(opts_.manifest_batch);
+  // Readers (restore / scan / verify / GC) transparently wait for every
+  // pending write before observing the store. The barrier runs on the
+  // reader's thread, never on a writer, so it cannot self-deadlock.
+  store_.set_read_barrier([this] { drain(); });
+  writers_.reserve(static_cast<std::size_t>(opts_.writer_threads));
+  for (int t = 0; t < opts_.writer_threads; ++t)
+    writers_.emplace_back([this] { writer_loop(); });
+}
+
+AsyncPersister::~AsyncPersister() {
+  drain();
+  store_.set_read_barrier(nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : writers_) t.join();
+}
+
+void AsyncPersister::submit(int proc, SerializeFn serialize) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ACFC_CHECK_MSG(!stop_, "submit after shutdown");
+  if (queue_.size() >= static_cast<std::size_t>(opts_.queue_capacity)) {
+    // Block-on-full backpressure, with hysteresis: wait until the queue
+    // has drained to HALF capacity, not just below it. Waking per freed
+    // slot would cost the producer a futex round-trip per take once the
+    // writers fall behind; waking at the half-way mark amortizes one
+    // sleep/wake over capacity/2 takes while memory stays bounded by
+    // queue_capacity jobs either way.
+    ++stats_.backpressure_waits;
+    producer_waiting_ = true;
+    space_cv_.wait(lock, [this] {
+      return queue_.size() <=
+             static_cast<std::size_t>(opts_.queue_capacity / 2);
+    });
+    producer_waiting_ = false;
+  }
+  const bool was_empty = queue_.empty();
+  Job job;
+  job.proc = proc;
+  job.ticket = next_ticket_++;
+  job.serialize = std::move(serialize);
+  queue_.push_back(std::move(job));
+  ++stats_.submitted;
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<long>(queue_.size()));
+  lock.unlock();
+  // A writer only waits on work_cv_ while the queue is empty (its wait
+  // predicate), so a push onto a non-empty queue can have no one to wake —
+  // skipping the notify keeps the per-take critical path futex-free.
+  if (was_empty) work_cv_.notify_one();
+}
+
+void AsyncPersister::drain() {
+  // "Every job submitted before this call has committed": snapshot the
+  // ticket horizon, then wait for commits to reach it.
+  long target;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    target = next_ticket_;
+  }
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_cv_.wait(lock, [&] { return committed_ >= target; });
+}
+
+AsyncPersister::Stats AsyncPersister::stats() const {
+  Stats out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  out.persisted = committed_;
+  return out;
+}
+
+void AsyncPersister::writer_loop() {
+  // Scratch buffer reused across this writer's jobs: after warm-up a
+  // serialize costs zero allocations on the writer side too.
+  std::string scratch;
+  std::vector<Job> batch;
+  batch.reserve(kPopBatch);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) return;  // stop_ and fully drained
+      const std::size_t take =
+          std::min<std::size_t>(kPopBatch, queue_.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // Wake a blocked producer only once the hysteresis low-water mark is
+      // reached (see submit); checking under the lock keeps it exact.
+      const bool wake =
+          producer_waiting_ &&
+          queue_.size() <= static_cast<std::size_t>(opts_.queue_capacity / 2);
+      lock.unlock();
+      if (wake) space_cv_.notify_one();
+    }
+
+    for (Job& job : batch) {
+      scratch.clear();
+      job.serialize(scratch);
+
+      // Ordered commit: only the writer holding the next ticket touches
+      // the store, so multi-writer serialization never reorders ordinals
+      // or delta bases. The mutex hand-off also publishes the store's
+      // memory to the next committer and to post-drain readers.
+      std::unique_lock<std::mutex> lock(commit_mu_);
+      commit_cv_.wait(lock, [&] { return committed_ == job.ticket; });
+      lock.unlock();
+      store_.write_payload(job.proc, scratch,
+                           static_cast<double>(job.ticket));
+      lock.lock();
+      ++committed_;
+      lock.unlock();
+      commit_cv_.notify_all();
+    }
+    batch.clear();
+  }
+}
+
+}  // namespace acfc::store

@@ -1,0 +1,210 @@
+// Asynchronous checkpoint-persistence pipeline: serialization, delta
+// encoding, checksumming, and manifest publication off the simulation
+// critical path.
+//
+// The synchronous capture path charges the full serialize + ACFD-encode +
+// XXH64 + publish cost to the simulated process at every checkpoint take.
+// AsyncPersister moves that work to background writer thread(s): the take
+// path calls submit() with a cheap serialize closure (in practice a shared
+// immutable VmSnapshot capture — O(1) at take time thanks to the engine's
+// copy-on-write snapshots) and returns immediately; writers drain a
+// bounded FIFO queue, serialize into a reusable per-thread scratch buffer,
+// and commit to the StableStore strictly in submission order (tickets).
+// Take ordinals, delta bases, and record chains are therefore exactly what
+// a synchronous run would have produced.
+//
+// Backpressure: the queue is bounded by queue_capacity; when it is full,
+// submit() blocks until a writer frees a slot, so memory stays bounded by
+// queue_capacity pending snapshots and ordering can never be traded away
+// under load.
+//
+// Determinism contract (tests/test_async_persist.cpp):
+//  * after drain(), the backing store's record chains are byte-identical
+//    to synchronous capture — proven differentially over the generated
+//    program corpus, serial and parallel, with and without storage faults;
+//  * the persister installs a read barrier on the store, so ANY read-side
+//    store operation (restore, scan_restore, verify, GC, digest, record
+//    accessors) transparently drains first. A mid-run rollback that
+//    consults store::checkpoint_verify_fn always sees every take that
+//    happened before the failure, exactly as the synchronous path does.
+//
+// One persister serves one StableStore and one Engine run; for parallel
+// Monte-Carlo batches give every run its own store + persister pair (the
+// per-run-resources rule of sim::run_batch).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "store/store.h"
+
+namespace acfc::store {
+
+struct AsyncPersistOptions {
+  /// Bounded queue depth; submit() blocks while the queue holds this many
+  /// jobs (block-on-full backpressure).
+  int queue_capacity = 64;
+  /// Background writer threads. Serialization parallelizes across them;
+  /// store commits stay in strict submission order regardless.
+  int writer_threads = 1;
+  /// When >= 1, applied to the store via set_manifest_batch at attach
+  /// (coalesced manifest republication); 0 leaves the store's setting
+  /// untouched.
+  int manifest_batch = 0;
+};
+
+/// Move-only type-erased `void(std::string& out)` with inline storage.
+/// submit() runs on the simulation critical path at every checkpoint take;
+/// a std::function closing over a shared snapshot would heap-allocate per
+/// take (a shared_ptr capture defeats libstdc++'s small-object path), so
+/// this wrapper stores the closure in place. Oversized captures are a
+/// compile error — the intended payload is a shared_ptr plus little else.
+class SerializeFn {
+ public:
+  SerializeFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SerializeFn>>>
+  SerializeFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "SerializeFn capture too large for inline storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    new (buf_) Fn(std::forward<F>(f));
+    call_ = [](void* p, std::string& out) { (*static_cast<Fn*>(p))(out); };
+    relocate_ = [](void* dst, void* src) {
+      new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  SerializeFn(SerializeFn&& other) noexcept { move_from(other); }
+  SerializeFn& operator=(SerializeFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SerializeFn(const SerializeFn&) = delete;
+  SerializeFn& operator=(const SerializeFn&) = delete;
+  ~SerializeFn() { reset(); }
+
+  void operator()(std::string& out) { call_(buf_, out); }
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  static constexpr std::size_t kCapacity = 48;
+
+  void move_from(SerializeFn& other) {
+    if (!other.call_) return;
+    other.relocate_(buf_, other.buf_);
+    call_ = std::exchange(other.call_, nullptr);
+    relocate_ = std::exchange(other.relocate_, nullptr);
+    destroy_ = std::exchange(other.destroy_, nullptr);
+  }
+  void reset() {
+    if (destroy_) destroy_(buf_);
+    call_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+  void (*call_)(void*, std::string&) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+class AsyncPersister {
+ public:
+  /// Fills `out` (already cleared) with the payload bytes to persist.
+  /// Runs on a writer thread; must not touch the store or the persister.
+
+  /// `store` must outlive the persister. While attached, every store write
+  /// must flow through submit() — mixing direct write_payload calls with
+  /// pending async jobs would interleave ordinals nondeterministically.
+  AsyncPersister(StableStore& store, AsyncPersistOptions opts = {});
+  /// Drains, detaches the read barrier, and joins the writers.
+  ~AsyncPersister();
+
+  AsyncPersister(const AsyncPersister&) = delete;
+  AsyncPersister& operator=(const AsyncPersister&) = delete;
+
+  /// Enqueues one checkpoint take for `proc`. Jobs commit to the store in
+  /// submit order with a per-store sequence number as the write time,
+  /// matching the synchronous sim::store_capture_fn counter. Blocks while
+  /// the queue is at capacity. Single producer: one simulation thread.
+  void submit(int proc, SerializeFn serialize);
+
+  /// Barrier: returns once every submitted job has committed to the store.
+  /// Also reachable implicitly through the store's read barrier. Does NOT
+  /// flush batched manifests — publish cadence stays identical to a
+  /// synchronous run with the same manifest_batch setting.
+  void drain();
+
+  struct Stats {
+    long submitted = 0;
+    long persisted = 0;
+    /// Times submit() had to wait for queue space (backpressure events).
+    long backpressure_waits = 0;
+    long max_queue_depth = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    int proc = -1;
+    long ticket = 0;  ///< submission order == commit order == write time
+    SerializeFn serialize;
+  };
+
+  void writer_loop();
+
+  /// Jobs a writer claims from the queue per lock acquisition. Batching
+  /// shrinks how often a writer holds mu_, which is what the producer's
+  /// submit() contends with — on a single core a writer descheduled inside
+  /// its critical section stalls the simulation thread for a full futex
+  /// round-trip. Tickets inside a batch are consecutive, so ordered
+  /// commits are unaffected.
+  static constexpr int kPopBatch = 32;
+
+  StableStore& store_;
+  AsyncPersistOptions opts_;
+
+  // Queue state (producer side) and commit state (writer side) live under
+  // separate mutexes so the per-take submit() only ever contends with a
+  // writer's brief batch-pop, never with its commit bookkeeping.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< writers: queue non-empty or stop
+  std::condition_variable space_cv_;  ///< producer: drained to half capacity
+  std::deque<Job> queue_;
+  long next_ticket_ = 0;  ///< tickets handed out (== jobs submitted)
+  bool stop_ = false;
+  /// True while the producer sleeps in submit()'s backpressure wait.
+  /// Writers skip the space_cv_ notify entirely unless someone is waiting
+  /// AND the queue has drained to the hysteresis low-water mark (half
+  /// capacity) — one producer wake-up per capacity/2 freed slots instead
+  /// of one futex round-trip per slot.
+  bool producer_waiting_ = false;
+  Stats stats_;
+
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_; ///< writers: my ticket's turn / drain
+  long committed_ = 0;    ///< jobs fully written to the store
+
+  std::vector<std::thread> writers_;
+};
+
+}  // namespace acfc::store

@@ -158,7 +158,9 @@ StableStore::StableStore(StorageModel model, CheckpointMode mode, int nprocs,
       since_full_(static_cast<size_t>(nprocs), 0),
       write_counts_(static_cast<size_t>(nprocs), 0),
       manifest_version_(static_cast<size_t>(nprocs), 0),
-      published_upto_(static_cast<size_t>(nprocs), 0) {
+      published_upto_(static_cast<size_t>(nprocs), 0),
+      unpublished_(static_cast<size_t>(nprocs), 0),
+      stale_pending_(static_cast<size_t>(nprocs), 0) {
   ACFC_CHECK_MSG(nprocs > 0, "store needs at least one process");
   ACFC_CHECK_MSG(model_.write_bandwidth > 0 && model_.read_bandwidth > 0,
                  "storage bandwidths must be positive");
@@ -227,7 +229,7 @@ WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
     }
   }
   records.push_back(record);
-  publish_manifest(proc, publish_succeeds);
+  note_write_for_publish(proc, publish_succeeds);
   return cost;
 }
 
@@ -301,12 +303,13 @@ WriteCost StableStore::write_payload(int proc, std::string_view payload,
   // The writer deltas against what it intended to write, not against what
   // landed on disk: its in-memory state is authoritative.
   last.assign(payload);
-  publish_manifest(proc, publish_succeeds);
+  note_write_for_publish(proc, publish_succeeds);
   return cost;
 }
 
 std::optional<std::string> StableStore::restore_payload(int proc,
                                                         long ordinal) const {
+  sync_point();
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   const auto it = std::lower_bound(
       records.begin(), records.end(), ordinal,
@@ -334,20 +337,77 @@ std::optional<std::string> StableStore::restore_payload(int proc,
 
 std::optional<std::string> StableStore::restore_latest_payload(
     int proc) const {
+  sync_point();
   const RestoreScan scan = scan_restore(proc);
   if (scan.ordinal == 0) return std::nullopt;
   return restore_payload(proc, scan.ordinal);
 }
 
-void StableStore::publish_manifest(int proc, bool publish_succeeds) {
+void StableStore::set_manifest_batch(int every) {
+  ACFC_CHECK_MSG(every >= 1, "manifest batch must be >= 1");
+  manifest_batch_ = every;
+}
+
+void StableStore::note_write_for_publish(int proc, bool publish_succeeds) {
+  // A stale-manifest fault poisons the publish attempt that first covers
+  // this write — with batching that attempt may be several writes away.
+  if (!publish_succeeds) stale_pending_.at(static_cast<size_t>(proc)) = 1;
+  if (++unpublished_.at(static_cast<size_t>(proc)) < manifest_batch_) return;
+  attempt_publish(proc);
+}
+
+void StableStore::attempt_publish(int proc) {
   // Write-then-publish: the new manifest version is staged beside the old
   // one, then atomically swapped in. A failed publish (kStaleManifest)
   // leaves the previous version live — everything above published_upto_
-  // is invisible to restore until the next successful publish.
-  if (!publish_succeeds) return;
+  // is invisible to restore until the next successful publish. Failure or
+  // not, the attempt consumes the batch window: the next write starts a
+  // fresh one.
+  unpublished_.at(static_cast<size_t>(proc)) = 0;
+  char& stale = stale_pending_.at(static_cast<size_t>(proc));
+  const bool ok = stale == 0;
+  stale = 0;
+  if (!ok) return;
   ++manifest_version_.at(static_cast<size_t>(proc));
   published_upto_.at(static_cast<size_t>(proc)) =
       write_counts_.at(static_cast<size_t>(proc));
+}
+
+void StableStore::flush_manifests() {
+  for (size_t p = 0; p < per_proc_.size(); ++p)
+    if (unpublished_[p] > 0) attempt_publish(static_cast<int>(p));
+}
+
+void StableStore::set_read_barrier(std::function<void()> barrier) {
+  read_barrier_ = std::move(barrier);
+}
+
+std::uint64_t StableStore::digest() const {
+  sync_point();
+  std::uint64_t h = 0x5eedULL;
+  for (size_t p = 0; p < per_proc_.size(); ++p) {
+    for (const Record& r : per_proc_[p]) {
+      unsigned char buf[8 * 5 + 3];
+      std::uint64_t o = static_cast<std::uint64_t>(r.ordinal);
+      std::uint64_t b = static_cast<std::uint64_t>(r.bytes);
+      std::uint64_t t;
+      std::memcpy(&t, &r.time, 8);
+      std::memcpy(buf, &o, 8);
+      std::memcpy(buf + 8, &b, 8);
+      std::memcpy(buf + 16, &t, 8);
+      std::memcpy(buf + 24, &r.checksum, 8);
+      std::memcpy(buf + 32, &r.stored_checksum, 8);
+      buf[40] = r.full_image ? 1 : 0;
+      buf[41] = r.torn ? 1 : 0;
+      buf[42] = r.in_manifest ? 1 : 0;
+      h = util::checksum64(buf, sizeof(buf), h);
+      h = util::checksum64(r.encoded.data(), r.encoded.size(), h);
+    }
+    const std::uint64_t upto =
+        static_cast<std::uint64_t>(published_upto_[p]);
+    h = util::checksum64(&upto, 8, h);
+  }
+  return h;
 }
 
 const StableStore::Record* StableStore::find_record(int proc,
@@ -361,6 +421,7 @@ const StableStore::Record* StableStore::find_record(int proc,
 }
 
 bool StableStore::verify_record(int proc, long ordinal) const {
+  sync_point();
   const Record* record = find_record(proc, ordinal);
   if (record == nullptr) return false;  // collected or never written
   if (record->torn) return false;
@@ -372,6 +433,7 @@ bool StableStore::verify_record(int proc, long ordinal) const {
 }
 
 bool StableStore::chain_verifies(int proc, long ordinal) const {
+  sync_point();
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   const auto it = std::lower_bound(
       records.begin(), records.end(), ordinal,
@@ -388,6 +450,7 @@ bool StableStore::chain_verifies(int proc, long ordinal) const {
 }
 
 long StableStore::latest_valid_index(int proc) const {
+  sync_point();
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   for (auto it = records.rbegin(); it != records.rend(); ++it)
     if (chain_verifies(proc, it->ordinal)) return it->ordinal;
@@ -395,6 +458,7 @@ long StableStore::latest_valid_index(int proc) const {
 }
 
 StableStore::RestoreScan StableStore::scan_restore(int proc) const {
+  sync_point();
   RestoreScan scan;
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   for (auto it = records.rbegin(); it != records.rend(); ++it) {
@@ -415,6 +479,7 @@ StableStore::RestoreScan StableStore::scan_restore(int proc) const {
 }
 
 Manifest StableStore::manifest_of(int proc) const {
+  sync_point();
   Manifest manifest;
   manifest.proc = proc;
   manifest.version = manifest_version_.at(static_cast<size_t>(proc));
@@ -428,6 +493,7 @@ Manifest StableStore::manifest_of(int proc) const {
 }
 
 int StableStore::chain_length(int proc) const {
+  sync_point();
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   if (records.empty()) return 0;
   int length = 0;
@@ -439,12 +505,14 @@ int StableStore::chain_length(int proc) const {
 }
 
 double StableStore::restore_seconds(int proc) const {
+  sync_point();
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   if (records.empty()) return 0.0;
   return restore_seconds(proc, records.back().ordinal);
 }
 
 double StableStore::restore_seconds(int proc, long ordinal) const {
+  sync_point();
   const auto& records = per_proc_.at(static_cast<size_t>(proc));
   const auto it = std::lower_bound(
       records.begin(), records.end(), ordinal,
@@ -465,6 +533,7 @@ double StableStore::restore_seconds(int proc, long ordinal) const {
 }
 
 long StableStore::collect_garbage(int keep_last) {
+  sync_point();
   ACFC_CHECK_MSG(keep_last >= 1, "must keep at least one restore point");
   long reclaimed = 0;
   for (size_t p = 0; p < per_proc_.size(); ++p) {
@@ -497,6 +566,7 @@ long StableStore::collect_garbage(int keep_last) {
 }
 
 long StableStore::bytes_stored() const {
+  sync_point();
   long total = 0;
   for (size_t p = 0; p < per_proc_.size(); ++p)
     total += bytes_stored(static_cast<int>(p));
@@ -504,6 +574,7 @@ long StableStore::bytes_stored() const {
 }
 
 long StableStore::bytes_stored(int proc) const {
+  sync_point();
   long total = 0;
   for (const auto& r : per_proc_.at(static_cast<size_t>(proc)))
     total += r.bytes;
@@ -511,14 +582,17 @@ long StableStore::bytes_stored(int proc) const {
 }
 
 int StableStore::record_count(int proc) const {
+  sync_point();
   return static_cast<int>(per_proc_.at(static_cast<size_t>(proc)).size());
 }
 
 long StableStore::write_count(int proc) const {
+  sync_point();
   return write_counts_.at(static_cast<size_t>(proc));
 }
 
 std::vector<StableStore::Record> StableStore::records_of(int proc) const {
+  sync_point();
   return per_proc_.at(static_cast<size_t>(proc));
 }
 

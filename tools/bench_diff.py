@@ -10,6 +10,10 @@ candidate/baseline ratios, and exits nonzero if any benchmark present in
 BOTH files regressed by more than the threshold (default 10%).
 Benchmarks present in only one file are reported but never fail the
 check — renames and new arms should not break CI.
+
+The comparison core (`compare` / `print_table`) is importable;
+tools/bench_smoke_diff.py reuses it to gate a freshly-measured candidate
+against the committed baseline in ctest (`ctest -L BenchDiff`).
 """
 
 import argparse
@@ -28,21 +32,14 @@ def load(path):
         sys.exit(f"bench_diff: cannot read {path}: {err}")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline BENCH_*.json")
-    parser.add_argument("candidate", help="candidate BENCH_*.json")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.10,
-        help="max tolerated fractional regression (default 0.10 = 10%%)",
-    )
-    args = parser.parse_args()
+def compare(base, cand, threshold):
+    """Pairs the METRICS maps of two condensed bench docs.
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
-
+    Returns (rows, regressions): rows are
+    (metric, name, baseline, candidate, ratio, status) tuples covering the
+    union of both docs; regressions the (metric, name, ratio) subset whose
+    candidate/baseline ratio fell below 1 - threshold.
+    """
     regressions = []
     rows = []
     for metric in METRICS:
@@ -56,14 +53,14 @@ def main():
                 continue
             ratio = c / b if b else float("inf")
             status = "ok"
-            if ratio < 1.0 - args.threshold:
+            if ratio < 1.0 - threshold:
                 status = "REGRESSION"
                 regressions.append((metric, name, ratio))
             rows.append((metric, name, b, c, ratio, status))
+    return rows, regressions
 
-    if not rows:
-        sys.exit("bench_diff: no comparable metrics found in either file")
 
+def print_table(rows):
     name_w = max(len(f"{m}:{n}") for m, n, *_ in rows)
     print(f"{'benchmark':<{name_w}}  {'baseline':>14}  {'candidate':>14}  "
           f"{'ratio':>7}  status")
@@ -74,17 +71,40 @@ def main():
         r_s = f"{ratio:7.3f}" if ratio is not None else f"{'-':>7}"
         print(f"{label:<{name_w}}  {b_s}  {c_s}  {r_s}  {status}")
 
+
+def report(rows, regressions, threshold):
+    """Prints the table + verdict; returns the process exit code."""
+    if not rows:
+        sys.exit("bench_diff: no comparable metrics found in either file")
+    print_table(rows)
     if regressions:
         print(
             f"\nbench_diff: {len(regressions)} benchmark(s) regressed more "
-            f"than {args.threshold:.0%}:",
+            f"than {threshold:.0%}:",
             file=sys.stderr,
         )
         for metric, name, ratio in regressions:
             print(f"  {metric}:{name}  {ratio:.3f}x", file=sys.stderr)
         return 1
-    print(f"\nbench_diff: no regression beyond {args.threshold:.0%}")
+    print(f"\nbench_diff: no regression beyond {threshold:.0%}")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max tolerated fractional regression (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    rows, regressions = compare(
+        load(args.baseline), load(args.candidate), args.threshold)
+    return report(rows, regressions, args.threshold)
 
 
 if __name__ == "__main__":
