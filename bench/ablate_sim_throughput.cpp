@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "obs/metrics.h"
 #include "sim/montecarlo.h"
 #include "sim/snapshot_codec.h"
 #include "store/async_persist.h"
@@ -192,6 +193,39 @@ BENCHMARK(BM_AsyncCapture)
     ->Args({1, 32})
     ->Args({2, 32})
     ->Args({3, 32});
+
+// Observability overhead on the BM_SimulateRing hot path. Arms:
+//   /0  obs detached (SimOptions::obs == nullptr — the shipping default;
+//       this arm must stay within noise of BM_SimulateRing itself, the
+//       acceptance bar is < 1%)
+//   /1  obs attached (a private Registry per run, full end-of-run flush)
+// The engine keeps its hot loop on plain SimStats fields and converts
+// them to metrics once at the end of run(), so even the attached arm
+// pays O(metrics), not O(events).
+void BM_ObsOverhead(benchmark::State& state) {
+  const mp::Program program = ring_program(20);
+  const bool attached = state.range(0) != 0;
+  long events = 0;
+  for (auto _ : state) {
+    sim::SimOptions opts;
+    opts.nprocs = 32;
+    opts.keep_snapshots = false;
+    obs::Registry registry;
+    if (attached) opts.obs = &registry;
+    sim::Engine engine(program, opts);
+    const auto result = engine.run();
+    events += result.stats.events_processed;
+    if (attached) {
+      const auto snap = registry.snapshot();
+      benchmark::DoNotOptimize(snap.metrics.size());
+    }
+    benchmark::DoNotOptimize(result.trace.end_time);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.SetLabel(attached ? "obs attached" : "obs off");
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
 // Fig8-style Monte-Carlo sweep: world sizes × seed replications of the
 // checkpointed ring, exactly what the overhead-curve experiments rerun.

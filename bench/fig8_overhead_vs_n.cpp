@@ -13,15 +13,83 @@
 // Prints the series and writes fig8_overhead_vs_n.csv; then validates the
 // model's ordering with a Monte-Carlo measured sweep (simulated runs fanned
 // across the parallel harness), written to fig8_mc_measured.csv.
+//
+// `fig8_overhead_vs_n --obs-export PREFIX` instead runs ONE small fully
+// instrumented iteration — checkpointed ring over a lossy wire, one
+// failure, async-persisted store capture, so every obs layer (engine,
+// transport, calqueue, store, persist) emits — and writes
+// PREFIX.metrics.jsonl + PREFIX.trace.json. tools/check_obs_export.py
+// validates both files from the ObsSmoke ctest.
+#include <cstring>
 #include <iostream>
+#include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "perf/model.h"
 #include "sim/montecarlo.h"
+#include "sim/snapshot_codec.h"
+#include "store/async_persist.h"
+#include "store/store.h"
 #include "util/table.h"
 #include "workloads/workloads.h"
 
-int main() {
+namespace {
+
+int run_obs_export(const std::string& prefix) {
   using namespace acfc;
+  benchws::RingParams ring;
+  ring.iterations = 8;
+  ring.compute_cost = 4.0;
+  ring.message_bytes = 256;
+  ring.checkpoint = true;
+  const mp::Program program = benchws::ring_exchange(ring);
+
+  obs::Registry registry;
+  sim::SimOptions opts;
+  opts.nprocs = 4;
+  opts.seed = 42;
+  opts.obs = &registry;
+  opts.compute_jitter = 0.1;
+  opts.checkpoint_overhead = 0.5;
+  opts.checkpoint_latency = 1.0;
+  opts.failures = {{1, 18.0}};
+  opts.delay.drop = 0.05;     // lossy wire → reliable-transport shim on
+  opts.delay.reorder = 0.05;
+
+  store::StorageModel model;
+  model.full_every = 4;
+  store::StableStore store(model, store::CheckpointMode::kIncremental,
+                           opts.nprocs);
+  store.set_obs(&registry);
+  bool completed = false;
+  {
+    store::AsyncPersistOptions popts;
+    popts.obs = &registry;
+    popts.queue_capacity = 2;
+    store::AsyncPersister persister(store, popts);
+    opts.checkpoint_capture_fn = sim::async_store_capture_fn(persister);
+    sim::Engine engine(program, opts);
+    completed = engine.run().trace.completed;
+    persister.drain();
+  }
+  store.collect_garbage(2);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  obs::save_text(prefix + ".metrics.jsonl", obs::to_jsonl(snap));
+  obs::save_text(prefix + ".trace.json", obs::to_chrome_trace(snap));
+  std::cout << "wrote " << prefix << ".metrics.jsonl (" << snap.metrics.size()
+            << " metrics)\nwrote " << prefix << ".trace.json ("
+            << snap.spans.size() << " spans)\n";
+  return completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acfc;
+  if (argc == 3 && std::strcmp(argv[1], "--obs-export") == 0)
+    return run_obs_export(argv[2]);
 
   const std::vector<int> nprocs = {2,  4,  8,   16,  32,  64,
                                    96, 128, 192, 256, 384, 512};

@@ -33,6 +33,9 @@
 #include "mp/printer.h"
 #include "mp/stmt.h"
 #include "mp/subst.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "workloads/workloads.h"
 #include "perf/markov.h"
 #include "perf/model.h"

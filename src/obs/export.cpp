@@ -1,0 +1,245 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "trace/json.h"
+#include "util/error.h"
+
+namespace acfc::obs {
+
+namespace {
+
+/// Span timestamps leave the double domain here: whole microseconds via
+/// llround, so export bytes carry only integers and are platform-stable.
+long long to_us(double seconds) { return std::llround(seconds * 1e6); }
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+std::optional<MetricKind> kind_from_name(std::string_view name) {
+  if (name == "counter") return MetricKind::kCounter;
+  if (name == "gauge") return MetricKind::kGauge;
+  if (name == "histogram") return MetricKind::kHistogram;
+  return std::nullopt;
+}
+
+/// Deterministic span order for export: emission order is already stable
+/// for single-threaded emitters; sorting by (begin, track, name, end)
+/// makes multi-threaded emitters stable too.
+std::vector<SpanRec> sorted_spans(const MetricsSnapshot& snap) {
+  std::vector<SpanRec> spans = snap.spans;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRec& a, const SpanRec& b) {
+                     if (a.t_begin != b.t_begin) return a.t_begin < b.t_begin;
+                     if (a.track != b.track) return a.track < b.track;
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.t_end < b.t_end;
+                   });
+  return spans;
+}
+
+}  // namespace
+
+std::string to_jsonl(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, m] : snap.metrics) {
+    out += "{\"metric\":";
+    append_escaped(out, name);
+    out += ",\"kind\":\"";
+    out += kind_name(m.kind);
+    out += "\",\"layer\":";
+    append_escaped(out, m.layer);
+    out += ",\"unit\":";
+    append_escaped(out, m.unit);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += ",\"count\":" + std::to_string(m.count);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(m.value);
+        out += ",\"high_water\":" + std::to_string(m.high_water);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"count\":" + std::to_string(m.count);
+        out += ",\"sum\":" + std::to_string(m.sum);
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          if (b) out += ',';
+          out += std::to_string(m.buckets[b]);
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += "}\n";
+  }
+  for (const auto& span : sorted_spans(snap)) {
+    out += "{\"span\":";
+    append_escaped(out, span.name);
+    out += ",\"track\":" + std::to_string(span.track);
+    out += ",\"ts_us\":" + std::to_string(to_us(span.t_begin));
+    out += ",\"dur_us\":" +
+           std::to_string(to_us(span.t_end) - to_us(span.t_begin));
+    out += ",\"depth\":" + std::to_string(span.depth);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::optional<MetricsSnapshot> snapshot_from_jsonl(std::string_view text) {
+  MetricsSnapshot snap;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    const auto parsed = trace::parse_json(line);
+    if (!parsed) return std::nullopt;
+    if (parsed->kind != trace::Json::Kind::kObject) return std::nullopt;
+    const trace::JsonObject& obj = *parsed->object;
+
+    const auto get = [&obj](const char* key) -> const trace::Json* {
+      const auto it = obj.find(key);
+      return it == obj.end() ? nullptr : &it->second;
+    };
+    const auto i64 = [&get](const char* key, long long fallback =
+                                                 0) -> long long {
+      const trace::Json* v = get(key);
+      return (v != nullptr && v->kind == trace::Json::Kind::kNumber)
+                 ? v->exact_i64()
+                 : fallback;
+    };
+    const auto str = [&get](const char* key) -> std::string {
+      const trace::Json* v = get(key);
+      return (v != nullptr && v->kind == trace::Json::Kind::kString)
+                 ? v->string
+                 : std::string();
+    };
+
+    if (const trace::Json* metric = get("metric");
+        metric != nullptr && metric->kind == trace::Json::Kind::kString) {
+      const auto kind = kind_from_name(str("kind"));
+      if (!kind) return std::nullopt;
+      MetricSnap m;
+      m.kind = *kind;
+      m.layer = str("layer");
+      m.unit = str("unit");
+      m.count = i64("count");
+      m.value = i64("value");
+      m.high_water = i64("high_water");
+      m.sum = i64("sum");
+      if (const trace::Json* buckets = get("buckets");
+          buckets != nullptr &&
+          buckets->kind == trace::Json::Kind::kArray) {
+        for (const trace::Json& b : *buckets->array) {
+          if (b.kind != trace::Json::Kind::kNumber) return std::nullopt;
+          m.buckets.push_back(b.exact_i64());
+        }
+      }
+      snap.metrics.emplace_back(metric->string, std::move(m));
+      continue;
+    }
+    if (const trace::Json* span = get("span");
+        span != nullptr && span->kind == trace::Json::Kind::kString) {
+      SpanRec rec;
+      rec.name = span->string;
+      rec.track = static_cast<int>(i64("track"));
+      rec.t_begin = static_cast<double>(i64("ts_us")) / 1e6;
+      rec.t_end =
+          static_cast<double>(i64("ts_us") + i64("dur_us")) / 1e6;
+      rec.depth = static_cast<int>(i64("depth"));
+      snap.spans.push_back(std::move(rec));
+      continue;
+    }
+    // Unknown-but-valid lines are ignored so the format can grow.
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+std::string to_chrome_trace(const MetricsSnapshot& snap) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&out, &first] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& span : sorted_spans(snap)) {
+    comma();
+    out += "{\"name\":";
+    append_escaped(out, span.name);
+    out += ",\"ph\":\"X\",\"cat\":\"sim\",\"pid\":0,\"tid\":" +
+           std::to_string(span.track);
+    out += ",\"ts\":" + std::to_string(to_us(span.t_begin));
+    out += ",\"dur\":" +
+           std::to_string(to_us(span.t_end) - to_us(span.t_begin));
+    out += ",\"args\":{\"depth\":" + std::to_string(span.depth) + "}}";
+  }
+  // End-of-run totals as one counter event per metric at ts=0 — keeps the
+  // whole snapshot visible inside the trace viewer.
+  for (const auto& [name, m] : snap.metrics) {
+    comma();
+    out += "{\"name\":";
+    append_escaped(out, name);
+    out += ",\"ph\":\"C\",\"cat\":\"metrics\",\"pid\":0,\"tid\":0,\"ts\":0,"
+           "\"args\":{\"value\":";
+    out += std::to_string(m.kind == MetricKind::kGauge ? m.value : m.count);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void save_text(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::Error("cannot open output file: " + path);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw util::Error("failed writing output file: " + path);
+}
+
+}  // namespace acfc::obs

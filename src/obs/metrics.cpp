@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace acfc::obs {
+
+namespace detail {
+
+#if ACFC_OBS
+namespace {
+std::atomic<int> g_next_shard{0};
+}  // namespace
+
+int shard_index() {
+  thread_local int idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+#else
+int shard_index() { return 0; }
+#endif
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry::Entry& Registry::entry_for(std::string_view name, MetricKind kind,
+                                     MetricMeta meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_)
+    if (entry->name == name && entry->kind == kind) return *entry;
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  entry->meta = meta;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, MetricMeta meta) {
+  return *entry_for(name, MetricKind::kCounter, meta).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, MetricMeta meta) {
+  return *entry_for(name, MetricKind::kGauge, meta).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, MetricMeta meta) {
+  return *entry_for(name, MetricKind::kHistogram, meta).histogram;
+}
+
+void Registry::emit_span(std::string_view name, int track, double t_begin,
+                         double t_end, int depth) {
+#if ACFC_OBS
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(SpanRec{std::string(name), track, t_begin, t_end, depth});
+#else
+  (void)name;
+  (void)track;
+  (void)t_begin;
+  (void)t_end;
+  (void)depth;
+#endif
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+#if ACFC_OBS
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnap m;
+    m.kind = entry->kind;
+    m.unit = std::string(entry->meta.unit);
+    m.layer = std::string(entry->meta.layer);
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        m.count = entry->counter->value();
+        break;
+      case MetricKind::kGauge:
+        m.value = entry->gauge->value();
+        m.high_water = entry->gauge->high_water();
+        break;
+      case MetricKind::kHistogram: {
+        m.count = entry->histogram->count();
+        m.sum = entry->histogram->sum();
+        int top = Histogram::kBuckets;
+        while (top > 0 && entry->histogram->bucket_count(top - 1) == 0) --top;
+        m.buckets.resize(static_cast<std::size_t>(top));
+        for (int b = 0; b < top; ++b)
+          m.buckets[static_cast<std::size_t>(b)] =
+              entry->histogram->bucket_count(b);
+        break;
+      }
+    }
+    snap.metrics.emplace_back(entry->name, std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  snap.spans = spans_;
+#endif
+  return snap;
+}
+
+const MetricSnap* MetricsSnapshot::find(std::string_view name) const {
+  auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it == metrics.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+void merge_into(MetricsSnapshot& into, const MetricsSnapshot& from) {
+  for (const auto& [name, src] : from.metrics) {
+    auto it = std::lower_bound(
+        into.metrics.begin(), into.metrics.end(), name,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it == into.metrics.end() || it->first != name) {
+      into.metrics.insert(it, {name, src});
+      continue;
+    }
+    MetricSnap& dst = it->second;
+    switch (src.kind) {
+      case MetricKind::kCounter:
+        dst.count += src.count;
+        break;
+      case MetricKind::kGauge:
+        dst.value += src.value;
+        dst.high_water = std::max(dst.high_water, src.high_water);
+        break;
+      case MetricKind::kHistogram: {
+        dst.count += src.count;
+        dst.sum += src.sum;
+        if (src.buckets.size() > dst.buckets.size())
+          dst.buckets.resize(src.buckets.size(), 0);
+        for (std::size_t b = 0; b < src.buckets.size(); ++b)
+          dst.buckets[b] += src.buckets[b];
+        break;
+      }
+    }
+  }
+  into.spans.insert(into.spans.end(), from.spans.begin(), from.spans.end());
+}
+
+}  // namespace acfc::obs

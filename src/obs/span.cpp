@@ -1,0 +1,20 @@
+#include "obs/span.h"
+
+#include "obs/metrics.h"
+
+namespace acfc::obs::detail {
+
+void emit_span_to(Registry* registry, std::string_view name, int track,
+                  double t_begin, double t_end, int depth) {
+  if (registry != nullptr)
+    registry->emit_span(name, track, t_begin, t_end, depth);
+}
+
+namespace {
+thread_local int g_span_depth = 0;
+}  // namespace
+
+int span_enter_depth() { return g_span_depth++; }
+void span_leave_depth() { --g_span_depth; }
+
+}  // namespace acfc::obs::detail

@@ -1,0 +1,78 @@
+// Scoped spans for the deterministic observability layer.
+//
+// A span is a named, closed time interval in whatever clock domain the
+// caller supplies: the engine passes its simulated clock (so spans are
+// exactly reproducible run-to-run), bench code may pass a wall clock.
+// ScopedSpan is RAII — it reads the clock at construction and again at
+// destruction, tracks per-thread nesting depth, and emits the closed
+// record into an obs::Registry (nullptr ⇒ fully inert, no clock reads).
+//
+// Spans are deliberately not a hot-path primitive: they type-erase the
+// clock and heap-copy the name. Per-event engine accounting uses plain
+// counters; spans mark the rare, interesting intervals (checkpoint takes,
+// rollbacks) that a chrome://tracing timeline should show.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace acfc::obs {
+
+class Registry;
+
+/// One closed span in the caller's clock domain (seconds). `track` is the
+/// lane it renders on in the trace viewer (a process id in engine spans);
+/// `depth` the per-thread nesting level at emission.
+struct SpanRec {
+  std::string name;
+  int track = 0;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  int depth = 0;
+
+  bool operator==(const SpanRec&) const = default;
+};
+
+namespace detail {
+/// Out-of-line bridge so ScopedSpan works with Registry forward-declared.
+void emit_span_to(Registry* registry, std::string_view name, int track,
+                  double t_begin, double t_end, int depth);
+int span_enter_depth();
+void span_leave_depth();
+}  // namespace detail
+
+class ScopedSpan {
+ public:
+  template <typename ClockFn>
+  ScopedSpan(Registry* registry, std::string_view name, int track,
+             ClockFn&& clock)
+      : registry_(registry) {
+    if (registry_ == nullptr) return;
+    name_ = name;
+    track_ = track;
+    clock_ = std::forward<ClockFn>(clock);
+    t_begin_ = clock_();
+    depth_ = detail::span_enter_depth();
+  }
+
+  ~ScopedSpan() {
+    if (registry_ == nullptr) return;
+    detail::span_leave_depth();
+    detail::emit_span_to(registry_, name_, track_, t_begin_, clock_(),
+                         depth_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  int track_ = 0;
+  double t_begin_ = 0.0;
+  int depth_ = 0;
+  std::function<double()> clock_;
+};
+
+}  // namespace acfc::obs

@@ -69,7 +69,12 @@ class CalendarQueue {
     day.push_back(ev);
     std::push_heap(day.begin(), day.end(), EvCmp{});
     ++size_;
-    if (size_ > (buckets_.size() << 1)) resize(buckets_.size() << 1);
+    if (static_cast<long>(size_) > stats_.size_high_water)
+      stats_.size_high_water = static_cast<long>(size_);
+    if (size_ > (buckets_.size() << 1)) {
+      ++stats_.grows;
+      resize(buckets_.size() << 1);
+    }
   }
 
   /// Extracts the (time, seq)-minimum. Precondition: !empty().
@@ -85,17 +90,21 @@ class CalendarQueue {
         day.pop_back();
         --size_;
         direct_streak_ = 0;
-        if (size_ < (buckets_.size() >> 1) && buckets_.size() > kMinBuckets)
+        if (size_ < (buckets_.size() >> 1) && buckets_.size() > kMinBuckets) {
+          ++stats_.shrinks;
           resize(buckets_.size() >> 1);
+        }
         return ev;
       }
       ++cur_day_;
       cur_ = cur_day_ & (buckets_.size() - 1);
       if (++scanned >= buckets_.size()) {
         // A whole empty year: jump to the global minimum's day.
+        ++stats_.direct_jumps;
         jump_to_min();
         scanned = 0;
         if (++direct_streak_ >= kRecalcStreak) {
+          ++stats_.reestimates;
           resize(buckets_.size());  // same size, fresh width estimate
           direct_streak_ = 0;
         }
@@ -105,6 +114,24 @@ class CalendarQueue {
 
   double width() const { return width_; }
   std::size_t nbuckets() const { return buckets_.size(); }
+
+  static constexpr int kOccupancyBuckets = 16;
+
+  /// Rare-event accounting, maintained with plain increments on the cold
+  /// paths only (resize / empty-year jumps) so the hot push/pop pair stays
+  /// untouched. The engine flushes these into obs::Registry at end of run.
+  struct Stats {
+    long grows = 0;          ///< ring doublings
+    long shrinks = 0;        ///< ring halvings
+    long reestimates = 0;    ///< same-size width re-estimates
+    long direct_jumps = 0;   ///< whole-empty-year jumps to the global min
+    long size_high_water = 0;///< max events resident at once
+    /// Events-per-nonempty-bucket distribution sampled at every resize
+    /// (log2 buckets, index = bit_width(occupancy), same convention as
+    /// obs::Histogram::bucket_of).
+    long occupancy_samples[kOccupancyBuckets] = {};
+  };
+  const Stats& stats() const { return stats_; }
 
  private:
   static constexpr std::size_t kMinBuckets = 16;
@@ -155,6 +182,15 @@ class CalendarQueue {
   }
 
   void resize(std::size_t nbuckets) {
+    // Occupancy distribution of the layout being torn down: log2-bucketed
+    // events-per-nonempty-day, one sample per non-empty day.
+    for (const std::vector<Ev>& day : buckets_) {
+      if (day.empty()) continue;
+      int b = 0;
+      for (std::size_t n = day.size(); n != 0; n >>= 1) ++b;
+      if (b >= kOccupancyBuckets) b = kOccupancyBuckets - 1;
+      ++stats_.occupancy_samples[b];
+    }
     const double gap = sample_gap();
     // ~3 events per day at the sampled spacing keeps day scans short while
     // leaving most days non-empty; coincident times keep the old width.
@@ -190,6 +226,7 @@ class CalendarQueue {
   double width_ = 1e-3;           ///< day length (seconds)
   double inv_width_ = 1e3;
   int direct_streak_ = 0;         ///< consecutive pops that needed a jump
+  Stats stats_;
   std::vector<double> sample_;    ///< resize scratch (kept for capacity)
   std::vector<double> gaps_;
   std::vector<Ev> spill_;

@@ -1,12 +1,14 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
 
 #include "cfg/cfg.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace acfc::sim {
@@ -254,6 +256,7 @@ SimResult Engine::run() {
     if (procs_[static_cast<size_t>(p)]->status != Process::Status::kDone)
       trace_.completed = false;
   }
+  flush_obs();  // reads trace_/recoveries_, so before the moves below
   SimResult result;
   for (size_t i = 0; i < ckpt_corrupt_.size(); ++i)
     if (ckpt_corrupt_[i])
@@ -1133,6 +1136,9 @@ void Engine::handle_net_arrive(long msg_index) {
     ++stats_.transport_dup_arrivals;  // retransmit or wire-duplicate copy
   } else {
     ch.reorder_buf.insert(seq, msg_index);
+    stats_.transport_reorder_high_water =
+        std::max(stats_.transport_reorder_high_water,
+                 static_cast<long>(ch.reorder_buf.size()));
     // Release the in-order prefix. deliver() may run the receiver, which
     // may send (growing trace_.messages) — re-look-up each iteration.
     while (true) {
@@ -1185,6 +1191,7 @@ void Engine::handle_rto(std::size_t chan, long seq) {
   }
   ++entry->retries;
   ++stats_.transport_retransmits;
+  if (entry->retries >= 2) ++stats_.transport_rto_backoffs;
   entry->rto *= opts_.transport.backoff;
   const double next_rto = entry->rto;
   const int owner =
@@ -1316,6 +1323,97 @@ bool Engine::all_done() const {
   for (const auto& proc : procs_)
     if (proc->status != Process::Status::kDone) return false;
   return true;
+}
+
+// ===========================================================================
+// Observability flush
+// ===========================================================================
+
+// Everything here is end-of-run: the simulation loop itself maintains only
+// its plain SimStats / CalendarQueue counters, and this one pass converts
+// them (plus the trace and recovery records) into registry metrics and
+// spans. That keeps the instrumented-but-idle cost of the hot loop at
+// exactly zero and makes the flush a deterministic function of the run.
+void Engine::flush_obs() {
+  obs::Registry* reg = opts_.obs;
+  if (reg == nullptr) return;
+
+  const auto set = [reg](const char* name, long long v, const char* unit,
+                         const char* layer) {
+    reg->counter(name, {unit, layer}).inc(v);
+  };
+  set("engine.events_processed", stats_.events_processed, "events", "engine");
+  set("engine.checkpoints_statement", stats_.statement_checkpoints, "takes",
+      "engine");
+  set("engine.checkpoints_forced", stats_.forced_checkpoints, "takes",
+      "engine");
+  set("engine.restarts", stats_.restarts, "restarts", "engine");
+  set("engine.recoveries", static_cast<long long>(recoveries_.size()),
+      "rollbacks", "engine");
+  set("engine.app_messages", stats_.app_messages, "messages", "engine");
+  set("engine.app_bytes", stats_.app_bytes, "bytes", "engine");
+  set("engine.control_messages", stats_.control_messages, "messages",
+      "engine");
+  set("engine.control_bytes", stats_.control_bytes, "bytes", "engine");
+  set("engine.channel_logged_messages", stats_.channel_logged_messages,
+      "messages", "engine");
+
+  set("transport.sends", stats_.transport_sends, "sends", "transport");
+  set("transport.retransmits", stats_.transport_retransmits, "sends",
+      "transport");
+  set("transport.rto_backoffs", stats_.transport_rto_backoffs, "backoffs",
+      "transport");
+  set("transport.dropped", stats_.transport_dropped, "attempts", "transport");
+  set("transport.dup_suppressions", stats_.transport_dup_arrivals,
+      "arrivals", "transport");
+  set("transport.acks", stats_.transport_acks, "acks", "transport");
+  set("transport.give_ups", stats_.transport_give_ups, "payloads",
+      "transport");
+  reg->gauge("transport.reorder_high_water", {"messages", "transport"})
+      .set(stats_.transport_reorder_high_water);
+
+  const CalendarQueue::Stats& cq = calqueue_.stats();
+  set("calqueue.grows", cq.grows, "resizes", "calqueue");
+  set("calqueue.shrinks", cq.shrinks, "resizes", "calqueue");
+  set("calqueue.reestimates", cq.reestimates, "resizes", "calqueue");
+  set("calqueue.direct_jumps", cq.direct_jumps, "jumps", "calqueue");
+  reg->gauge("calqueue.size_high_water", {"events", "calqueue"})
+      .set(cq.size_high_water);
+  obs::Histogram& occupancy =
+      reg->histogram("calqueue.bucket_occupancy", {"events", "calqueue"});
+  for (int b = 0; b < CalendarQueue::kOccupancyBuckets; ++b)
+    if (cq.occupancy_samples[b] != 0)
+      occupancy.add_bucket(b, cq.occupancy_samples[b]);
+
+  // Per-take spans in simulated time: [t_begin, t_end] is the blocking
+  // overhead window the process actually paused for.
+  for (const trace::CkptRec& c : trace_.checkpoints)
+    reg->emit_span(c.forced ? "checkpoint.forced" : "checkpoint", c.proc,
+                   c.t_begin, c.t_end);
+
+  // Per-recovery accounting. All histogram samples are integers: rollback
+  // distance in checkpoint generations, lost work in whole microseconds.
+  obs::Histogram& distance =
+      reg->histogram("engine.rollback_distance", {"checkpoints", "engine"});
+  obs::Histogram& lost =
+      reg->histogram("engine.lost_work_us", {"us", "engine"});
+  obs::Histogram& fallback =
+      reg->histogram("engine.fallback_depth", {"checkpoints", "engine"});
+  for (const RecoveryRec& rec : recoveries_) {
+    reg->emit_span("rollback", rec.failed_proc, rec.fail_time,
+                   rec.resume_time);
+    for (const int demoted : rec.rollbacks)
+      if (demoted > 0) distance.record(demoted);
+    lost.record(std::llround(rec.lost_work * 1e6));
+    if (rec.degraded) fallback.record(rec.fallback_depth);
+    reg->counter("engine.replayed_messages", {"messages", "engine"})
+        .inc(rec.replayed_messages);
+    reg->counter("engine.corrupt_records_skipped", {"records", "engine"})
+        .inc(rec.corrupt_records_skipped);
+    if (rec.degraded)
+      reg->counter("engine.degraded_recoveries", {"rollbacks", "engine"})
+          .inc();
+  }
 }
 
 SimResult simulate(const mp::Program& program, int nprocs,

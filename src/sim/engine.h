@@ -30,6 +30,10 @@
 #include "trace/analysis.h"
 #include "trace/trace.h"
 
+namespace acfc::obs {
+class Registry;
+}  // namespace acfc::obs
+
 namespace acfc::sim {
 
 /// Message latency: setup + per_byte·bytes (the w_m and w_b of Section 4),
@@ -160,6 +164,13 @@ struct SimOptions {
   /// Resolver for irregular expressions; when empty, a deterministic
   /// hash-based resolver is installed (values in [0, nprocs)).
   mp::IrregularResolver irregular;
+  /// Observability sink (docs/observability.md). nullptr ⇒ fully inert:
+  /// the engine keeps its plain SimStats/CalendarQueue counters and never
+  /// touches the registry, so the common uninstrumented run pays nothing.
+  /// When set, the engine flushes end-of-run totals, per-recovery
+  /// histograms, and checkpoint/rollback spans (in simulated time) into it
+  /// — one registry per run (the per-run-resources rule of run_batch).
+  obs::Registry* obs = nullptr;
 };
 
 struct SimStats {
@@ -182,6 +193,10 @@ struct SimStats {
   long transport_dup_arrivals = 0; ///< arrivals suppressed as duplicates
   long transport_acks = 0;         ///< cumulative acks sent
   long transport_give_ups = 0;     ///< payloads abandoned at the retry cap
+  long transport_rto_backoffs = 0; ///< retransmits past the first per
+                                   ///< payload (RTO grew exponentially)
+  /// Largest out-of-order arrival backlog any one channel buffered.
+  long transport_reorder_high_water = 0;
 };
 
 /// One whole-application rollback, recorded as it happened: which process
@@ -289,6 +304,12 @@ class Engine {
   bool checkpoint_usable(int ckpt_index) const;
   /// Whether rollback must run degraded selection at all.
   bool degraded_selection_active() const;
+  /// End-of-run observability flush: copies SimStats and calendar-queue
+  /// totals into opts_.obs, emits checkpoint/rollback spans stamped with
+  /// simulated time, and records per-recovery rollback-distance/lost-work
+  /// histograms. No-op when opts_.obs is nullptr; called once before the
+  /// trace is moved into the SimResult.
+  void flush_obs();
 
   // -- Reliable transport over a lossy wire (DelayModel::lossy()) ----------
   /// Hands trace message `msg_index` to the shim at time `at`: assigns the

@@ -1,6 +1,7 @@
 #include "store/async_persist.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/error.h"
@@ -13,6 +14,17 @@ AsyncPersister::AsyncPersister(StableStore& store, AsyncPersistOptions opts)
   ACFC_CHECK_MSG(opts_.writer_threads >= 1, "need at least one writer");
   if (opts_.manifest_batch >= 1)
     store_.set_manifest_batch(opts_.manifest_batch);
+  if (opts_.obs != nullptr) {
+    obs::Registry& reg = *opts_.obs;
+    obs_.submitted = &reg.counter("persist.submitted", {"jobs", "persist"});
+    obs_.persisted = &reg.counter("persist.persisted", {"jobs", "persist"});
+    obs_.backpressure_waits =
+        &reg.counter("persist.backpressure_waits", {"waits", "persist"});
+    obs_.backpressure_block_ns =
+        &reg.counter("persist.backpressure_block_ns", {"ns", "persist"});
+    obs_.queue_depth =
+        &reg.gauge("persist.queue_depth", {"jobs", "persist"});
+  }
   // Readers (restore / scan / verify / GC) transparently wait for every
   // pending write before observing the store. The barrier runs on the
   // reader's thread, never on a writer, so it cannot self-deadlock.
@@ -44,12 +56,21 @@ void AsyncPersister::submit(int proc, SerializeFn serialize) {
     // sleep/wake over capacity/2 takes while memory stays bounded by
     // queue_capacity jobs either way.
     ++stats_.backpressure_waits;
+    if (obs_.backpressure_waits != nullptr) obs_.backpressure_waits->inc();
+    const auto block_start = obs_.backpressure_block_ns != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     producer_waiting_ = true;
     space_cv_.wait(lock, [this] {
       return queue_.size() <=
              static_cast<std::size_t>(opts_.queue_capacity / 2);
     });
     producer_waiting_ = false;
+    if (obs_.backpressure_block_ns != nullptr)
+      obs_.backpressure_block_ns->inc(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - block_start)
+              .count());
   }
   const bool was_empty = queue_.empty();
   Job job;
@@ -60,6 +81,10 @@ void AsyncPersister::submit(int proc, SerializeFn serialize) {
   ++stats_.submitted;
   stats_.max_queue_depth =
       std::max(stats_.max_queue_depth, static_cast<long>(queue_.size()));
+  if (obs_.submitted != nullptr) {
+    obs_.submitted->inc();
+    obs_.queue_depth->set(static_cast<long long>(queue_.size()));
+  }
   lock.unlock();
   // A writer only waits on work_cv_ while the queue is empty (its wait
   // predicate), so a push onto a non-empty queue can have no one to wake —
@@ -112,6 +137,8 @@ void AsyncPersister::writer_loop() {
       const bool wake =
           producer_waiting_ &&
           queue_.size() <= static_cast<std::size_t>(opts_.queue_capacity / 2);
+      if (obs_.queue_depth != nullptr)
+        obs_.queue_depth->set(static_cast<long long>(queue_.size()));
       lock.unlock();
       if (wake) space_cv_.notify_one();
     }
@@ -132,6 +159,7 @@ void AsyncPersister::writer_loop() {
       lock.lock();
       ++committed_;
       lock.unlock();
+      if (obs_.persisted != nullptr) obs_.persisted->inc();
       commit_cv_.notify_all();
     }
     batch.clear();

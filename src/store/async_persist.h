@@ -60,6 +60,13 @@ struct AsyncPersistOptions {
   /// (coalesced manifest republication); 0 leaves the store's setting
   /// untouched.
   int manifest_batch = 0;
+  /// Observability sink (docs/observability.md); nullptr ⇒ inert. The
+  /// persister publishes `persist.*` metrics: submitted/persisted
+  /// counters, queue-depth gauge (high-water), backpressure waits, and
+  /// backpressure block time in wall-clock nanoseconds. Block time is the
+  /// one WALL-time metric in the catalog — exclude it from byte-identical
+  /// cross-run comparisons (everything else here is deterministic).
+  obs::Registry* obs = nullptr;
 };
 
 /// Move-only type-erased `void(std::string& out)` with inline storage.
@@ -170,6 +177,15 @@ class AsyncPersister {
     SerializeFn serialize;
   };
 
+  /// Cached metric handles (all null without a registry).
+  struct ObsHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* persisted = nullptr;
+    obs::Counter* backpressure_waits = nullptr;
+    obs::Counter* backpressure_block_ns = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
+
   void writer_loop();
 
   /// Jobs a writer claims from the queue per lock acquisition. Batching
@@ -199,6 +215,7 @@ class AsyncPersister {
   /// of one futex round-trip per slot.
   bool producer_waiting_ = false;
   Stats stats_;
+  ObsHandles obs_;
 
   mutable std::mutex commit_mu_;
   std::condition_variable commit_cv_; ///< writers: my ticket's turn / drain

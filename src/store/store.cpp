@@ -229,6 +229,7 @@ WriteCost StableStore::write_checkpoint(int proc, long state_bytes,
     }
   }
   records.push_back(record);
+  note_write_obs(cost.bytes, cost.full_image);
   note_write_for_publish(proc, publish_succeeds);
   return cost;
 }
@@ -303,6 +304,7 @@ WriteCost StableStore::write_payload(int proc, std::string_view payload,
   // The writer deltas against what it intended to write, not against what
   // landed on disk: its in-memory state is authoritative.
   last.assign(payload);
+  note_write_obs(cost.bytes, full);
   note_write_for_publish(proc, publish_succeeds);
   return cost;
 }
@@ -380,6 +382,23 @@ void StableStore::flush_manifests() {
 
 void StableStore::set_read_barrier(std::function<void()> barrier) {
   read_barrier_ = std::move(barrier);
+}
+
+void StableStore::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_ = ObsHandles{};
+    return;
+  }
+  obs_.bytes_written = &registry->counter("store.bytes_written",
+                                          {"bytes", "store"});
+  obs_.records_full = &registry->counter("store.records_full",
+                                         {"records", "store"});
+  obs_.records_delta = &registry->counter("store.records_delta",
+                                          {"records", "store"});
+  obs_.gc_reclaimed_bytes = &registry->counter("store.gc_reclaimed_bytes",
+                                               {"bytes", "store"});
+  obs_.read_barrier_drains = &registry->counter("store.read_barrier_drains",
+                                                {"drains", "store"});
 }
 
 std::uint64_t StableStore::digest() const {
@@ -562,6 +581,8 @@ long StableStore::collect_garbage(int keep_last) {
     records.erase(records.begin(),
                   records.begin() + static_cast<std::ptrdiff_t>(chain_base));
   }
+  if (obs_.gc_reclaimed_bytes != nullptr)
+    obs_.gc_reclaimed_bytes->inc(reclaimed);
   return reclaimed;
 }
 

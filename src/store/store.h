@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/fault.h"
 #include "util/error.h"
 
@@ -177,6 +178,13 @@ class StableStore {
   /// manifest batching off.
   void flush_manifests();
 
+  /// Attaches an observability registry (docs/observability.md): bytes
+  /// written, full/delta record counts, GC reclaim, and read-barrier
+  /// drains flow into `store.*` metrics from then on. Handles are cached
+  /// at attach so the write path never takes the registry's registration
+  /// lock. nullptr detaches; the store never owns the registry.
+  void set_obs(obs::Registry* registry);
+
   /// Installs a barrier invoked at the top of every read-side operation
   /// (restore/scan/verify/GC/digest/record accessors). An AsyncPersister
   /// points this at its drain(), so readers transparently wait for every
@@ -236,7 +244,17 @@ class StableStore {
   /// Read-side entry gate: lets an attached AsyncPersister drain before
   /// this thread observes the store.
   void sync_point() const {
-    if (read_barrier_) read_barrier_();
+    if (read_barrier_) {
+      read_barrier_();
+      if (obs_.read_barrier_drains != nullptr)
+        obs_.read_barrier_drains->inc();
+    }
+  }
+  /// Accounts one completed write (shared by both write entry points).
+  void note_write_obs(long bytes, bool full_image) {
+    if (obs_.bytes_written == nullptr) return;
+    obs_.bytes_written->inc(bytes);
+    (full_image ? obs_.records_full : obs_.records_delta)->inc();
   }
 
   StorageModel model_;
@@ -258,6 +276,15 @@ class StableStore {
   std::vector<int> unpublished_;
   std::vector<char> stale_pending_;
   std::function<void()> read_barrier_;
+  /// Cached metric handles (all null when no registry is attached).
+  struct ObsHandles {
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* records_full = nullptr;
+    obs::Counter* records_delta = nullptr;
+    obs::Counter* gc_reclaimed_bytes = nullptr;
+    obs::Counter* read_barrier_drains = nullptr;
+  };
+  ObsHandles obs_;
 };
 
 /// The (o, l) this storage model implies for a given state size: o is the

@@ -3,9 +3,11 @@
 #include <cctype>
 #include <cmath>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -163,39 +165,30 @@ void save_json(const Trace& trace, const std::string& path) {
 // Reader (minimal standard-JSON recursive descent)
 // ===========================================================================
 
-namespace {
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  /// Raw token text for numbers, so 64-bit integers (digests, clock
-  /// components) can be re-parsed exactly rather than through a double.
-  std::string raw;
-  std::string string;
-  std::shared_ptr<JsonArray> array;
-  std::shared_ptr<JsonObject> object;
-
-  std::uint64_t exact_u64() const {
-    try {
-      return std::stoull(raw);
-    } catch (const std::exception&) {
-      return static_cast<std::uint64_t>(number);
-    }
+std::uint64_t Json::exact_u64() const {
+  try {
+    return std::stoull(raw);
+  } catch (const std::exception&) {
+    return static_cast<std::uint64_t>(number);
   }
-};
+}
+
+long long Json::exact_i64() const {
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    return static_cast<long long>(number);
+  }
+}
+
+namespace {
 
 class JsonParser {
  public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  explicit JsonParser(std::string_view text) : text_(text) {}
 
-  JsonValue run() {
-    const JsonValue v = value();
+  Json run() {
+    const Json v = value();
     skip_ws();
     if (pos_ != text_.size())
       fail("trailing characters after JSON document");
@@ -233,21 +226,21 @@ class JsonParser {
                              std::to_string(pos_) + ": " + msg);
   }
 
-  JsonValue value() {
+  Json value() {
     skip_ws();
     const char c = peek();
     if (c == '{') return object();
     if (c == '[') return array();
     if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
+      Json v;
+      v.kind = Json::Kind::kString;
       v.string = string();
       return v;
     }
     if (c == 't' || c == 'f') return boolean();
     if (c == 'n') {
       literal("null");
-      return JsonValue{};
+      return Json{};
     }
     return number();
   }
@@ -258,9 +251,9 @@ class JsonParser {
     pos_ += len;
   }
 
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::kBool;
     if (peek() == 't') {
       literal("true");
       v.boolean = true;
@@ -271,16 +264,16 @@ class JsonParser {
     return v;
   }
 
-  JsonValue number() {
+  Json number() {
     const size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             std::strchr("+-.eE", text_[pos_]) != nullptr))
       ++pos_;
     if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.raw = text_.substr(start, pos_ - start);
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    v.raw = std::string(text_.substr(start, pos_ - start));
     try {
       v.number = std::stod(v.raw);
     } catch (const std::exception&) {
@@ -326,8 +319,21 @@ class JsonParser {
             break;
           case 'u': {
             if (pos_ + 4 > text_.size()) fail("bad unicode escape");
-            const int code =
-                std::stoi(text_.substr(pos_, 4), nullptr, 16);
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<size_t>(i)];
+              int digit;
+              if (h >= '0' && h <= '9')
+                digit = h - '0';
+              else if (h >= 'a' && h <= 'f')
+                digit = h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F')
+                digit = h - 'A' + 10;
+              else {
+                fail("bad unicode escape");
+              }
+              code = code * 16 + digit;
+            }
             pos_ += 4;
             // ASCII-only escapes are produced by our writer.
             out += static_cast<char>(code);
@@ -342,10 +348,10 @@ class JsonParser {
     }
   }
 
-  JsonValue array() {
+  Json array() {
     expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
+    Json v;
+    v.kind = Json::Kind::kArray;
     v.array = std::make_shared<JsonArray>();
     skip_ws();
     if (accept(']')) return v;
@@ -357,10 +363,10 @@ class JsonParser {
     }
   }
 
-  JsonValue object() {
+  Json object() {
     expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
+    Json v;
+    v.kind = Json::Kind::kObject;
     v.object = std::make_shared<JsonObject>();
     skip_ws();
     if (accept('}')) return v;
@@ -376,13 +382,13 @@ class JsonParser {
     }
   }
 
-  const std::string& text_;
+  std::string_view text_;
   size_t pos_ = 0;
 };
 
 // -- typed accessors ---------------------------------------------------------
 
-const JsonValue& field(const JsonObject& obj, const std::string& key) {
+const Json& field(const JsonObject& obj, const std::string& key) {
   const auto it = obj.find(key);
   if (it == obj.end())
     throw util::ProgramError("trace JSON missing field: " + key);
@@ -391,7 +397,7 @@ const JsonValue& field(const JsonObject& obj, const std::string& key) {
 
 double num(const JsonObject& obj, const std::string& key) {
   const auto& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kNumber)
+  if (v.kind != Json::Kind::kNumber)
     throw util::ProgramError("trace JSON field is not a number: " + key);
   return v.number;
 }
@@ -406,27 +412,27 @@ int integer(const JsonObject& obj, const std::string& key) {
 
 bool boolean(const JsonObject& obj, const std::string& key) {
   const auto& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kBool)
+  if (v.kind != Json::Kind::kBool)
     throw util::ProgramError("trace JSON field is not a bool: " + key);
   return v.boolean;
 }
 
 std::string str(const JsonObject& obj, const std::string& key) {
   const auto& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kString)
+  if (v.kind != Json::Kind::kString)
     throw util::ProgramError("trace JSON field is not a string: " + key);
   return v.string;
 }
 
 const JsonArray& arr(const JsonObject& obj, const std::string& key) {
   const auto& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kArray)
+  if (v.kind != Json::Kind::kArray)
     throw util::ProgramError("trace JSON field is not an array: " + key);
   return *v.array;
 }
 
-const JsonObject& obj_of(const JsonValue& v) {
-  if (v.kind != JsonValue::Kind::kObject)
+const JsonObject& obj_of(const Json& v) {
+  if (v.kind != Json::Kind::kObject)
     throw util::ProgramError("trace JSON element is not an object");
   return *v.object;
 }
@@ -443,8 +449,20 @@ VClock vc_of(const JsonObject& obj, const std::string& key, int nprocs) {
 
 }  // namespace
 
+Json parse_json_or_throw(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+std::optional<Json> parse_json(std::string_view text) noexcept {
+  try {
+    return JsonParser(text).run();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 Trace from_json(const std::string& json) {
-  const JsonValue root = JsonParser(json).run();
+  const Json root = parse_json_or_throw(json);
   const JsonObject& top = obj_of(root);
 
   Trace trace;

@@ -14,12 +14,60 @@
 // JSON parser accepting any standard JSON, so hand-edited files load too.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "trace/trace.h"
 
 namespace acfc::trace {
+
+// ===========================================================================
+// Generic JSON document model + parser
+// ===========================================================================
+//
+// A minimal standard-JSON value tree, shared by the trace reader and the
+// observability exporters' round-trip checks. Arrays/objects sit behind
+// shared_ptr indirection so Json stays a complete type inside its own
+// containers.
+
+struct Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Raw token text for numbers, so 64-bit integers (digests, clock
+  /// components) can be re-parsed exactly rather than through a double.
+  std::string raw;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  std::uint64_t exact_u64() const;
+  /// Exact signed 64-bit reading of a number token (falls back to the
+  /// double value when the raw text does not parse as an integer).
+  long long exact_i64() const;
+};
+
+/// Parses any standard JSON document. Returns std::nullopt on malformed or
+/// truncated input; never throws — safe to feed fuzzed bytes.
+std::optional<Json> parse_json(std::string_view text) noexcept;
+
+/// Throwing variant: util::ProgramError with an offset on malformed input.
+Json parse_json_or_throw(std::string_view text);
+
+// ===========================================================================
+// Trace <-> JSON
+// ===========================================================================
 
 /// Serializes the trace as canonical JSON.
 std::string to_json(const Trace& trace);

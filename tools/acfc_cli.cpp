@@ -6,6 +6,7 @@
 //   acfc place    <prog> [-o out.mp]     repair placement (Algorithm 3.2)
 //   acfc insert   <prog> [-T sec] [-o f] Phase-I checkpoint insertion
 //   acfc run      <prog> [-n N] [--fail P@T ...] [--diagram]
+//                        [--trace-out f.json]  chrome://tracing export
 //   acfc dot      <prog> [-o out.dot]    extended CFG in Graphviz form
 //   acfc faceoff  <prog> [-n N]          run all protocols, print table
 //   acfc model    [-n N] [--wm s]        overhead-ratio model point
@@ -32,7 +33,7 @@ int usage() {
       "  acfc place    <prog> [-o out.mp] [--strict]\n"
       "  acfc insert   <prog> [-T seconds] [-o out.mp]\n"
       "  acfc run      <prog> [-n N] [--seed S] [--fail P@T]... "
-      "[--diagram]\n"
+      "[--diagram] [--trace-out f.json]\n"
       "  acfc dot      <prog> [-o out.dot]\n"
       "  acfc faceoff  <prog> [-n N] [--interval T]\n"
       "  acfc model    [-n N] [--wm seconds]\n"
@@ -44,6 +45,7 @@ struct Args {
   std::vector<std::string> positional;
   std::optional<std::string> output;
   std::optional<std::string> workload;
+  std::optional<std::string> trace_out;
   int nprocs = 4;
   std::uint64_t seed = 1;
   double interval = 300.0;
@@ -65,6 +67,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       auto v = next();
       if (!v) return std::nullopt;
       args.output = *v;
+    } else if (arg == "--trace-out") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.trace_out = *v;
     } else if (arg == "-w" || arg == "--workload") {
       auto v = next();
       if (!v) return std::nullopt;
@@ -193,8 +199,15 @@ int cmd_run(const Args& args) {
   opts.nprocs = args.nprocs;
   opts.seed = args.seed;
   opts.failures = args.failures;
+  obs::Registry registry;
+  if (args.trace_out) opts.obs = &registry;
   sim::Engine engine(program, opts);
   const auto result = engine.run();
+  if (args.trace_out) {
+    obs::save_text(*args.trace_out,
+                   obs::to_chrome_trace(registry.snapshot()));
+    std::cout << "wrote " << *args.trace_out << '\n';
+  }
   std::cout << result.trace.summary() << '\n';
   std::cout << "restarts: " << result.stats.restarts << '\n';
   int bad = 0, cuts = 0;

@@ -8,8 +8,11 @@ Reads the `events_per_s` (and, when present, `ckpts_per_s`) maps emitted
 by tools/bench_to_json.py, prints a per-benchmark table of
 candidate/baseline ratios, and exits nonzero if any benchmark present in
 BOTH files regressed by more than the threshold (default 10%).
-Benchmarks present in only one file are reported but never fail the
-check — renames and new arms should not break CI.
+Benchmarks present in only one file never fail the check — renames and
+new arms should not break CI — but a baseline benchmark MISSING from the
+candidate is loudly warned about on stderr (a silently vanished
+measurement looks exactly like a passing one otherwise), while a
+candidate-only benchmark is just listed as new.
 
 The comparison core (`compare` / `print_table`) is importable;
 tools/bench_smoke_diff.py reuses it to gate a freshly-measured candidate
@@ -48,8 +51,12 @@ def compare(base, cand, threshold):
         for name in sorted(set(base_map) | set(cand_map)):
             b = base_map.get(name)
             c = cand_map.get(name)
-            if b is None or c is None:
-                rows.append((metric, name, b, c, None, "only-one-side"))
+            if c is None:
+                rows.append(
+                    (metric, name, b, c, None, "MISSING-FROM-CANDIDATE"))
+                continue
+            if b is None:
+                rows.append((metric, name, b, c, None, "new-in-candidate"))
                 continue
             ratio = c / b if b else float("inf")
             status = "ok"
@@ -77,6 +84,17 @@ def report(rows, regressions, threshold):
     if not rows:
         sys.exit("bench_diff: no comparable metrics found in either file")
     print_table(rows)
+    missing = [(m, n) for m, n, _b, _c, _r, status in rows
+               if status == "MISSING-FROM-CANDIDATE"]
+    if missing:
+        print(
+            f"\nbench_diff: WARNING: {len(missing)} baseline benchmark(s) "
+            "missing from the candidate (not failing, but a vanished "
+            "measurement deserves a look):",
+            file=sys.stderr,
+        )
+        for metric, name in missing:
+            print(f"  {metric}:{name}", file=sys.stderr)
     if regressions:
         print(
             f"\nbench_diff: {len(regressions)} benchmark(s) regressed more "

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py's comparison core.
+
+Run directly (`python3 tools/test_bench_diff.py`) or from ctest as
+`bench_diff_unit`. Pure stdlib unittest — pins the compare() status
+taxonomy (ok / REGRESSION / MISSING-FROM-CANDIDATE / new-in-candidate),
+the exit codes, and the stderr warning for baseline benchmarks that
+vanished from the candidate file.
+"""
+
+import contextlib
+import io
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff  # noqa: E402
+
+
+def doc(events=None, ckpts=None):
+    out = {}
+    if events is not None:
+        out["events_per_s"] = events
+    if ckpts is not None:
+        out["ckpts_per_s"] = ckpts
+    return out
+
+
+def statuses(rows):
+    return {f"{m}:{n}": status for m, n, _b, _c, _r, status in rows}
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_docs_are_all_ok(self):
+        base = doc(events={"ring": 1000.0}, ckpts={"ring": 50.0})
+        rows, regressions = bench_diff.compare(base, base, 0.10)
+        self.assertEqual(regressions, [])
+        self.assertEqual(set(statuses(rows).values()), {"ok"})
+        self.assertEqual(len(rows), 2)
+
+    def test_regression_beyond_threshold_is_flagged(self):
+        base = doc(events={"ring": 1000.0})
+        cand = doc(events={"ring": 800.0})  # 0.8 < 1 - 0.10
+        rows, regressions = bench_diff.compare(base, cand, 0.10)
+        self.assertEqual(statuses(rows)["events_per_s:ring"], "REGRESSION")
+        self.assertEqual(len(regressions), 1)
+        metric, name, ratio = regressions[0]
+        self.assertEqual((metric, name), ("events_per_s", "ring"))
+        self.assertAlmostEqual(ratio, 0.8)
+
+    def test_slowdown_within_threshold_is_ok(self):
+        base = doc(events={"ring": 1000.0})
+        cand = doc(events={"ring": 950.0})
+        rows, regressions = bench_diff.compare(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+        self.assertEqual(statuses(rows)["events_per_s:ring"], "ok")
+
+    def test_missing_from_candidate_is_distinct_status(self):
+        base = doc(events={"ring": 1000.0, "tree": 500.0})
+        cand = doc(events={"ring": 1000.0})
+        rows, regressions = bench_diff.compare(base, cand, 0.10)
+        self.assertEqual(regressions, [])  # missing never fails the gate
+        self.assertEqual(statuses(rows)["events_per_s:tree"],
+                         "MISSING-FROM-CANDIDATE")
+        self.assertEqual(statuses(rows)["events_per_s:ring"], "ok")
+
+    def test_new_in_candidate_is_distinct_status(self):
+        base = doc(events={"ring": 1000.0})
+        cand = doc(events={"ring": 1000.0, "tree": 500.0})
+        rows, regressions = bench_diff.compare(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+        self.assertEqual(statuses(rows)["events_per_s:tree"],
+                         "new-in-candidate")
+
+    def test_zero_baseline_never_divides(self):
+        base = doc(events={"ring": 0.0})
+        cand = doc(events={"ring": 10.0})
+        rows, regressions = bench_diff.compare(base, cand, 0.10)
+        self.assertEqual(regressions, [])
+        self.assertEqual(statuses(rows)["events_per_s:ring"], "ok")
+
+
+class ReportTest(unittest.TestCase):
+    def run_report(self, base, cand, threshold=0.10):
+        rows, regressions = bench_diff.compare(base, cand, threshold)
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = bench_diff.report(rows, regressions, threshold)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_missing_benchmark_warns_on_stderr_but_exits_zero(self):
+        base = doc(events={"ring": 1000.0, "tree": 500.0})
+        cand = doc(events={"ring": 1000.0})
+        code, out, err = self.run_report(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("WARNING", err)
+        self.assertIn("missing from the candidate", err)
+        self.assertIn("events_per_s:tree", err)
+        self.assertIn("MISSING-FROM-CANDIDATE", out)
+
+    def test_clean_comparison_exits_zero_with_quiet_stderr(self):
+        base = doc(events={"ring": 1000.0})
+        code, out, err = self.run_report(base, base)
+        self.assertEqual(code, 0)
+        self.assertEqual(err, "")
+        self.assertIn("no regression", out)
+
+    def test_regression_exits_nonzero(self):
+        base = doc(events={"ring": 1000.0})
+        cand = doc(events={"ring": 100.0})
+        code, _out, err = self.run_report(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", err)
+
+
+if __name__ == "__main__":
+    unittest.main()
