@@ -19,10 +19,17 @@
 //            uncoordinated; measured coordination accounting.
 //   perf   — the Section-4 stochastic model: absorbing Markov chains, the
 //            closed-form Γ and overhead ratio, Figure 8/9 series.
+//   explore — schedule-space model checking: systematic interleaving and
+//            failure-point exploration, memoized DFS, counterexample
+//            shrinking, replayable ACFX artifacts.
 #pragma once
 
 #include "attr/attr.h"
 #include "cfg/cfg.h"
+#include "explore/artifact.h"
+#include "explore/explore.h"
+#include "explore/shrink.h"
+#include "explore/strategy.h"
 #include "match/match.h"
 #include "mp/builder.h"
 #include "mp/expr.h"

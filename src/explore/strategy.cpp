@@ -1,0 +1,72 @@
+#include "explore/strategy.h"
+
+#include "sim/engine.h"
+#include "util/error.h"
+
+namespace acfc::explore {
+
+int PlanHook::choose(const sim::ChoicePoint& cp) {
+  const auto pos = static_cast<std::size_t>(total_);
+  ++total_;
+  const std::size_t plan_len =
+      cfg_.plan == nullptr ? 0 : cfg_.plan->size();
+  const auto horizon = static_cast<std::size_t>(cfg_.max_choice_points);
+  const int arity = cp.arity < 1 ? 1 : cp.arity;
+
+  // Failure budget: once spent (or in reference mode), failure points are
+  // forced to "don't inject" and are not branchable — but they still
+  // consume their position, keeping plans aligned across runs.
+  const bool failures_off =
+      cp.kind == sim::ChoiceKind::kFailurePoint &&
+      (cfg_.suppress_failures || failures_ >= cfg_.max_failures);
+
+  int take = 0;
+  if (pos < plan_len && !failures_off) {
+    take = (*cfg_.plan)[pos];
+    if (take < 0) take = 0;
+    if (take >= arity) take = arity - 1;
+  }
+
+  bool branchable =
+      arity > 1 && !failures_off && pos >= plan_len && pos < horizon;
+
+  // Memoization: only at NEW frontier positions. Prefix positions replay
+  // a schedule some earlier run chose to expand — pruning there would
+  // re-prune the parent's own path. A hit doesn't abort the run (the
+  // oracle still checks the default completion); it just stops branching.
+  if (cfg_.memo != nullptr && !pruned_ && pos >= plan_len &&
+      pos < horizon) {
+    ACFC_CHECK_MSG(cp.engine != nullptr, "choice point without engine");
+    const std::uint64_t h = cp.engine->schedule_state_hash();
+    if (cfg_.memo->insert(h).second)
+      ++states_recorded_;
+    else {
+      ++memo_hits_;
+      pruned_ = true;
+    }
+  }
+  if (pruned_) branchable = false;
+
+  if (branchable && cfg_.random != nullptr)
+    take = static_cast<int>(cfg_.random->uniform_int(0, arity - 1));
+
+  if (cp.kind == sim::ChoiceKind::kFailurePoint && take == 1) ++failures_;
+
+  if (pos < horizon)
+    log_.push_back(ChoiceRec{cp.kind, take, branchable ? arity : 1});
+  return take;
+}
+
+std::vector<int> taken_of(const std::vector<ChoiceRec>& log) {
+  std::vector<int> plan;
+  plan.reserve(log.size());
+  for (const ChoiceRec& rec : log) plan.push_back(rec.taken);
+  return plan;
+}
+
+std::vector<int> trim_plan(std::vector<int> plan) {
+  while (!plan.empty() && plan.back() == 0) plan.pop_back();
+  return plan;
+}
+
+}  // namespace acfc::explore

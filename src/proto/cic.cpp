@@ -4,17 +4,26 @@
 
 namespace acfc::proto {
 
+double CicDriver::interval_of(int proc, int nprocs) const {
+  return opts_.interval *
+         (1.0 + opts_.cic_stagger * static_cast<double>(proc) /
+                    static_cast<double>(std::max(1, nprocs)));
+}
+
 void CicDriver::on_start(sim::Engine& engine) {
-  const double first = opts_.first_round_at >= 0.0 ? opts_.first_round_at
-                                                   : opts_.interval;
-  for (int p = 0; p < engine.nprocs(); ++p)
+  for (int p = 0; p < engine.nprocs(); ++p) {
+    const double first = opts_.first_round_at >= 0.0
+                             ? opts_.first_round_at
+                             : interval_of(p, engine.nprocs());
     engine.schedule_timer(p, first, /*timer_id=*/0);
+  }
 }
 
 void CicDriver::on_timer(sim::Engine& engine, int proc, int /*timer_id*/) {
   if (engine.is_done(proc)) return;  // no reschedule after exit
   engine.force_checkpoint(proc);
-  engine.schedule_timer(proc, engine.now() + opts_.interval, 0);
+  engine.schedule_timer(
+      proc, engine.now() + interval_of(proc, engine.nprocs()), 0);
 }
 
 long CicDriver::piggyback(sim::Engine& engine, int src) {
@@ -25,8 +34,12 @@ void CicDriver::before_delivery(sim::Engine& engine, int dst, int /*src*/,
                                 long piggyback_value) {
   // BCS rule: receiving from a "newer" interval forces a checkpoint so
   // the receive lands in an interval at least as new as the send's.
-  while (engine.checkpoint_count(dst) < piggyback_value)
+  // (allow_forced_checkpoint is true here; only the negative-control
+  // BrokenCicDriver ever vetoes, deliberately leaving the count short.)
+  while (engine.checkpoint_count(dst) < piggyback_value) {
+    if (!allow_forced_checkpoint()) break;
     engine.force_checkpoint(dst);
+  }
 }
 
 void CicDriver::on_rollback(sim::Engine& engine, int /*failed_proc*/,
@@ -34,7 +47,8 @@ void CicDriver::on_rollback(sim::Engine& engine, int /*failed_proc*/,
   // Per-process basic-checkpoint timers died with the rollback epoch.
   for (int p = 0; p < engine.nprocs(); ++p)
     if (!engine.is_done(p))
-      engine.schedule_timer(p, resume_at + opts_.interval, 0);
+      engine.schedule_timer(
+          p, resume_at + interval_of(p, engine.nprocs()), 0);
 }
 
 void UncoordinatedDriver::on_start(sim::Engine& engine) {

@@ -14,7 +14,7 @@
 
 namespace acfc::proto {
 
-class CicDriver final : public sim::ProtocolDriver {
+class CicDriver : public sim::ProtocolDriver {
  public:
   explicit CicDriver(const ProtocolOptions& opts) : opts_(opts) {}
 
@@ -26,8 +26,37 @@ class CicDriver final : public sim::ProtocolDriver {
   void on_rollback(sim::Engine& engine, int failed_proc,
                    double resume_at) override;
 
+ protected:
+  /// Hook for BrokenCicDriver: false vetoes one forced checkpoint.
+  virtual bool allow_forced_checkpoint() { return true; }
+
  private:
+  /// Basic-timer period of `proc`: interval·(1 + cic_stagger·p/n). With
+  /// the default cic_stagger = 0 all processes share one period, matching
+  /// the original synchronized behavior bit-for-bit.
+  double interval_of(int proc, int nprocs) const;
   ProtocolOptions opts_;
+};
+
+/// Negative control for the schedule explorer (tests/test_explore.cpp): a
+/// CIC driver with the BCS forcing rule sabotaged — the FIRST forced
+/// checkpoint a delivery would require is silently skipped, so one receive
+/// lands with the receiver's checkpoint index below the piggybacked one.
+/// check_cic_index_invariant must flag any schedule that exercises the
+/// skip; a systematic explorer must find such a schedule.
+class BrokenCicDriver final : public CicDriver {
+ public:
+  explicit BrokenCicDriver(const ProtocolOptions& opts) : CicDriver(opts) {}
+
+ protected:
+  bool allow_forced_checkpoint() override {
+    if (skipped_) return true;
+    skipped_ = true;
+    return false;
+  }
+
+ private:
+  bool skipped_ = false;
 };
 
 /// Fully uncoordinated timer-driven checkpointing: each process

@@ -73,6 +73,105 @@ sim::OracleReport check_protocol_recovery(const mp::Program& program,
       [protocol, proto_opts] { return make_driver(protocol, proto_opts); });
 }
 
+sim::DriverFactory driver_factory_by_name(const std::string& name,
+                                          const ProtocolOptions& opts) {
+  if (name == "app-driven")
+    return [] { return std::unique_ptr<sim::ProtocolDriver>(); };
+  if (name == "sync-and-stop")
+    return [opts] {
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<SyncAndStopDriver>(opts));
+    };
+  if (name == "chandy-lamport")
+    return [opts] {
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<ChandyLamportDriver>(opts));
+    };
+  if (name == "koo-toueg")
+    return [opts] {
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<KooTouegDriver>(opts));
+    };
+  if (name == "cic")
+    return [opts] {
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<CicDriver>(opts));
+    };
+  if (name == "uncoordinated")
+    return [opts] {
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<UncoordinatedDriver>(opts));
+    };
+  if (name == "cic-broken")
+    return [opts] {
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<BrokenCicDriver>(opts));
+    };
+  throw util::ProgramError("unknown protocol driver name: " + name);
+}
+
+std::vector<std::string> explorable_driver_names() {
+  return {"app-driven", "sync-and-stop", "chandy-lamport",
+          "koo-toueg",  "cic",           "uncoordinated",
+          "cic-broken"};
+}
+
+std::optional<std::string> check_cic_index_invariant(
+    const sim::SimResult& result) {
+  const trace::Trace& trace = result.trace;
+  const auto n = static_cast<size_t>(trace.nprocs);
+  std::vector<long> counts(n, 0);
+  // count_after[j]: the taking process's checkpoint count right after the
+  // j-th checkpoint of the trace — the kCheckpoint events and
+  // trace.checkpoints are appended in the same order, so the walk can
+  // rewind counts through a rollback from the restored cut's members.
+  std::vector<long> count_after;
+  count_after.reserve(trace.checkpoints.size());
+  size_t next_recovery = 0;
+  for (const trace::EventRec& ev : trace.events) {
+    switch (ev.kind) {
+      case trace::EventKind::kCheckpoint: {
+        const auto p = static_cast<size_t>(ev.proc);
+        ++counts[p];
+        count_after.push_back(counts[p]);
+        break;
+      }
+      case trace::EventKind::kRecv: {
+        const trace::MsgRec& msg =
+            trace.messages.at(static_cast<size_t>(ev.msg_id));
+        if (msg.control) break;
+        if (counts[static_cast<size_t>(ev.proc)] < msg.piggyback) {
+          return "CIC index invariant violated: proc " +
+                 std::to_string(ev.proc) + " consumed msg " +
+                 std::to_string(msg.id) + " (src " +
+                 std::to_string(msg.src) + ", piggyback " +
+                 std::to_string(msg.piggyback) + ") at checkpoint index " +
+                 std::to_string(counts[static_cast<size_t>(ev.proc)]) +
+                 " (t=" + std::to_string(ev.time) + ")";
+        }
+        break;
+      }
+      case trace::EventKind::kFailure: {
+        // handle_failure records kFailure and a RecoveryRec 1:1 (a failure
+        // after global completion records neither). Rewind every process's
+        // count to its restored cut member.
+        ACFC_CHECK_MSG(next_recovery < result.recoveries.size(),
+                       "trace kFailure without a recovery record");
+        const sim::RecoveryRec& rec = result.recoveries[next_recovery++];
+        for (size_t p = 0; p < n; ++p) {
+          const int member = rec.cut.member[p];
+          counts[p] =
+              member < 0 ? 0 : count_after.at(static_cast<size_t>(member));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
 long expected_control_messages(Protocol protocol, int nprocs) {
   const long n = nprocs;
   switch (protocol) {

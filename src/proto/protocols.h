@@ -29,7 +29,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "mp/stmt.h"
 #include "sim/engine.h"
@@ -60,6 +62,13 @@ struct ProtocolOptions {
   double stagger = 0.25;
   /// First round fires at this time (defaults to one interval in).
   double first_round_at = -1.0;
+  /// CIC: per-process basic-timer stagger, same formula as `stagger`.
+  /// 0 (the default, bit-identical to previous releases) means every
+  /// process's basic timer fires at the same instants, so checkpoint
+  /// indices never diverge and the BCS forcing rule is vacuous; > 0 models
+  /// independent clocks, where index skew makes the rule load-bearing —
+  /// which is what the schedule explorer's negative control needs.
+  double cic_stagger = 0.0;
 };
 
 struct ProtocolRunResult {
@@ -98,5 +107,30 @@ sim::OracleReport check_protocol_recovery(
 /// as the raw message COUNT (the time weighting happens in the perf
 /// model).
 long expected_control_messages(Protocol protocol, int nprocs);
+
+/// Driver factory keyed by a stable wire name — the form schedule-space
+/// repro artifacts store. Accepts every protocol ("app-driven",
+/// "sync-and-stop", "chandy-lamport", "koo-toueg", "cic", "uncoordinated")
+/// plus the deliberately broken negative-control variant "cic-broken"
+/// (a CicDriver that skips the first BCS-forced checkpoint — the seeded
+/// bug the explorer must catch). Each factory call returns a FRESH driver
+/// (drivers are stateful; one engine run each). The app-driven factory
+/// returns nullptr drivers. Throws util::ProgramError on unknown names.
+sim::DriverFactory driver_factory_by_name(const std::string& name,
+                                          const ProtocolOptions& opts = {});
+
+/// All names driver_factory_by_name accepts, genuine protocols first.
+std::vector<std::string> explorable_driver_names();
+
+/// The CIC index invariant (the BCS safety argument): replays the trace in
+/// event order maintaining per-process checkpoint counts — rewound through
+/// each recorded rollback via the restored cut — and checks that every
+/// application receive lands on a process whose count is >= the message's
+/// piggybacked index. A correct CIC driver forces checkpoints in
+/// before_delivery precisely to maintain this; "cic-broken" violates it.
+/// Returns a violation description, or nullopt if the invariant holds.
+/// Meaningful only for runs driven by a CIC-family driver.
+std::optional<std::string> check_cic_index_invariant(
+    const sim::SimResult& result);
 
 }  // namespace acfc::proto

@@ -115,6 +115,15 @@ class CalendarQueue {
   double width() const { return width_; }
   std::size_t nbuckets() const { return buckets_.size(); }
 
+  /// Visits every queued event in unspecified order (bucket layout order).
+  /// Consumers needing a layout-independent result must combine per-event
+  /// values commutatively — see Engine::schedule_state_hash.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const std::vector<Ev>& day : buckets_)
+      for (const Ev& ev : day) fn(ev);
+  }
+
   static constexpr int kOccupancyBuckets = 16;
 
   /// Rare-event accounting, maintained with plain increments on the cold

@@ -136,6 +136,17 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
   trace_.reserve(/*events=*/256 * n, /*messages=*/96 * n,
                  /*checkpoints=*/32 * n);
   use_legacy_queue_ = opts_.legacy_scheduler;
+  if (opts_.schedule_hook != nullptr) {
+    ACFC_CHECK_MSG(!use_legacy_queue_,
+                   "schedule hooks require the calendar-queue scheduler "
+                   "(state hashing iterates the live queue)");
+    ACFC_CHECK_MSG(!opts_.delay.lossy(),
+                   "schedule hooks require the reliable fast path");
+    ACFC_CHECK_MSG(opts_.perturb.tie_cap >= 1 &&
+                       opts_.perturb.tie_cap <= PerturbOptions::kMaxTieBreak,
+                   "tie_cap out of range");
+    ACFC_CHECK_MSG(opts_.perturb.delay_steps >= 1, "delay_steps must be >= 1");
+  }
   if (use_legacy_queue_) {
     std::vector<Ev> backing;
     backing.reserve(16 * n + 64);
@@ -178,6 +189,68 @@ void Engine::push_event(double time, EvKind kind, int proc, long a, long b) {
     queue_.push(ev);
   else
     calqueue_.push(ev);
+}
+
+Ev Engine::next_event() {
+  if (use_legacy_queue_) {
+    const Ev ev = queue_.top();
+    queue_.pop();
+    return ev;
+  }
+  Ev ev = calqueue_.pop();
+  ScheduleHook* hook = opts_.schedule_hook;
+  const int cap = std::min(opts_.perturb.tie_cap,
+                           PerturbOptions::kMaxTieBreak);
+  if (hook == nullptr || cap < 2 || calqueue_.empty() || !event_live(ev))
+    return ev;
+  // Gather up to `cap` live events sharing ev's timestamp. Candidates are
+  // popped in (time, seq) order, so cands[0] is the unperturbed default;
+  // pushing the rejects back preserves their original seq and therefore
+  // the queue's order semantics. The first dead or later-timed event ends
+  // the gather — dead events flow through dispatch unperturbed.
+  Ev cands[PerturbOptions::kMaxTieBreak];
+  int k = 1;
+  cands[0] = ev;
+  while (k < cap && !calqueue_.empty()) {
+    const Ev e = calqueue_.pop();
+    if (e.time != ev.time || !event_live(e)) {
+      calqueue_.push(e);
+      break;
+    }
+    cands[k++] = e;
+  }
+  if (k == 1) return ev;
+  const ChoicePoint cp{ChoiceKind::kTieBreak, k, -1, BoundaryKind::kNone,
+                       this};
+  int pick = hook->choose(cp);
+  if (pick < 0 || pick >= k) pick = 0;
+  for (int i = 0; i < k; ++i)
+    if (i != pick) calqueue_.push(cands[i]);
+  return cands[pick];
+}
+
+double Engine::perturb_delivery(double deliver_at) {
+  ScheduleHook* hook = opts_.schedule_hook;
+  const int steps = opts_.perturb.delay_steps;
+  if (hook == nullptr || steps < 2) return deliver_at;
+  const ChoicePoint cp{ChoiceKind::kDeliveryDelay, steps, -1,
+                       BoundaryKind::kNone, this};
+  int step = hook->choose(cp);
+  if (step < 0 || step >= steps) step = 0;
+  if (step == 0) return deliver_at;
+  const double quantum = opts_.perturb.delay_quantum > 0.0
+                             ? opts_.perturb.delay_quantum
+                             : opts_.delay.setup;
+  return deliver_at + static_cast<double>(step) * quantum;
+}
+
+void Engine::offer_failure_point(BoundaryKind boundary, int proc) {
+  ScheduleHook* hook = opts_.schedule_hook;
+  if (hook == nullptr || !opts_.perturb.failure_points) return;
+  if (procs_[static_cast<size_t>(proc)]->status == Process::Status::kDone)
+    return;
+  const ChoicePoint cp{ChoiceKind::kFailurePoint, 2, proc, boundary, this};
+  if (hook->choose(cp) == 1) arm_failure(proc, now_);
 }
 
 void Engine::bootstrap() {
@@ -232,15 +305,8 @@ void Engine::check_event_faults() {
 SimResult Engine::run() {
   bootstrap();
   while (stats_.events_processed < opts_.max_events) {
-    Ev ev;
-    if (use_legacy_queue_) {
-      if (queue_.empty()) break;
-      ev = queue_.top();
-      queue_.pop();
-    } else {
-      if (calqueue_.empty()) break;
-      ev = calqueue_.pop();
-    }
+    if (use_legacy_queue_ ? queue_.empty() : calqueue_.empty()) break;
+    const Ev ev = next_event();
     ++stats_.events_processed;
     ACFC_CHECK_MSG(ev.time + 1e-12 >= now_, "time went backwards");
     now_ = std::max(now_, ev.time);
@@ -399,7 +465,8 @@ void Engine::advance(int p) {
                               static_cast<size_t>(opts_.nprocs) +
                           static_cast<size_t>(send->dest);
       if (!opts_.delay.lossy()) {
-        double deliver_at = now_ + message_delay(send->bytes);
+        double deliver_at =
+            perturb_delivery(now_ + message_delay(send->bytes));
         deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
         channel_last_deliver_[chan] = deliver_at;
         msg.deliver_time = deliver_at;
@@ -422,6 +489,7 @@ void Engine::advance(int p) {
       rec.msg_id = msg.id;
       rec.peer = send->dest;
       rec.tag = send->tag;
+      offer_failure_point(BoundaryKind::kSend, p);
       continue;  // sends are asynchronous
     }
 
@@ -511,6 +579,7 @@ void Engine::complete_recv(int p, long msg_index) {
   rec.peer = msg.src;
   rec.tag = msg.tag;
   proc.pending_recv.reset();
+  offer_failure_point(BoundaryKind::kRecv, p);
 }
 
 void Engine::deliver(long msg_index) {
@@ -634,6 +703,7 @@ double Engine::take_checkpoint(int p, int ckpt_id, bool forced) {
   ++ckpt_counts_[static_cast<size_t>(p)];
   if (driver_ != nullptr) driver_->on_checkpoint(*this, p, forced);
   if (!pending_faults_.empty()) check_checkpoint_faults(p);
+  offer_failure_point(BoundaryKind::kCheckpoint, p);
   return overhead;
 }
 
@@ -996,8 +1066,8 @@ void Engine::handle_failure(const FailureEvent& failure) {
                                 static_cast<size_t>(opts_.nprocs) +
                             static_cast<size_t>(dst);
         if (!opts_.delay.lossy()) {
-          double deliver_at =
-              resume_of[static_cast<size_t>(src)] + message_delay(copy.bytes);
+          double deliver_at = perturb_delivery(
+              resume_of[static_cast<size_t>(src)] + message_delay(copy.bytes));
           deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
           channel_last_deliver_[chan] = deliver_at;
           copy.deliver_time = deliver_at;
@@ -1239,7 +1309,7 @@ void Engine::send_control(int src, int dst, int bytes, int kind,
                           static_cast<size_t>(opts_.nprocs) +
                       static_cast<size_t>(dst);
   if (!opts_.delay.lossy()) {
-    double deliver_at = now_ + message_delay(bytes);
+    double deliver_at = perturb_delivery(now_ + message_delay(bytes));
     deliver_at = std::max(deliver_at, control_last_deliver_[chan]);
     control_last_deliver_[chan] = deliver_at;
     msg.deliver_time = deliver_at;
@@ -1323,6 +1393,166 @@ bool Engine::all_done() const {
   for (const auto& proc : procs_)
     if (proc->status != Process::Status::kDone) return false;
   return true;
+}
+
+// ===========================================================================
+// Schedule-state hashing (explorer memoization)
+// ===========================================================================
+
+namespace {
+
+/// splitmix64-style stream mixer: order-sensitive, 64-bit.
+struct StateMix {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  void mix(std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 29;
+  }
+};
+
+/// One-shot avalanche for commutative (summed) combination of set members.
+std::uint64_t avalanche(std::uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+
+/// Times are hashed RELATIVE to now and quantized to nanoseconds, so two
+/// states reached at different absolute times but with identical pending
+/// futures collide (that is the abstraction the memoization wants).
+std::uint64_t quantize_rel(double t, double now) {
+  const double rel = t - now;
+  return static_cast<std::uint64_t>(
+      std::llround(std::max(rel, 0.0) * 1e9));
+}
+
+}  // namespace
+
+std::uint64_t Engine::schedule_state_hash() const {
+  ACFC_CHECK_MSG(!use_legacy_queue_,
+                 "schedule_state_hash requires the calendar queue");
+  StateMix mix;
+  const auto n = static_cast<size_t>(opts_.nprocs);
+  mix.mix(n);
+
+  for (size_t p = 0; p < n; ++p) {
+    const Process& proc = *procs_[p];
+    const VmSnapshot& st = proc.vm->state();
+    mix.mix(st.digest);
+    mix.mix(static_cast<std::uint64_t>(proc.status));
+    mix.mix(st.collectives_done);
+    for (int q = 0; q < st.vc.size(); ++q) mix.mix(st.vc[q]);
+    for (const long s : st.sends_per_channel)
+      mix.mix(static_cast<std::uint64_t>(s));
+    for (const long r : st.recvs_per_channel)
+      mix.mix(static_cast<std::uint64_t>(r));
+    mix.mix(static_cast<std::uint64_t>(ckpt_counts_[p]));
+    mix.mix(static_cast<std::uint64_t>(take_counts_[p]));
+    if (proc.pending_recv) {
+      mix.mix(0xb10cULL);
+      mix.mix(static_cast<std::uint64_t>(proc.pending_recv->src + 1));
+      mix.mix(static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(proc.pending_recv->tag)));
+      mix.mix(proc.pending_recv->any_source ? 1 : 0);
+    }
+    mix.mix(proc.pause_requested ? 2 : 3);
+  }
+
+  // Delivered-but-unconsumed messages, by logical identity (src, dst, tag,
+  // seq, piggyback) — never by physical msg id, which differs between
+  // schedules that reached the same logical state along different routes.
+  for (size_t chan = 0; chan < inbox_.size(); ++chan) {
+    mix.mix(0x1b0 + chan);
+    for (const long idx : inbox_[chan]) {
+      const trace::MsgRec& m = trace_.messages[static_cast<size_t>(idx)];
+      mix.mix(static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(m.tag)));
+      mix.mix(static_cast<std::uint64_t>(m.seq));
+      mix.mix(static_cast<std::uint64_t>(m.piggyback));
+    }
+  }
+
+  // Checkpoint store: what recovery could restore to.
+  mix.mix(trace_.checkpoints.size());
+  for (size_t i = 0; i < trace_.checkpoints.size(); ++i) {
+    const trace::CkptRec& c = trace_.checkpoints[i];
+    mix.mix(static_cast<std::uint64_t>(c.proc));
+    mix.mix(static_cast<std::uint64_t>(c.instance));
+    mix.mix(static_cast<std::uint64_t>(c.static_index + 2));
+    mix.mix(quantize_rel(c.t_commit, now_));
+    mix.mix((i < ckpt_corrupt_.size() && ckpt_corrupt_[i]) ? 5 : 7);
+    mix.mix((i < ckpt_stale_.size() && ckpt_stale_[i]) ? 11 : 13);
+  }
+
+  for (const PendingFault& pf : pending_faults_) mix.mix(pf.fired ? 17 : 19);
+
+  // FIFO floors still in the future constrain upcoming deliveries.
+  for (const double floor : channel_last_deliver_)
+    mix.mix(quantize_rel(floor, now_));
+  for (const double floor : control_last_deliver_)
+    mix.mix(quantize_rel(floor, now_));
+
+  // The live event queue: a commutative sum of per-event hashes, because
+  // CalendarQueue::for_each visits bucket-layout order, which may differ
+  // between two logically identical queues.
+  std::uint64_t queue_sum = 0;
+  std::uint64_t queue_count = 0;
+  calqueue_.for_each([&](const Ev& ev) {
+    if (!event_live(ev)) return;
+    StateMix em;
+    em.mix(static_cast<std::uint64_t>(ev.kind));
+    em.mix(static_cast<std::uint64_t>(ev.proc + 1));
+    em.mix(quantize_rel(ev.time, now_));
+    switch (ev.kind) {
+      case EvKind::kDeliver: {
+        const trace::MsgRec& m =
+            trace_.messages[static_cast<size_t>(ev.a)];
+        em.mix(static_cast<std::uint64_t>(m.src + 1));
+        em.mix(static_cast<std::uint64_t>(m.dst + 1));
+        em.mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(m.tag)));
+        em.mix(static_cast<std::uint64_t>(m.seq));
+        em.mix(m.control ? 23 : 29);
+        em.mix(static_cast<std::uint64_t>(m.piggyback));
+        break;
+      }
+      case EvKind::kTimer:
+        em.mix(static_cast<std::uint64_t>(ev.a));
+        break;
+      case EvKind::kFailure: {
+        const FailureEvent& f =
+            armed_failures_.at(static_cast<size_t>(ev.a));
+        em.mix(static_cast<std::uint64_t>(f.proc + 1));
+        break;
+      }
+      default:
+        break;
+    }
+    queue_sum += avalanche(em.h);
+    ++queue_count;
+  });
+  mix.mix(queue_count);
+  mix.mix(queue_sum);
+
+  // Partially-joined collective rounds gate future releases.
+  for (size_t i = 0; i < rounds_.size(); ++i) {
+    const CollRound& round = *rounds_[i];
+    if (round.kind == CollRound::Kind::kNone) continue;
+    mix.mix(i);
+    mix.mix(static_cast<std::uint64_t>(round.kind));
+    mix.mix(static_cast<std::uint64_t>(round.joined_count));
+    mix.mix(round.released ? 31 : 37);
+    for (size_t p = 0; p < round.joined.size(); ++p)
+      if (round.joined[p]) {
+        mix.mix(p + 1);
+        mix.mix(quantize_rel(round.join_time[p], now_));
+      }
+  }
+  return mix.h;
 }
 
 // ===========================================================================

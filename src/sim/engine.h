@@ -24,6 +24,7 @@
 #include "sim/driver.h"
 #include "sim/event.h"
 #include "sim/fault.h"
+#include "sim/schedule_hook.h"
 #include "sim/seqring.h"
 #include "sim/vm.h"
 #include "store/fault.h"
@@ -159,6 +160,15 @@ struct SimOptions {
   /// that differential suite and as an escape hatch, mirroring the
   /// analysis engine's legacy_pairwise.
   bool legacy_scheduler = false;
+  /// Schedule-perturbation hook (sim/schedule_hook.h): when set, the
+  /// engine offers tie-break / delivery-delay / failure-point choices at
+  /// deterministic points and follows the hook's answers. Requires the
+  /// calendar-queue scheduler and the reliable fast path; nullptr costs
+  /// nothing on the hot paths.
+  ScheduleHook* schedule_hook = nullptr;
+  /// How much nondeterminism the hook is offered (ignored when the hook
+  /// is null).
+  PerturbOptions perturb;
   /// Runaway guard.
   long max_events = 5'000'000;
   /// Resolver for irregular expressions; when empty, a deterministic
@@ -271,6 +281,16 @@ class Engine {
   /// Lets a C-L driver account a logged channel-state message.
   void note_channel_logged() { ++stats_.channel_logged_messages; }
 
+  /// Digest of the engine's entire schedule-relevant state: per-process VM
+  /// digests / clocks / statuses, undelivered inbox contents, checkpoint
+  /// history, and the live event queue with event times quantized RELATIVE
+  /// to now. Two engines with equal hashes are (modulo the 64-bit digest)
+  /// in the same logical state and will unfold identical schedule
+  /// subtrees, which is what the explorer's memoization prunes on.
+  /// Requires the calendar-queue scheduler (the legacy heap cannot be
+  /// iterated).
+  std::uint64_t schedule_state_hash() const;
+
  private:
   struct Process;
 
@@ -298,6 +318,21 @@ class Engine {
   double message_delay(int bytes);
   void push_event(double time, EvKind kind, int proc, long a = -1,
                   long b = -1);
+  // -- Schedule-perturbation hook plumbing (sim/schedule_hook.h) -----------
+  /// Pops the next event; with a hook attached, gathers same-time
+  /// candidates and lets the hook permute the tie-break.
+  Ev next_event();
+  /// Offers the hook a bounded delivery-delay choice for a send scheduled
+  /// at `deliver_at`; returns the (possibly postponed) delivery time.
+  /// Callers apply the per-channel FIFO floor AFTER this, so perturbed
+  /// channels stay FIFO.
+  double perturb_delivery(double deliver_at);
+  /// Offers the hook a crash of `proc` at an action boundary.
+  void offer_failure_point(BoundaryKind boundary, int proc);
+  /// True if `ev` will be dispatched (failure events survive epochs).
+  bool event_live(const Ev& ev) const {
+    return ev.kind == EvKind::kFailure || ev.epoch == epoch_;
+  }
   /// Degraded selection: is trace checkpoint `ckpt_index` restorable right
   /// now? Combines the declarative storage_faults marks (stale entries
   /// heal once overwritten by a later take) with checkpoint_verify_fn.

@@ -1,0 +1,409 @@
+// Schedule-space explorer tests: bounded-exhaustive model checking of the
+// protocol drivers, determinism of the search, counterexample shrinking,
+// ACFX artifact round-trips, and the seeded-bug negative control — the
+// broken CIC variant must be caught, shrunk to a short plan, and replayed
+// bit-identically through the real `acfc explore --repro` CLI.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "explore/artifact.h"
+#include "explore/explore.h"
+#include "explore/shrink.h"
+
+namespace {
+
+using namespace acfc;
+
+// ---------------------------------------------------------------------------
+// Scenario builders
+
+/// Small ring: 3 procs, 2 iterations — the bounded-depth tree is fully
+/// enumerable in well under a second.
+explore::Scenario small_ring() {
+  explore::Scenario sc;
+  sc.workload = "ring";
+  sc.params.iterations = 2;
+  sc.nprocs = 3;
+  return sc;
+}
+
+/// Small star (master/worker): any-source receives at the master, so the
+/// digest oracle must be off (arrival order legitimately changes state).
+explore::Scenario small_star() {
+  explore::Scenario sc;
+  sc.workload = "master_worker";
+  sc.params.iterations = 2;
+  sc.nprocs = 3;
+  return sc;
+}
+
+/// The negative-control scenario: staggered CIC basic timers over the
+/// ring, with delivery-delay perturbation big enough to push a send past
+/// its sender's timer. Tuned so the DEFAULT schedule is violation-free
+/// (RootScheduleIsClean pins this) and only exploration reaches the bug.
+explore::Scenario cic_scenario(const std::string& driver) {
+  explore::Scenario sc;
+  sc.workload = "ring";
+  sc.params.iterations = 3;
+  sc.nprocs = 3;
+  sc.driver = driver;
+  sc.proto.interval = 22.0;
+  sc.proto.cic_stagger = 0.5;
+  return sc;
+}
+
+explore::ExploreOptions cic_options() {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 8;
+  opts.max_schedules = 4000;
+  opts.check_cic_index = true;
+  opts.perturb.delay_steps = 3;
+  opts.perturb.delay_quantum = 2.0;
+  return opts;
+}
+
+void expect_equal_results(const explore::ExploreResult& a,
+                          const explore::ExploreResult& b) {
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  EXPECT_EQ(a.choice_points, b.choice_points);
+  EXPECT_EQ(a.states_recorded, b.states_recorded);
+  EXPECT_EQ(a.states_pruned, b.states_pruned);
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.violations_found, b.violations_found);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].property, b.violations[i].property);
+    EXPECT_EQ(a.violations[i].plan, b.violations[i].plan);
+    EXPECT_EQ(a.violations[i].digest, b.violations[i].digest);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-exhaustive search
+
+TEST(Explore, RingBoundedSearchIsCompleteAndClean) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 2000;
+  const auto result = explore::explore(small_ring(), opts);
+  // The whole bounded tree fits the budget: coverage is exhaustive, and
+  // the visited/pruned accounting is populated.
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.schedules_run, 10);
+  EXPECT_LT(result.schedules_run, opts.max_schedules);
+  EXPECT_GT(result.choice_points, result.schedules_run);
+  EXPECT_GT(result.states_recorded, 0);
+  EXPECT_GE(result.states_pruned, 0);
+  EXPECT_EQ(result.violations_found, 0);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(Explore, StarBoundedSearchIsCompleteAndClean) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 3000;
+  // Any-source receives: digest depends on arrival order by design.
+  opts.check_digest = false;
+  const auto result = explore::explore(small_star(), opts);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.schedules_run, 10);
+  EXPECT_EQ(result.violations_found, 0);
+}
+
+TEST(Explore, MemoizationPrunesWithoutChangingVerdict) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 2000;
+  const auto with_memo = explore::explore(small_ring(), opts);
+  opts.memoize = false;
+  const auto without = explore::explore(small_ring(), opts);
+  EXPECT_GT(with_memo.states_pruned, 0);
+  EXPECT_EQ(without.states_pruned, 0);
+  EXPECT_EQ(with_memo.violations_found, 0);
+  EXPECT_EQ(without.violations_found, 0);
+  // Memoization only skips re-expansion of visited states; it must never
+  // skip schedules the unpruned search needs to find a verdict.
+  EXPECT_LE(with_memo.schedules_run, without.schedules_run);
+  EXPECT_TRUE(without.complete);
+}
+
+TEST(Explore, BudgetExhaustionReportsIncomplete) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 5;
+  const auto result = explore::explore(small_ring(), opts);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.schedules_run, 5);
+}
+
+// ---------------------------------------------------------------------------
+// All five genuine protocols, with failure injection
+
+TEST(Explore, AllProtocolsCleanUnderFailureInjection) {
+  for (const std::string driver :
+       {"sync-and-stop", "chandy-lamport", "koo-toueg", "cic",
+        "uncoordinated"}) {
+    SCOPED_TRACE(driver);
+    explore::Scenario sc = small_ring();
+    sc.driver = driver;
+    sc.proto.interval = 20.0;
+    explore::ExploreOptions opts;
+    opts.max_choice_points = 6;
+    opts.max_schedules = 3000;
+    opts.perturb.failure_points = true;
+    const auto result = explore::explore(sc, opts);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.violations_found, 0)
+        << (result.violations.empty() ? ""
+                                      : result.violations.front().detail);
+  }
+}
+
+TEST(Explore, AppDrivenCleanUnderFailureInjection) {
+  explore::Scenario sc = small_ring();
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 3000;
+  opts.perturb.failure_points = true;
+  const auto result = explore::explore(sc, opts);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.violations_found, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+TEST(Explore, SerialSearchIsDeterministic) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 2000;
+  expect_equal_results(explore::explore(small_ring(), opts),
+                       explore::explore(small_ring(), opts));
+}
+
+TEST(Explore, ParallelSearchIsDeterministic) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 2000;
+  opts.threads = 4;
+  expect_equal_results(explore::explore(small_ring(), opts),
+                       explore::explore(small_ring(), opts));
+}
+
+TEST(Explore, RandomWalkModeIsSeededAndDeterministic) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 8;
+  opts.random_walks = 40;
+  opts.strategy_seed = 7;
+  const auto a = explore::explore(small_ring(), opts);
+  const auto b = explore::explore(small_ring(), opts);
+  EXPECT_FALSE(a.complete);
+  EXPECT_EQ(a.schedules_run, 40);
+  expect_equal_results(a, b);
+  opts.strategy_seed = 8;
+  const auto c = explore::explore(small_ring(), opts);
+  EXPECT_EQ(c.schedules_run, 40);
+}
+
+TEST(Explore, ReplayPlanIsBitDeterministic) {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  const std::vector<int> plan = {0, 1, 2};
+  const auto a = explore::replay_plan(small_ring(), opts, plan);
+  const auto b = explore::replay_plan(small_ring(), opts, plan);
+  EXPECT_TRUE(a.completed);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// ---------------------------------------------------------------------------
+// Negative control: the seeded bug must be caught, shrunk, and replayed
+
+TEST(ExploreNegativeControl, CorrectCicIsClean) {
+  const auto result = explore::explore(cic_scenario("cic"), cic_options());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.violations_found, 0)
+      << (result.violations.empty() ? ""
+                                    : result.violations.front().detail);
+}
+
+TEST(ExploreNegativeControl, RootScheduleIsClean) {
+  // The default schedule must NOT trip the bug — otherwise any single run
+  // would catch it and the explorer would prove nothing.
+  explore::ExploreOptions opts = cic_options();
+  opts.max_schedules = 1;
+  const auto result =
+      explore::explore(cic_scenario("cic-broken"), opts);
+  EXPECT_EQ(result.violations_found, 0);
+}
+
+TEST(ExploreNegativeControl, BrokenCicIsCaughtAndShrunk) {
+  const explore::Scenario sc = cic_scenario("cic-broken");
+  const explore::ExploreOptions opts = cic_options();
+  const auto result = explore::explore(sc, opts);
+  EXPECT_TRUE(result.complete);
+  ASSERT_GT(result.violations_found, 0);
+  ASSERT_FALSE(result.violations.empty());
+  const explore::Violation& found = result.violations.front();
+  EXPECT_EQ(found.property, "cic-index");
+  EXPECT_FALSE(found.plan.empty());
+
+  const auto shrunk = explore::shrink(sc, opts, found);
+  EXPECT_LE(shrunk.final_choices, shrunk.initial_choices);
+  EXPECT_GT(shrunk.runs, 0);
+  // Acceptance bar: a minimal counterexample of at most 20 choices.
+  EXPECT_LE(static_cast<long>(shrunk.minimal.plan.size()), 20);
+  EXPECT_EQ(shrunk.minimal.property, "cic-index");
+
+  // 1-minimality: zeroing any single surviving choice loses the bug.
+  for (std::size_t i = 0; i < shrunk.minimal.plan.size(); ++i) {
+    if (shrunk.minimal.plan[i] == 0) continue;
+    std::vector<int> weakened = shrunk.minimal.plan;
+    weakened[i] = 0;
+    const auto rep = explore::replay_plan(sc, opts, weakened);
+    EXPECT_FALSE(rep.violation &&
+                 rep.violation->property == "cic-index")
+        << "choice " << i << " is removable";
+  }
+
+  // The shrunk plan replays to the same violation and digest.
+  const auto rep = explore::replay_plan(sc, opts, shrunk.minimal.plan);
+  ASSERT_TRUE(rep.violation.has_value());
+  EXPECT_EQ(rep.violation->property, "cic-index");
+  EXPECT_EQ(rep.digest, shrunk.minimal.digest);
+}
+
+// ---------------------------------------------------------------------------
+// ACFX artifacts
+
+TEST(ExploreArtifact, RoundTripsThroughText) {
+  const explore::Scenario sc = cic_scenario("cic-broken");
+  const explore::ExploreOptions opts = cic_options();
+  explore::Violation v;
+  v.property = "cic-index";
+  v.plan = {0, 0, 0, 1, 0, 1, 1};
+  v.digest = 0x0123456789abcdefULL;
+  const explore::Artifact artifact =
+      explore::make_artifact(sc, opts, v);
+  const std::string text = explore::to_text(artifact);
+  const auto parsed = explore::parse_artifact(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->scenario.workload, sc.workload);
+  EXPECT_EQ(parsed->scenario.driver, sc.driver);
+  EXPECT_EQ(parsed->scenario.nprocs, sc.nprocs);
+  EXPECT_EQ(parsed->scenario.seed, sc.seed);
+  EXPECT_EQ(parsed->scenario.proto.interval, sc.proto.interval);
+  EXPECT_EQ(parsed->scenario.proto.cic_stagger, sc.proto.cic_stagger);
+  EXPECT_EQ(parsed->opts.max_choice_points, opts.max_choice_points);
+  EXPECT_EQ(parsed->opts.check_cic_index, opts.check_cic_index);
+  EXPECT_EQ(parsed->opts.perturb.delay_steps, opts.perturb.delay_steps);
+  EXPECT_EQ(parsed->opts.perturb.delay_quantum,
+            opts.perturb.delay_quantum);
+  EXPECT_EQ(parsed->plan, v.plan);
+  EXPECT_EQ(parsed->property, v.property);
+  EXPECT_EQ(parsed->digest, v.digest);
+  // And the re-serialization is byte-identical: text is canonical.
+  EXPECT_EQ(explore::to_text(*parsed), text);
+}
+
+TEST(ExploreArtifact, RejectsMalformedInputs) {
+  EXPECT_FALSE(explore::parse_artifact("").has_value());
+  EXPECT_FALSE(explore::parse_artifact("ACFX1\n").has_value());  // no end
+  EXPECT_FALSE(explore::parse_artifact("ACFX2\nend\n").has_value());
+  EXPECT_FALSE(
+      explore::parse_artifact("ACFX1\nnprocs zero\nend\n").has_value());
+  EXPECT_FALSE(
+      explore::parse_artifact("ACFX1\nworkload nope\nend\n").has_value());
+  EXPECT_FALSE(
+      explore::parse_artifact("ACFX1\nbogus 1\nend\n").has_value());
+  EXPECT_FALSE(explore::parse_artifact("ACFX1\nnprocs 3\nnprocs 3\nend\n")
+                   .has_value());  // duplicate key
+  EXPECT_FALSE(explore::parse_artifact("ACFX1\nend\ntrailing\n")
+                   .has_value());  // bytes after end
+  EXPECT_TRUE(explore::parse_artifact("ACFX1\nend\n").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the real CLI binary
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(ACFC_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CliResult result;
+  std::array<char, 4096> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+    result.output += buffer.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(ExploreCli, SearchShrinkEmitAndReproduceBitIdentically) {
+  const std::string path =
+      testing::TempDir() + "/explore_negative_control.acfx";
+  const std::string search_flags =
+      "explore -w ring --iterations 3 -n 3 --driver cic-broken "
+      "--interval 22 --cic-stagger 0.5 --check-cic-index --depth 8 "
+      "--budget 4000 --delay-steps 3 --delay-quantum 2.0 -o " +
+      path;
+  const auto search = run_cli(search_flags);
+  EXPECT_EQ(search.exit_code, 1) << search.output;
+  EXPECT_NE(search.output.find("property:   cic-index"), std::string::npos)
+      << search.output;
+  EXPECT_NE(search.output.find("(complete)"), std::string::npos);
+  EXPECT_NE(search.output.find("wrote " + path), std::string::npos);
+
+  // The emitted artifact replays bit-identically: digest AND property
+  // both match what the search recorded.
+  const auto repro = run_cli("explore --repro " + path);
+  EXPECT_EQ(repro.exit_code, 0) << repro.output;
+  EXPECT_NE(repro.output.find("digest:"), std::string::npos);
+  EXPECT_EQ(repro.output.find("MISMATCH"), std::string::npos)
+      << repro.output;
+  EXPECT_NE(repro.output.find("repro: reproduced"), std::string::npos);
+
+  // Corrupting the recorded digest must flip the verdict (exit 1).
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto at = text.find("\ndigest ");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 8] = text[at + 8] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  const auto mismatch = run_cli("explore --repro " + path);
+  EXPECT_EQ(mismatch.exit_code, 1) << mismatch.output;
+  EXPECT_NE(mismatch.output.find("MISMATCH"), std::string::npos);
+}
+
+TEST(ExploreCli, CleanScenarioExitsZero) {
+  const auto r = run_cli(
+      "explore -w ring --iterations 2 -n 3 --depth 5 --budget 2000");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("violations: 0"), std::string::npos);
+}
+
+TEST(ExploreCli, MalformedArtifactExitsTwo) {
+  const std::string path = testing::TempDir() + "/bad.acfx";
+  {
+    std::ofstream out(path);
+    out << "not an artifact\n";
+  }
+  const auto r = run_cli("explore --repro " + path);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("malformed"), std::string::npos);
+}
+
+}  // namespace

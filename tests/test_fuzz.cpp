@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/artifact.h"
 #include "match/match.h"
 #include "mp/generate.h"
 #include "obs/export.h"
@@ -497,6 +498,91 @@ TEST(ObsJsonlFuzz, RawGarbageIntoTraceJsonParserNeverThrows) {
   // Random bytes essentially never form valid JSON; the point is the
   // noexcept path, the count just documents the expectation.
   EXPECT_LT(accepted, 10);
+}
+
+// ---------------------------------------------------------------------------
+// ACFX repro-artifact parser (explore/artifact.h): parse-or-reject, never
+// throws. Artifacts cross machine boundaries (checked into bug reports,
+// passed to `acfc explore --repro`), so the parser sees arbitrary bytes.
+
+std::string sample_artifact_text() {
+  explore::Violation v;
+  v.property = "cic-index";
+  v.plan = {0, 0, 1, 2, 0, 1};
+  v.digest = 0xdeadbeefcafef00dULL;
+  explore::Scenario sc;
+  sc.driver = "cic-broken";
+  sc.proto.cic_stagger = 0.5;
+  explore::ExploreOptions opts;
+  opts.perturb.delay_steps = 3;
+  opts.perturb.delay_quantum = 2.0;
+  return explore::to_text(explore::make_artifact(sc, opts, v));
+}
+
+TEST(AcfxFuzz, MutatedArtifactsParseOrRejectCleanly) {
+  const std::string clean = sample_artifact_text();
+  ASSERT_TRUE(explore::parse_artifact(clean).has_value());
+
+  util::Rng rng(20260808);
+  int accepted = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const std::string mutant = mutate(clean, rng);
+    const auto parsed = explore::parse_artifact(mutant);
+    if (!parsed.has_value()) continue;
+    ++accepted;
+    // Anything accepted must re-serialize canonically and re-parse equal.
+    const std::string reencoded = explore::to_text(*parsed);
+    const auto again = explore::parse_artifact(reencoded);
+    ASSERT_TRUE(again.has_value()) << "round=" << round;
+    EXPECT_EQ(again->plan, parsed->plan);
+    EXPECT_EQ(again->digest, parsed->digest);
+    EXPECT_EQ(again->scenario.workload, parsed->scenario.workload);
+  }
+  // No checksum, so benign mutants (digit tweaks inside a value) can
+  // survive — but names, keys, and structure gate most of them.
+  EXPECT_LT(accepted, 600);
+}
+
+TEST(AcfxFuzz, EveryTruncationParsesOrRejectsCleanly) {
+  const std::string clean = sample_artifact_text();
+  // Every prefix short of the "end" line lacks the terminator (or cuts a
+  // line) and must be rejected. The one legitimate exception is dropping
+  // only the final newline — "…\nend" is still a complete artifact.
+  for (std::size_t len = 0; len + 1 < clean.size(); ++len) {
+    EXPECT_FALSE(
+        explore::parse_artifact(std::string_view(clean.data(), len))
+            .has_value())
+        << "prefix of length " << len << " accepted";
+  }
+  EXPECT_TRUE(explore::parse_artifact(clean.substr(0, clean.size() - 1))
+                  .has_value());
+  EXPECT_TRUE(explore::parse_artifact(clean).has_value());
+}
+
+TEST(AcfxFuzz, TrailingGarbageRejected) {
+  const std::string clean = sample_artifact_text();
+  util::Rng rng(808);
+  for (int round = 0; round < 50; ++round) {
+    std::string padded = clean;
+    const auto extra = rng.uniform_int(1, 32);
+    for (std::int64_t i = 0; i < extra; ++i)
+      padded += static_cast<char>(rng.uniform_int(0, 255));
+    EXPECT_FALSE(explore::parse_artifact(padded).has_value())
+        << "round=" << round;
+  }
+}
+
+TEST(AcfxFuzz, RandomGarbageNeverAccepted) {
+  util::Rng rng(424242);
+  int accepted = 0;
+  for (int round = 0; round < 1000; ++round) {
+    std::string garbage;
+    const auto len = rng.uniform_int(0, 300);
+    for (std::int64_t i = 0; i < len; ++i)
+      garbage += static_cast<char>(rng.uniform_int(0, 255));
+    if (explore::parse_artifact(garbage).has_value()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);  // the ACFX1 magic line gates random bytes
 }
 
 }  // namespace

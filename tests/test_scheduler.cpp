@@ -7,13 +7,17 @@
 // (with fault plans, serial and parallel) runs in the slow tier.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "mp/generate.h"
+#include "sim/calqueue.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
 #include "sim/montecarlo.h"
+#include "util/rng.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -157,6 +161,98 @@ TEST(SchedulerCorpusSlow, MatchesLegacyOn200Programs) {
     }
   }
   EXPECT_GE(programs, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Data-structure-level differential property test: CalendarQueue against
+// std::priority_queue<Ev, EvCmp> under randomized push/pop interleavings.
+// (time, seq) is a unique total order, so the two must agree on the EXACT
+// pop sequence, not just multiset equality. The op mix deliberately
+// stresses the hard regimes: same-time bursts (one day, heap discipline),
+// regular spacing (steady ring occupancy), far-future outliers (empty-year
+// direct jumps + width re-estimation), and the tiny-behind-the-scan pushes
+// the engine's time slack can produce (anchor rewind).
+
+void expect_pop_matches(sim::CalendarQueue& cal,
+                        std::priority_queue<sim::Ev, std::vector<sim::Ev>,
+                                            sim::EvCmp>& ref,
+                        double& now) {
+  ASSERT_FALSE(ref.empty());
+  ASSERT_FALSE(cal.empty());
+  const sim::Ev got = cal.pop();
+  const sim::Ev want = ref.top();
+  ref.pop();
+  ASSERT_EQ(got.time, want.time);
+  ASSERT_EQ(got.seq, want.seq);
+  now = got.time;
+}
+
+TEST(SchedulerQueueProperty, RandomOpSequencesMatchPriorityQueue) {
+  long total_direct_jumps = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    util::Rng rng(seed);
+    sim::CalendarQueue cal;
+    std::priority_queue<sim::Ev, std::vector<sim::Ev>, sim::EvCmp> ref;
+    long seq = 0;
+    double now = 0.0;
+    for (int op = 0; op < 4000; ++op) {
+      const bool push = ref.empty() || rng.uniform_int(0, 99) < 55;
+      if (push) {
+        const auto regime = rng.uniform_int(0, 9);
+        double dt = 0.0;  // regimes 0-2: same-time burst
+        if (regime >= 3 && regime <= 7)
+          dt = 1e-3 * static_cast<double>(rng.uniform_int(1, 50));
+        else if (regime == 8)
+          dt = static_cast<double>(rng.uniform_int(1, 100));  // outlier
+        sim::Ev ev;
+        ev.time = regime == 9 ? std::max(0.0, now - 1e-12) : now + dt;
+        ev.seq = seq++;
+        ev.a = op;
+        cal.push(ev);
+        ref.push(ev);
+      } else {
+        expect_pop_matches(cal, ref, now);
+      }
+    }
+    while (!ref.empty()) expect_pop_matches(cal, ref, now);
+    EXPECT_TRUE(cal.empty());
+    total_direct_jumps += cal.stats().direct_jumps;
+  }
+  // The outlier regime must have exercised the empty-year jump path —
+  // otherwise the mix is too tame to count as differential coverage.
+  EXPECT_GT(total_direct_jumps, 0);
+}
+
+TEST(SchedulerQueueProperty, BurstThenSparseDrainMatches) {
+  // Deterministic boundary case: a 256-event same-time burst (everything
+  // in one day; grows the ring past two doublings) followed by events at
+  // exponentially growing gaps — the width estimate always trails the
+  // largest gaps, so draining them needs empty-year direct jumps.
+  sim::CalendarQueue cal;
+  std::priority_queue<sim::Ev, std::vector<sim::Ev>, sim::EvCmp> ref;
+  long seq = 0;
+  for (int i = 0; i < 256; ++i) {
+    sim::Ev ev;
+    ev.time = 5.0;
+    ev.seq = seq++;
+    cal.push(ev);
+    ref.push(ev);
+  }
+  double t = 1000.0;
+  for (int i = 0; i < 24; ++i) {
+    sim::Ev ev;
+    ev.time = t;
+    ev.seq = seq++;
+    cal.push(ev);
+    ref.push(ev);
+    t *= 4.0;
+  }
+  EXPECT_GT(cal.stats().grows, 0);
+  double now = 0.0;
+  while (!ref.empty()) expect_pop_matches(cal, ref, now);
+  EXPECT_TRUE(cal.empty());
+  EXPECT_GT(cal.stats().direct_jumps, 0);
 }
 
 TEST(SchedulerCorpusSlow, ParallelBatchMatchesLegacySerialBatch) {

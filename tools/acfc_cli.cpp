@@ -10,13 +10,18 @@
 //   acfc dot      <prog> [-o out.dot]    extended CFG in Graphviz form
 //   acfc faceoff  <prog> [-n N]          run all protocols, print table
 //   acfc model    [-n N] [--wm s]        overhead-ratio model point
+//   acfc explore  -w W [--driver D] ...  model-check the schedule space
+//   acfc explore  --repro f.acfx         replay a counterexample artifact
 //   acfc workloads                       list canonical workload names
 //
-// Exit code 0 on success; 1 on safety violations (analyze) or failures.
+// Exit code 0 on success; 1 on safety violations (analyze), failures, or
+// explorer violations / repro mismatches; 2 on usage errors.
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,6 +42,13 @@ int usage() {
       "  acfc dot      <prog> [-o out.dot]\n"
       "  acfc faceoff  <prog> [-n N] [--interval T]\n"
       "  acfc model    [-n N] [--wm seconds]\n"
+      "  acfc explore  -w <workload> [--driver name] [-n N] [--seed S]\n"
+      "                [--depth K] [--budget N] [--failure-points]\n"
+      "                [--max-failures K] [--tie-cap K] [--delay-steps K]\n"
+      "                [--delay-quantum s] [--iterations K] [--threads K]\n"
+      "                [--walks N] [--cic-stagger F] [--check-cic-index]\n"
+      "                [--no-digest] [--no-memo] [--no-shrink] [-o f.acfx]\n"
+      "  acfc explore  --repro f.acfx\n"
       "  acfc workloads\n";
   return 2;
 }
@@ -53,6 +65,24 @@ struct Args {
   bool strict = false;
   bool diagram = false;
   std::vector<sim::FailureEvent> failures;
+  // explore
+  std::optional<std::string> repro;
+  std::string driver = "app-driven";
+  int depth = 10;
+  long budget = 5000;
+  int max_failures = 1;
+  int tie_cap = 3;
+  int delay_steps = 1;
+  double delay_quantum = 0.0;
+  int iterations = -1;
+  int threads = 1;
+  long walks = 0;
+  double cic_stagger = 0.0;
+  bool failure_points = false;
+  bool check_cic_index = false;
+  bool no_digest = false;
+  bool no_memo = false;
+  bool no_shrink = false;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -91,6 +121,64 @@ std::optional<Args> parse_args(int argc, char** argv) {
       auto v = next();
       if (!v) return std::nullopt;
       args.wm = std::stod(*v);
+    } else if (arg == "--repro") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.repro = *v;
+    } else if (arg == "--driver") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.driver = *v;
+    } else if (arg == "--depth") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.depth = std::stoi(*v);
+    } else if (arg == "--budget") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.budget = std::stol(*v);
+    } else if (arg == "--max-failures") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.max_failures = std::stoi(*v);
+    } else if (arg == "--tie-cap") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.tie_cap = std::stoi(*v);
+    } else if (arg == "--delay-steps") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.delay_steps = std::stoi(*v);
+    } else if (arg == "--delay-quantum") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.delay_quantum = std::stod(*v);
+    } else if (arg == "--iterations") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.iterations = std::stoi(*v);
+    } else if (arg == "--threads") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.threads = std::stoi(*v);
+    } else if (arg == "--walks") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.walks = std::stol(*v);
+    } else if (arg == "--cic-stagger") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.cic_stagger = std::stod(*v);
+    } else if (arg == "--failure-points") {
+      args.failure_points = true;
+    } else if (arg == "--check-cic-index") {
+      args.check_cic_index = true;
+    } else if (arg == "--no-digest") {
+      args.no_digest = true;
+    } else if (arg == "--no-memo") {
+      args.no_memo = true;
+    } else if (arg == "--no-shrink") {
+      args.no_shrink = true;
     } else if (arg == "--strict") {
       args.strict = true;
     } else if (arg == "--diagram") {
@@ -273,12 +361,117 @@ int cmd_model(const Args& args) {
   return 0;
 }
 
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+int cmd_repro(const Args& args) {
+  std::ifstream in(*args.repro);
+  if (!in) {
+    std::cerr << "cannot read " << *args.repro << '\n';
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto artifact = explore::parse_artifact(text.str());
+  if (!artifact) {
+    std::cerr << "malformed artifact: " << *args.repro << '\n';
+    return 2;
+  }
+  const auto outcome = explore::replay_artifact(*artifact);
+  std::cout << "scenario: " << artifact->scenario.workload << " / "
+            << artifact->scenario.driver << "  n="
+            << artifact->scenario.nprocs << '\n';
+  std::cout << "plan:     " << artifact->plan.size() << " choices\n";
+  std::cout << "digest:   " << hex64(outcome.replay.digest) << " (expected "
+            << hex64(artifact->digest) << ") "
+            << (outcome.digest_matched ? "MATCH" : "MISMATCH") << '\n';
+  std::cout << "property: "
+            << (outcome.replay.violation ? outcome.replay.violation->property
+                                         : "none")
+            << " (expected " << artifact->property << ") "
+            << (outcome.property_matched ? "MATCH" : "MISMATCH") << '\n';
+  if (outcome.replay.violation)
+    std::cout << "detail:   " << outcome.replay.violation->detail << '\n';
+  const bool ok = outcome.property_matched && outcome.digest_matched;
+  std::cout << (ok ? "repro: reproduced" : "repro: NOT reproduced") << '\n';
+  return ok ? 0 : 1;
+}
+
+int cmd_explore(const Args& args) {
+  if (args.repro) return cmd_repro(args);
+  if (!args.workload || !args.positional.empty()) return usage();
+
+  explore::Scenario scenario;
+  scenario.workload = *args.workload;
+  scenario.driver = args.driver;
+  scenario.nprocs = args.nprocs;
+  scenario.seed = args.seed;
+  scenario.proto.interval = args.interval;
+  scenario.proto.cic_stagger = args.cic_stagger;
+  if (args.iterations >= 0) scenario.params.iterations = args.iterations;
+
+  explore::ExploreOptions opts;
+  opts.max_choice_points = args.depth;
+  opts.max_schedules = args.budget;
+  opts.max_failures = args.max_failures;
+  opts.memoize = !args.no_memo;
+  opts.threads = args.threads;
+  opts.random_walks = args.walks;
+  opts.strategy_seed = args.seed;
+  opts.check_digest = !args.no_digest;
+  opts.check_cic_index = args.check_cic_index;
+  opts.perturb.tie_cap = args.tie_cap;
+  opts.perturb.delay_steps = args.delay_steps;
+  opts.perturb.delay_quantum = args.delay_quantum;
+  opts.perturb.failure_points = args.failure_points;
+
+  const auto result = explore::explore(scenario, opts);
+  std::cout << "schedules:  " << result.schedules_run
+            << (result.complete ? "  (complete)" : "  (budget hit)") << '\n';
+  std::cout << "choices:    " << result.choice_points << '\n';
+  std::cout << "states:     " << result.states_recorded << " recorded, "
+            << result.states_pruned << " pruned\n";
+  std::cout << "violations: " << result.violations_found << '\n';
+  if (result.violations.empty()) return 0;
+
+  explore::Violation minimal = result.violations.front();
+  if (!args.no_shrink) {
+    const auto shrunk = explore::shrink(scenario, opts, minimal);
+    std::cout << "shrink:     " << shrunk.initial_choices << " -> "
+              << shrunk.final_choices << " non-default choices ("
+              << shrunk.runs << " replays)\n";
+    minimal = shrunk.minimal;
+  }
+  std::cout << "property:   " << minimal.property << '\n';
+  std::cout << "detail:     " << minimal.detail << '\n';
+  std::cout << "plan:       ";
+  for (std::size_t i = 0; i < minimal.plan.size(); ++i)
+    std::cout << (i ? "," : "") << minimal.plan[i];
+  std::cout << '\n';
+  if (args.output) {
+    const auto artifact = explore::make_artifact(scenario, opts, minimal);
+    std::ofstream out(*args.output);
+    out << explore::to_text(artifact);
+    std::cout << "wrote " << *args.output << '\n';
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const auto args = parse_args(argc, argv);
+  std::optional<Args> args;
+  try {
+    args = parse_args(argc, argv);
+  } catch (const std::exception&) {  // stoi/stod on malformed numbers
+    return usage();
+  }
   if (!args) return usage();
 
   try {
@@ -296,6 +489,8 @@ int main(int argc, char** argv) {
       return cmd_faceoff(*args);
     if (command == "model" && args->positional.empty())
       return cmd_model(*args);
+    if (command == "explore")
+      return cmd_explore(*args);
     if (command == "workloads") {
       for (const auto& name : mp::workload_names())
         std::cout << name << '\n';

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Line-coverage report for the acfc library (docs/testing.md, "Coverage").
+#
+# Configures an ACFC_COVERAGE=ON build, runs the tier-1 suite, then
+# aggregates plain `gcov` output (no gcovr/lcov dependency) into a
+# per-module and total line-coverage table over src/. Header lines that
+# are compiled into several translation units are merged: a line counts
+# as covered if ANY object executed it.
+#
+#   tools/coverage.sh            # tier-1 suite (the CI gate)
+#   COVERAGE_LABELS="" tools/coverage.sh   # full suite incl. slow tier
+#   BUILD_DIR=/tmp/cov tools/coverage.sh   # custom build directory
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-coverage}"
+LABELS="${COVERAGE_LABELS-tier1}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure ($BUILD)"
+cmake -B "$BUILD" -S "$ROOT" -DACFC_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null
+echo "== build"
+cmake --build "$BUILD" -j"$JOBS" >/dev/null
+echo "== test (${LABELS:-all labels})"
+(cd "$BUILD" && rm -f $(find . -name '*.gcda') 2>/dev/null || true)
+if [ -n "$LABELS" ]; then
+  (cd "$BUILD" && ctest -L "$LABELS" -j"$JOBS" --output-on-failure \
+      >/dev/null)
+else
+  (cd "$BUILD" && ctest -j"$JOBS" --output-on-failure >/dev/null)
+fi
+
+echo "== gcov"
+SCRATCH="$BUILD/gcov-report"
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+cd "$SCRATCH"
+find "$BUILD/src" "$BUILD/tools" -name '*.gcda' -print0 |
+  xargs -0 -n 32 gcov -p >/dev/null 2>&1 || true
+
+python3 - "$ROOT" <<'EOF'
+import collections, glob, os, sys
+
+root = os.path.realpath(sys.argv[1]) + os.sep + "src" + os.sep
+# (source, line) -> covered?  Merged across all objects including a line.
+lines = {}
+for path in glob.glob("*.gcov"):
+    source = None
+    with open(path, errors="replace") as fh:
+        for raw in fh:
+            parts = raw.split(":", 2)
+            if len(parts) < 3:
+                continue
+            count, lineno = parts[0].strip(), parts[1].strip()
+            if lineno == "0":
+                if parts[2].startswith("Source:"):
+                    source = os.path.realpath(parts[2][len("Source:"):].strip())
+                    if not source.startswith(root):
+                        source = None
+                continue
+            if source is None or count == "-":
+                continue
+            key = (source, int(lineno))
+            covered = not count.startswith(("#####", "====="))
+            lines[key] = lines.get(key, False) or covered
+
+per_module = collections.defaultdict(lambda: [0, 0])  # [covered, total]
+for (source, _), covered in lines.items():
+    module = source[len(root):].split(os.sep)[0]
+    per_module[module][1] += 1
+    per_module[module][0] += covered
+
+print()
+print(f"{'module':<12} {'lines':>7} {'covered':>8} {'percent':>8}")
+tot_cov = tot_all = 0
+for module in sorted(per_module):
+    cov, all_ = per_module[module]
+    tot_cov += cov
+    tot_all += all_
+    print(f"{module:<12} {all_:>7} {cov:>8} {100.0 * cov / all_:>7.1f}%")
+print("-" * 38)
+pct = 100.0 * tot_cov / tot_all if tot_all else 0.0
+print(f"{'TOTAL':<12} {tot_all:>7} {tot_cov:>8} {pct:>7.1f}%")
+EOF
