@@ -1,0 +1,155 @@
+// Ablation — supervised detection cost under partitions & gray failures
+// (google-benchmark): fault-injected seed sweeps of the faceoff workload
+// under the supervised runtime (heartbeat detector + restart supervisor),
+// with crashes alone and crashes combined with link partitions and
+// process stalls. Reports what in-model detection actually costs —
+// detection latency (crash → unanimous suspect verdict), downtime
+// (crash → restart resume), and the false-suspicion rate partitions and
+// stalls induce (a partitioned-away or stalled process stops
+// heartbeating exactly like a dead one).
+//
+// tools/bench_to_json.py --suite sim runs this binary alongside the other
+// sim-suite benches and merges the per-arm counters into the "partition"
+// map of BENCH_sim.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "place/place.h"
+#include "proto/protocols.h"
+#include "sim/montecarlo.h"
+#include "sim/recovery.h"
+#include "sim/supervisor.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace acfc;
+
+constexpr int kNprocs = 8;
+constexpr int kReplications = 8;
+
+/// Fault mix per arm: crashes always, partitions/stalls per the sweep.
+struct Arm {
+  const char* label;
+  int max_partitions;
+  int max_stalls;
+};
+
+constexpr Arm kArms[] = {
+    {"crash-only", 0, 0},
+    {"crash-partition", 1, 0},
+    {"crash-stall", 0, 1},
+    {"crash-partition-stall", 1, 1},
+};
+
+// Phase-I/III placed checkpoints: the supervisor provides detection and
+// restart, not checkpoint placement, so the program carries its own.
+const mp::Program& app_driven_program() {
+  static const mp::Program program = [] {
+    mp::Program p = benchws::faceoff_plain().clone();
+    p.renumber();
+    place::InsertOptions iopts;
+    iopts.target_interval = 60.0;
+    const auto report = place::analyze_and_place(p, iopts);
+    ACFC_CHECK_MSG(report.success, "faceoff placement failed");
+    return p;
+  }();
+  return program;
+}
+
+sim::SimOptions base_options() {
+  sim::SimOptions opts;
+  opts.nprocs = kNprocs;
+  opts.checkpoint_overhead = 1.78;
+  opts.compute_jitter = 0.3;
+  opts.recovery_overhead = 2.0;
+  opts.keep_snapshots = true;
+  return opts;
+}
+
+// Failure-free makespan of the supervised workload — the horizon fault
+// windows are drawn from, and the timescale the detector geometry hangs
+// off. Probed once; deterministic.
+double fault_horizon();
+
+sim::SupervisorOptions supervisor_options() {
+  const double h = fault_horizon();
+  sim::SupervisorOptions so;
+  so.detector.hb_interval = h / 200.0;
+  so.detector.timeout = h / 40.0;
+  so.poll_interval = h / 80.0;
+  // Generous budget: this bench measures detection cost, not quarantine —
+  // false suspicions restart (wastefully, safely) instead of retiring.
+  so.restart_budget = 100;
+  so.backoff_base = h / 100.0;
+  so.backoff_factor = 2.0;
+  so.backoff_max = h / 20.0;
+  return so;
+}
+
+double fault_horizon() {
+  static const double horizon = [] {
+    sim::SimOptions opts = base_options();
+    opts.seed = sim::run_seed(/*base_seed=*/3, 0);
+    sim::Engine engine(app_driven_program(), std::move(opts), nullptr);
+    return engine.run().trace.end_time * 0.8;
+  }();
+  return horizon;
+}
+
+// Seed sweep with one pseudo-random fault plan per run. The crash draws
+// precede the partition/stall draws, so every arm faces the SAME crash
+// schedule and differs only in the gray-failure windows layered on top.
+std::vector<sim::SimOptions> fault_sweep_configs(const Arm& arm) {
+  std::vector<sim::SimOptions> configs =
+      sim::seed_sweep(base_options(), kReplications);
+  for (size_t i = 0; i < configs.size(); ++i)
+    configs[i].fault_plan = sim::random_fault_plan(
+        sim::run_seed(/*base_seed=*/17, static_cast<long>(i)), kNprocs,
+        fault_horizon(), /*max_faults=*/2, arm.max_partitions,
+        arm.max_stalls);
+  return configs;
+}
+
+void BM_PartitionSweep(benchmark::State& state) {
+  const Arm& arm = kArms[static_cast<size_t>(state.range(0))];
+  const mp::Program& program = app_driven_program();
+  const auto configs = fault_sweep_configs(arm);
+  const sim::SupervisorOptions sopts = supervisor_options();
+
+  sim::RecoveryMetrics metrics;
+  for (auto _ : state) {
+    auto runs = sim::parallel_map(
+        static_cast<long>(configs.size()), sim::McOptions{}, [&](long i) {
+          auto driver = std::make_unique<sim::Supervisor>(sopts);
+          sim::Engine engine(program, configs[static_cast<size_t>(i)],
+                             driver.get());
+          return engine.run();
+        });
+    metrics = sim::recovery_metrics(runs);
+    benchmark::DoNotOptimize(&metrics);
+  }
+
+  state.SetLabel(arm.label);
+  state.counters["runs"] = static_cast<double>(metrics.runs);
+  state.counters["completed"] = static_cast<double>(metrics.completed);
+  state.counters["rollbacks"] = static_cast<double>(metrics.failures);
+  state.counters["suspicions"] = static_cast<double>(metrics.suspicions);
+  state.counters["false_suspicions"] =
+      static_cast<double>(metrics.false_suspicions);
+  state.counters["supervised_restarts"] =
+      static_cast<double>(metrics.supervised_restarts);
+  state.counters["quarantines"] = static_cast<double>(metrics.quarantines);
+  state.counters["detection_latency_s"] = metrics.mean_detection_latency;
+  state.counters["downtime_s"] = metrics.mean_downtime;
+}
+BENCHMARK(BM_PartitionSweep)
+    ->DenseRange(0, static_cast<int>(std::size(kArms)) - 1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -152,6 +152,12 @@ std::string to_text(const Artifact& a) {
   put("delay_steps", std::to_string(a.opts.perturb.delay_steps));
   put("delay_quantum", fmt_double(a.opts.perturb.delay_quantum));
   put("failure_points", a.opts.perturb.failure_points ? "1" : "0");
+  put("partition_points", a.opts.perturb.partition_points ? "1" : "0");
+  put("partition_window", fmt_double(a.opts.perturb.partition_window));
+  put("stall_points", a.opts.perturb.stall_points ? "1" : "0");
+  put("stall_window", fmt_double(a.opts.perturb.stall_window));
+  put("max_partitions", std::to_string(a.opts.max_partitions));
+  put("max_stalls", std::to_string(a.opts.max_stalls));
   put("property", a.property);
   put("digest", fmt_hex(a.digest));
   std::string plan;
@@ -256,6 +262,18 @@ std::optional<Artifact> parse_artifact(std::string_view text) {
       ok = parse_double(value, 0.0, 1e6, a.opts.perturb.delay_quantum);
     } else if (key == "failure_points") {
       ok = parse_bool(value, a.opts.perturb.failure_points);
+    } else if (key == "partition_points") {
+      ok = parse_bool(value, a.opts.perturb.partition_points);
+    } else if (key == "partition_window") {
+      ok = parse_double(value, 0.0, 1e6, a.opts.perturb.partition_window);
+    } else if (key == "stall_points") {
+      ok = parse_bool(value, a.opts.perturb.stall_points);
+    } else if (key == "stall_window") {
+      ok = parse_double(value, 0.0, 1e6, a.opts.perturb.stall_window);
+    } else if (key == "max_partitions") {
+      ok = parse_int(value, 0, 1024, a.opts.max_partitions);
+    } else if (key == "max_stalls") {
+      ok = parse_int(value, 0, 1024, a.opts.max_stalls);
     } else if (key == "property") {
       ok = token_ok(value);
       if (ok) a.property = value;

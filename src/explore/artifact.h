@@ -33,7 +33,8 @@ namespace acfc::explore {
 struct Artifact {
   Scenario scenario;
   /// Only the replay-relevant fields are serialized: max_choice_points,
-  /// max_failures, check_digest, check_cic_index, and perturb.*.
+  /// max_failures, max_partitions, max_stalls, check_digest,
+  /// check_cic_index, and perturb.*.
   ExploreOptions opts;
   std::vector<int> plan;
   /// Violated property the replay is expected to reproduce ("none" when

@@ -44,6 +44,8 @@ RunOut run_plan(const Ctx& ctx, const std::vector<int>& plan,
   cfg.plan = &plan;
   cfg.max_choice_points = ctx.opts->max_choice_points;
   cfg.max_failures = suppress_failures ? 0 : ctx.opts->max_failures;
+  cfg.max_partitions = suppress_failures ? 0 : ctx.opts->max_partitions;
+  cfg.max_stalls = suppress_failures ? 0 : ctx.opts->max_stalls;
   cfg.suppress_failures = suppress_failures;
   cfg.memo = memo;
   cfg.random = random;

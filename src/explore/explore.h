@@ -61,6 +61,10 @@ struct ExploreOptions {
   long max_schedules = 5000;
   /// Failure injections per schedule.
   int max_failures = 1;
+  /// Partition / stall injections per schedule (used only when the
+  /// matching perturb.partition_points / perturb.stall_points are on).
+  int max_partitions = 1;
+  int max_stalls = 1;
   /// Prune via Engine::schedule_state_hash memoization.
   bool memoize = true;
   /// Worker threads for the sharded parallel search (1 = serial).

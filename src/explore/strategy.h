@@ -43,9 +43,14 @@ class PlanHook final : public sim::ScheduleHook {
     int max_choice_points = 10;
     /// Failure injections allowed per schedule (beyond the plan's).
     int max_failures = 1;
-    /// Reference mode: answer 0 at every failure point regardless of the
-    /// plan. Positions still advance, so a faulty plan and its
-    /// failure-suppressed twin stay aligned until they diverge.
+    /// Partition / stall injections allowed per schedule, budgeted like
+    /// failures (each injection kind has its own budget).
+    int max_partitions = 1;
+    int max_stalls = 1;
+    /// Reference mode: answer 0 at every injection point (failure,
+    /// partition, stall) regardless of the plan. Positions still advance,
+    /// so a faulty plan and its suppressed twin stay aligned until they
+    /// diverge.
     bool suppress_failures = false;
     /// When set, NEW positions (>= plan size, < horizon) consult the
     /// memo: a state-hash hit marks the run pruned — it still completes
@@ -65,6 +70,8 @@ class PlanHook final : public sim::ScheduleHook {
   /// Every consulted point, including those past the horizon.
   long total_choice_points() const { return total_; }
   int failures_injected() const { return failures_; }
+  int partitions_injected() const { return partitions_; }
+  int stalls_injected() const { return stalls_; }
   bool pruned() const { return pruned_; }
   long memo_hits() const { return memo_hits_; }
   long states_recorded() const { return states_recorded_; }
@@ -74,6 +81,8 @@ class PlanHook final : public sim::ScheduleHook {
   std::vector<ChoiceRec> log_;
   long total_ = 0;
   int failures_ = 0;
+  int partitions_ = 0;
+  int stalls_ = 0;
   bool pruned_ = false;
   long memo_hits_ = 0;
   long states_recorded_ = 0;

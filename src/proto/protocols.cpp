@@ -4,6 +4,7 @@
 #include "proto/cic.h"
 #include "proto/koo_toueg.h"
 #include "proto/sync_and_stop.h"
+#include "sim/supervisor.h"
 #include "util/error.h"
 
 namespace acfc::proto {
@@ -107,13 +108,48 @@ sim::DriverFactory driver_factory_by_name(const std::string& name,
       return std::unique_ptr<sim::ProtocolDriver>(
           std::make_unique<BrokenCicDriver>(opts));
     };
+  if (name == "supervised")
+    return [opts] {
+      // Detector geometry scales off the protocol interval: heartbeats 5x
+      // faster than the timeout, polls twice per timeout, and a backoff
+      // ladder that tops out at one interval.
+      sim::SupervisorOptions so;
+      so.detector.hb_interval = opts.interval / 5.0;
+      so.detector.timeout = opts.interval;
+      so.detector.hb_bytes = opts.control_bytes;
+      so.poll_interval = opts.interval / 2.0;
+      so.restart_budget = 3;
+      so.backoff_base = opts.interval / 10.0;
+      so.backoff_factor = 2.0;
+      so.backoff_max = opts.interval;
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<sim::Supervisor>(so));
+    };
+  if (name == "supervised-fragile")
+    return [opts] {
+      // Negative control: the timeout is shorter than perturbations the
+      // explorer can inject and the budget is zero, so a single false
+      // suspicion quarantines a healthy process — the wedge the explorer
+      // must catch.
+      sim::SupervisorOptions so;
+      so.detector.hb_interval = opts.interval / 5.0;
+      so.detector.timeout = opts.interval / 4.0;
+      so.detector.hb_bytes = opts.control_bytes;
+      so.poll_interval = opts.interval / 4.0;
+      so.restart_budget = 0;
+      so.backoff_base = opts.interval / 10.0;
+      so.backoff_factor = 2.0;
+      so.backoff_max = opts.interval;
+      return std::unique_ptr<sim::ProtocolDriver>(
+          std::make_unique<sim::Supervisor>(so));
+    };
   throw util::ProgramError("unknown protocol driver name: " + name);
 }
 
 std::vector<std::string> explorable_driver_names() {
   return {"app-driven", "sync-and-stop", "chandy-lamport",
           "koo-toueg",  "cic",           "uncoordinated",
-          "cic-broken"};
+          "supervised", "cic-broken",    "supervised-fragile"};
 }
 
 std::optional<std::string> check_cic_index_invariant(

@@ -110,12 +110,17 @@ long expected_control_messages(Protocol protocol, int nprocs);
 
 /// Driver factory keyed by a stable wire name — the form schedule-space
 /// repro artifacts store. Accepts every protocol ("app-driven",
-/// "sync-and-stop", "chandy-lamport", "koo-toueg", "cic", "uncoordinated")
-/// plus the deliberately broken negative-control variant "cic-broken"
-/// (a CicDriver that skips the first BCS-forced checkpoint — the seeded
-/// bug the explorer must catch). Each factory call returns a FRESH driver
-/// (drivers are stateful; one engine run each). The app-driven factory
-/// returns nullptr drivers. Throws util::ProgramError on unknown names.
+/// "sync-and-stop", "chandy-lamport", "koo-toueg", "cic", "uncoordinated"),
+/// the supervised control plane "supervised" (a sim::Supervisor with
+/// detector geometry derived from `interval`: timeout = interval,
+/// heartbeats 5x faster, restart budget 3), plus two deliberately broken
+/// negative-control variants: "cic-broken" (a CicDriver that skips the
+/// first BCS-forced checkpoint) and "supervised-fragile" (timeout =
+/// interval/4 and a zero restart budget, so one false suspicion
+/// quarantines a healthy process) — the seeded bugs the explorer must
+/// catch. Each factory call returns a FRESH driver (drivers are stateful;
+/// one engine run each). The app-driven factory returns nullptr drivers.
+/// Throws util::ProgramError on unknown names.
 sim::DriverFactory driver_factory_by_name(const std::string& name,
                                           const ProtocolOptions& opts = {});
 

@@ -1,0 +1,49 @@
+#include "sim/detector.h"
+
+#include "util/error.h"
+
+namespace acfc::sim {
+
+Detector::Detector(int nprocs, DetectorOptions opts)
+    : nprocs_(nprocs), opts_(opts) {
+  ACFC_CHECK_MSG(nprocs_ >= 2, "detector needs at least 2 processes");
+  ACFC_CHECK_MSG(opts_.hb_interval > 0.0 && opts_.timeout > 0.0,
+                 "detector intervals must be positive");
+  const auto n = static_cast<std::size_t>(nprocs_);
+  // Boot counts as a heartbeat: nobody is suspected before it had a full
+  // timeout's worth of simulated silence.
+  last_hb_.assign(n * n, 0.0);
+  suspected_.assign(n * n, 0);
+}
+
+void Detector::note_heartbeat(int observer, int subject, double t) {
+  const std::size_t i = pair(observer, subject);
+  if (t > last_hb_[i]) last_hb_[i] = t;
+  if (suspected_[i]) {
+    suspected_[i] = 0;
+    ++trust_transitions_;
+  }
+}
+
+bool Detector::timed_out(int observer, int subject, double t) const {
+  return t - last_hb_[pair(observer, subject)] > opts_.timeout;
+}
+
+void Detector::mark_suspected(int observer, int subject) {
+  const std::size_t i = pair(observer, subject);
+  if (!suspected_[i]) {
+    suspected_[i] = 1;
+    ++suspect_transitions_;
+  }
+}
+
+bool Detector::suspected(int observer, int subject) const {
+  return suspected_[pair(observer, subject)] != 0;
+}
+
+void Detector::reset(double t) {
+  for (double& hb : last_hb_) hb = t;
+  for (char& s : suspected_) s = 0;
+}
+
+}  // namespace acfc::sim

@@ -1,0 +1,70 @@
+// Deterministic heartbeat failure detector (docs/simulator.md,
+// "Partitions, gray failures & supervision").
+//
+// Each process periodically heartbeats every peer; an observer suspects a
+// subject once no heartbeat arrived for `timeout` simulated seconds. The
+// detector holds NO timers of its own — it is a pure state machine over
+// (observer, subject) pairs, fed heartbeat arrivals and polled at times
+// chosen by its owner (sim::Supervisor), so every transition happens at a
+// deterministic point of the simulated clock and the whole construction
+// inherits the engine's replayability bit-for-bit.
+//
+// Suspicion is a LOCAL, FALLIBLE verdict: a partition or a stall delays
+// heartbeats exactly like a crash suppresses them, so false suspicion is
+// possible by design. Safety comes from what the verdict triggers — a
+// whole-application rollback is always correct, merely wasteful — never
+// from the verdict being right.
+#pragma once
+
+#include <vector>
+
+namespace acfc::sim {
+
+struct DetectorOptions {
+  double hb_interval = 0.05;  ///< heartbeat period per (sender, peer) pair
+  double timeout = 0.25;      ///< silence before an observer suspects
+  int hb_bytes = 1;           ///< wire size of one heartbeat
+};
+
+class Detector {
+ public:
+  Detector(int nprocs, DetectorOptions opts);
+
+  /// Heartbeat from `subject` arrived at `observer` at time `t`. Clears an
+  /// existing suspicion (a trust transition).
+  void note_heartbeat(int observer, int subject, double t);
+
+  /// Has `observer` heard nothing from `subject` for longer than the
+  /// timeout as of time `t`?
+  bool timed_out(int observer, int subject, double t) const;
+
+  /// Record the observer's suspect verdict (idempotent; counts the
+  /// transition once).
+  void mark_suspected(int observer, int subject);
+
+  bool suspected(int observer, int subject) const;
+
+  /// Post-rollback reset: every pair behaves as if a heartbeat arrived at
+  /// `t` (processes restart by then) and all suspicions are cleared.
+  void reset(double t);
+
+  const DetectorOptions& options() const { return opts_; }
+  long suspect_transitions() const { return suspect_transitions_; }
+  long trust_transitions() const { return trust_transitions_; }
+
+ private:
+  std::size_t pair(int observer, int subject) const {
+    return static_cast<std::size_t>(observer) *
+               static_cast<std::size_t>(nprocs_) +
+           static_cast<std::size_t>(subject);
+  }
+
+  int nprocs_;
+  DetectorOptions opts_;
+  std::vector<double> last_hb_;   ///< (observer, subject) → last arrival
+  std::vector<char> suspected_;   ///< (observer, subject) → verdict
+  long suspect_transitions_ = 0;
+  long trust_transitions_ = 0;
+};
+
+}  // namespace acfc::sim

@@ -49,6 +49,13 @@ class ProtocolDriver {
   /// any mutable round state and reschedule their timers here.
   virtual void on_rollback(Engine& /*engine*/, int /*failed_proc*/,
                            double /*resume_at*/) {}
+
+  /// Return true to put the engine in SUPERVISED failure mode: a crash
+  /// marks the process dead (its events are dropped) but does NOT trigger
+  /// rollback — the driver must detect the crash in-model (heartbeats) and
+  /// call Engine::supervised_restart or Engine::quarantine. This is how
+  /// sim::Supervisor replaces engine omniscience with a failure detector.
+  virtual bool wants_supervised_failures() const { return false; }
 };
 
 }  // namespace acfc::sim

@@ -25,6 +25,7 @@ struct Engine::Process {
     kBlockedColl,
     kPaused,
     kDone,
+    kCrashed,       ///< supervised mode: dead, awaiting a detector verdict
   };
 
   std::unique_ptr<Vm> vm;
@@ -129,6 +130,29 @@ Engine::Engine(const mp::Program& program, SimOptions opts,
     ACFC_CHECK_MSG(f.ckpt_ordinal >= 1,
                    "storage fault ordinals are 1-based");
   }
+  for (const auto& w : opts_.fault_plan.partitions) {
+    ACFC_CHECK_MSG(!w.group.empty(), "partition group must be non-empty");
+    ACFC_CHECK_MSG(w.heal >= w.start, "partition heals before it starts");
+    for (const int g : w.group)
+      ACFC_CHECK_MSG(g >= 0 && g < opts_.nprocs,
+                     "partition group member outside the world");
+  }
+  for (const auto& w : opts_.fault_plan.stalls) {
+    ACFC_CHECK_MSG(w.proc >= 0 && w.proc < opts_.nprocs,
+                   "stall targets a process outside the world");
+    ACFC_CHECK_MSG(w.duration >= 0.0, "stall duration must be non-negative");
+  }
+  for (const auto& w : opts_.fault_plan.slow_links) {
+    ACFC_CHECK_MSG(w.factor > 0.0, "slow-link factor must be positive");
+    ACFC_CHECK_MSG(w.src >= -1 && w.src < opts_.nprocs &&
+                       w.dst >= -1 && w.dst < opts_.nprocs,
+                   "slow-link endpoint outside the world");
+  }
+  if (driver_ != nullptr && driver_->wants_supervised_failures())
+    opts_.supervised = true;
+  crashed_.assign(n, 0);
+  quarantined_.assign(n, 0);
+  crash_time_.assign(n, 0.0);
 
   // Append-friendly storage: start the trace stores and the event heap at
   // a capacity proportional to the world size so the steady state appends
@@ -246,11 +270,32 @@ double Engine::perturb_delivery(double deliver_at) {
 
 void Engine::offer_failure_point(BoundaryKind boundary, int proc) {
   ScheduleHook* hook = opts_.schedule_hook;
-  if (hook == nullptr || !opts_.perturb.failure_points) return;
+  if (hook == nullptr) return;
+  if (!opts_.perturb.failure_points && !opts_.perturb.partition_points &&
+      !opts_.perturb.stall_points)
+    return;
   if (procs_[static_cast<size_t>(proc)]->status == Process::Status::kDone)
     return;
-  const ChoicePoint cp{ChoiceKind::kFailurePoint, 2, proc, boundary, this};
-  if (hook->choose(cp) == 1) arm_failure(proc, now_);
+  // Fixed offer order (failure, partition, stall) so recorded choice
+  // vectors align position-for-position across replays.
+  if (opts_.perturb.failure_points) {
+    const ChoicePoint cp{ChoiceKind::kFailurePoint, 2, proc, boundary, this};
+    if (hook->choose(cp) == 1) arm_failure(proc, now_);
+  }
+  if (opts_.perturb.partition_points) {
+    const ChoicePoint cp{ChoiceKind::kPartitionPoint, 2, proc, boundary,
+                         this};
+    if (hook->choose(cp) == 1)
+      runtime_partitions_.push_back(FaultPlan::partition(
+          {proc}, now_, now_ + opts_.perturb.partition_window,
+          /*symmetric=*/true));
+  }
+  if (opts_.perturb.stall_points) {
+    const ChoicePoint cp{ChoiceKind::kStallPoint, 2, proc, boundary, this};
+    if (hook->choose(cp) == 1)
+      runtime_stalls_.push_back(
+          FaultPlan::stall(proc, now_, opts_.perturb.stall_window));
+  }
 }
 
 void Engine::bootstrap() {
@@ -344,6 +389,32 @@ SimResult Engine::run() {
 }
 
 void Engine::dispatch(const Ev& ev) {
+  // Supervised-mode liveness and gray-failure gating, before the event
+  // reaches its handler. Crash events are exempt from both: a crashed or
+  // stalled process can still (re-)die. Global control-plane events
+  // (proc = -1, e.g. supervisor timers) are never gated.
+  if (ev.proc >= 0 && ev.kind != EvKind::kFailure && event_live(ev)) {
+    if (crashed_[static_cast<size_t>(ev.proc)]) {
+      // Dead target: in-flight deliveries, timers, wakes, and transport
+      // traffic vanish at the process boundary. Application payloads are
+      // not lost — the sender-based message log replays them at rollback.
+      ++stats_.crash_dropped_events;
+      return;
+    }
+    if (!opts_.fault_plan.stalls.empty() || !runtime_stalls_.empty()) {
+      const double clear = stall_clear_time(ev.proc, now_);
+      if (clear > now_) {
+        // Alive but not executing: defer the event to the window end.
+        // Deferred events are re-pushed in pop order with fresh sequence
+        // numbers, so their relative (and per-channel FIFO) order holds.
+        if (ev.kind == EvKind::kDeliver)
+          trace_.messages[static_cast<size_t>(ev.a)].deliver_time = clear;
+        push_event(clear, ev.kind, ev.proc, ev.a, ev.b);
+        ++stats_.stall_deferred_events;
+        return;
+      }
+    }
+  }
   switch (ev.kind) {
     case EvKind::kWake: {
       if (ev.epoch != epoch_) return;  // pre-rollback residue
@@ -402,6 +473,86 @@ double Engine::message_delay(int bytes) {
   if (opts_.delay.jitter > 0.0)
     d += net_rng_.uniform(0.0, opts_.delay.jitter);
   return d;
+}
+
+// ===========================================================================
+// Partition / stall / slow-link windows
+// ===========================================================================
+
+namespace {
+
+bool in_group(const std::vector<int>& group, int p) {
+  for (const int g : group)
+    if (g == p) return true;
+  return false;
+}
+
+/// Does window `w` cut src→dst traffic at time `t`? Asymmetric partitions
+/// block only group→complement; symmetric ones block both directions.
+bool partition_blocks(const PartitionSpec& w, int src, int dst, double t) {
+  if (t < w.start || t >= w.heal) return false;
+  const bool s_in = in_group(w.group, src);
+  const bool d_in = in_group(w.group, dst);
+  if (s_in && !d_in) return true;
+  return w.symmetric && d_in && !s_in;
+}
+
+}  // namespace
+
+bool Engine::link_blocked(int src, int dst, double t) const {
+  for (const auto& w : opts_.fault_plan.partitions)
+    if (partition_blocks(w, src, dst, t)) return true;
+  for (const auto& w : runtime_partitions_)
+    if (partition_blocks(w, src, dst, t)) return true;
+  return false;
+}
+
+double Engine::link_clear_time(int src, int dst, double t) const {
+  if (opts_.fault_plan.partitions.empty() && runtime_partitions_.empty())
+    return t;
+  // Fixed point over possibly-overlapping windows: each pass jumps past
+  // every window blocking at the candidate time; windows are finite and
+  // each pass strictly advances, so this terminates.
+  while (true) {
+    double next = t;
+    for (const auto& w : opts_.fault_plan.partitions)
+      if (partition_blocks(w, src, dst, t)) next = std::max(next, w.heal);
+    for (const auto& w : runtime_partitions_)
+      if (partition_blocks(w, src, dst, t)) next = std::max(next, w.heal);
+    if (next == t) return t;
+    t = next;
+  }
+}
+
+double Engine::slow_factor(int src, int dst, double t) const {
+  if (opts_.fault_plan.slow_links.empty()) return 1.0;
+  double f = 1.0;
+  for (const auto& w : opts_.fault_plan.slow_links) {
+    if (t < w.start || t >= w.end) continue;
+    if ((w.src == -1 || w.src == src) && (w.dst == -1 || w.dst == dst))
+      f *= w.factor;
+  }
+  return f;
+}
+
+double Engine::p2p_delay(int src, int dst, int bytes, double at) {
+  // message_delay first: the jitter draw order must match the un-degraded
+  // engine exactly (one draw per transmission, slow links or not).
+  return message_delay(bytes) * slow_factor(src, dst, at);
+}
+
+double Engine::stall_clear_time(int proc, double t) const {
+  while (true) {
+    double next = t;
+    for (const auto& w : opts_.fault_plan.stalls)
+      if (w.proc == proc && t >= w.start && t < w.start + w.duration)
+        next = std::max(next, w.start + w.duration);
+    for (const auto& w : runtime_stalls_)
+      if (w.proc == proc && t >= w.start && t < w.start + w.duration)
+        next = std::max(next, w.start + w.duration);
+    if (next == t) return t;
+    t = next;
+  }
 }
 
 // ===========================================================================
@@ -465,8 +616,16 @@ void Engine::advance(int p) {
                               static_cast<size_t>(opts_.nprocs) +
                           static_cast<size_t>(send->dest);
       if (!opts_.delay.lossy()) {
-        double deliver_at =
-            perturb_delivery(now_ + message_delay(send->bytes));
+        // A partitioned link holds the departure at the sender until the
+        // heal (the in-order backlog then drains through the FIFO floor).
+        double depart = now_;
+        if (!opts_.fault_plan.partitions.empty() ||
+            !runtime_partitions_.empty()) {
+          depart = link_clear_time(p, send->dest, now_);
+          if (depart > now_) ++stats_.partition_deferred_sends;
+        }
+        double deliver_at = perturb_delivery(
+            depart + p2p_delay(p, send->dest, send->bytes, depart));
         deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
         channel_last_deliver_[chan] = deliver_at;
         msg.deliver_time = deliver_at;
@@ -839,6 +998,10 @@ void Engine::start_collective(int p, const Action& action) {
       trace::VClock merged(opts_.nprocs);
       for (const auto& vc : round.join_vc) merged.merge(vc);
       for (int q = 0; q < opts_.nprocs; ++q) {
+        // A member that crashed after joining stays dead: its recorded
+        // join still releases the others, but its own state is frozen
+        // until a detector verdict rolls everyone back.
+        if (crashed_[static_cast<size_t>(q)]) continue;
         Process& member = *procs_[static_cast<size_t>(q)];
         member.vm->tick();
         member.vm->merge_clock(merged);
@@ -928,17 +1091,38 @@ bool Engine::checkpoint_usable(int ckpt_index) const {
 }
 
 void Engine::handle_failure(const FailureEvent& failure) {
-  bool all_done = true;
-  for (const auto& proc : procs_)
-    if (proc->status != Process::Status::kDone) all_done = false;
-  if (all_done) return;
+  if (all_done()) return;
+  if (opts_.supervised) {
+    // Supervised mode: the crash only marks the process dead. Recovery
+    // waits for an in-model verdict (supervised_restart / quarantine) —
+    // detection is a protocol event, not engine omniscience.
+    supervised_crash(failure.proc);
+    return;
+  }
+  perform_rollback(failure.proc);
+}
 
+void Engine::supervised_crash(int p) {
+  Process& proc = *procs_[static_cast<size_t>(p)];
+  if (crashed_[static_cast<size_t>(p)] ||
+      quarantined_[static_cast<size_t>(p)] ||
+      proc.status == Process::Status::kDone)
+    return;
+  crashed_[static_cast<size_t>(p)] = 1;
+  crash_time_[static_cast<size_t>(p)] = now_;
+  proc.status = Process::Status::kCrashed;
+  // No kFailure trace event here: the trace's kFailure records map 1:1 to
+  // RecoveryRecs (check_cic_index_invariant relies on it), and a
+  // supervised crash has no rollback yet — perform_rollback emits both.
+}
+
+void Engine::perform_rollback(int failed_proc) {
   ++stats_.restarts;
   trace::EventRec fail_rec;
   fail_rec.kind = trace::EventKind::kFailure;
-  fail_rec.proc = failure.proc;
+  fail_rec.proc = failed_proc;
   fail_rec.time = now_;
-  fail_rec.vc = procs_[static_cast<size_t>(failure.proc)]->vm->clock();
+  fail_rec.vc = procs_[static_cast<size_t>(failed_proc)]->vm->clock();
   trace_.events.push_back(std::move(fail_rec));
 
   // Select the maximal recovery line over everything on stable storage.
@@ -954,7 +1138,7 @@ void Engine::handle_failure(const FailureEvent& failure) {
   ACFC_CHECK_MSG(line.consistent, "recovery line selection failed");
 
   RecoveryRec record;
-  record.failed_proc = failure.proc;
+  record.failed_proc = failed_proc;
   record.fail_time = now_;
   record.cut = line.cut;
   record.rollbacks = line.rollbacks;
@@ -995,9 +1179,12 @@ void Engine::handle_failure(const FailureEvent& failure) {
       control_last_deliver_[chan] = resume_of[static_cast<size_t>(dst)];
     }
 
-  // Restore every process.
+  // Restore every process. Quarantined processes stay retired: no restore,
+  // no restart event — their pre-crash sends are still replayed below so
+  // survivors keep whatever progress those messages enable.
   for (int p = 0; p < opts_.nprocs; ++p) {
     Process& proc = *procs_[static_cast<size_t>(p)];
+    if (quarantined_[static_cast<size_t>(p)]) continue;
     const int member = line.cut.member[static_cast<size_t>(p)];
     if (member < 0) {
       proc.vm = std::make_unique<Vm>(&program_, p, opts_.nprocs, opts_.seed,
@@ -1020,6 +1207,8 @@ void Engine::handle_failure(const FailureEvent& failure) {
     ckpt_counts_[static_cast<size_t>(p)] = restored_ckpts;
     proc.pending_compute_uid = -1;
     proc.pause_requested = false;
+    crashed_[static_cast<size_t>(p)] = 0;
+    crash_time_[static_cast<size_t>(p)] = 0.0;
     proc.status = proc.pending_recv ? Process::Status::kBlockedRecv
                                     : Process::Status::kReady;
     const double resume_at = resume_of[static_cast<size_t>(p)];
@@ -1066,8 +1255,15 @@ void Engine::handle_failure(const FailureEvent& failure) {
                                 static_cast<size_t>(opts_.nprocs) +
                             static_cast<size_t>(dst);
         if (!opts_.delay.lossy()) {
+          double depart = resume_of[static_cast<size_t>(src)];
+          if (!opts_.fault_plan.partitions.empty() ||
+              !runtime_partitions_.empty()) {
+            const double clear = link_clear_time(src, dst, depart);
+            if (clear > depart) ++stats_.partition_deferred_sends;
+            depart = clear;
+          }
           double deliver_at = perturb_delivery(
-              resume_of[static_cast<size_t>(src)] + message_delay(copy.bytes));
+              depart + p2p_delay(src, dst, copy.bytes, depart));
           deliver_at = std::max(deliver_at, channel_last_deliver_[chan]);
           channel_last_deliver_[chan] = deliver_at;
           copy.deliver_time = deliver_at;
@@ -1091,7 +1287,76 @@ void Engine::handle_failure(const FailureEvent& failure) {
 
   recoveries_.push_back(std::move(record));
   if (driver_ != nullptr)
-    driver_->on_rollback(*this, failure.proc, max_resume);
+    driver_->on_rollback(*this, failed_proc, max_resume);
+}
+
+// ===========================================================================
+// Supervised failure mode (detector verdicts instead of engine fiat)
+// ===========================================================================
+
+bool Engine::is_crashed(int proc) const {
+  return crashed_[static_cast<size_t>(proc)] != 0;
+}
+
+bool Engine::is_quarantined(int proc) const {
+  return quarantined_[static_cast<size_t>(proc)] != 0;
+}
+
+bool Engine::is_blocked(int proc) const {
+  const auto status = procs_[static_cast<size_t>(proc)]->status;
+  return status == Process::Status::kBlockedRecv ||
+         status == Process::Status::kBlockedColl;
+}
+
+double Engine::crash_time(int proc) const {
+  return crash_time_[static_cast<size_t>(proc)];
+}
+
+void Engine::quarantine(int p) {
+  if (quarantined_[static_cast<size_t>(p)]) return;
+  quarantined_[static_cast<size_t>(p)] = 1;
+  if (!crashed_[static_cast<size_t>(p)]) {
+    crashed_[static_cast<size_t>(p)] = 1;
+    crash_time_[static_cast<size_t>(p)] = now_;
+  }
+  Process& proc = *procs_[static_cast<size_t>(p)];
+  if (proc.status != Process::Status::kDone)
+    proc.status = Process::Status::kCrashed;
+  ++stats_.quarantines;
+}
+
+void Engine::supervised_restart(int proc, double detected_at) {
+  if (all_done() || quarantined_[static_cast<size_t>(proc)]) return;
+  const bool was_crashed = crashed_[static_cast<size_t>(proc)] != 0;
+  const double crashed_at = crash_time_[static_cast<size_t>(proc)];
+  const size_t before = recoveries_.size();
+  perform_rollback(proc);
+  if (recoveries_.size() > before) {
+    RecoveryRec& rec = recoveries_.back();
+    if (was_crashed) {
+      rec.detection_latency =
+          (detected_at >= 0.0 ? detected_at : rec.fail_time) - crashed_at;
+      rec.downtime = rec.resume_time - crashed_at;
+    } else {
+      rec.false_suspicion = true;  // live subject: safe, but a full rollback
+    }
+    ++stats_.supervised_restarts;
+  }
+}
+
+void Engine::note_detector_suspicion(bool false_positive) {
+  ++stats_.suspicions;
+  if (false_positive) ++stats_.false_suspicions;
+}
+
+std::uint64_t Engine::progress_stamp() const {
+  // Own vector-clock components tick on application events only —
+  // heartbeat ping-pong alone does not count as progress.
+  std::uint64_t sum = 0;
+  for (int p = 0; p < opts_.nprocs; ++p)
+    sum += static_cast<std::uint64_t>(
+        procs_[static_cast<size_t>(p)]->vm->clock()[p]);
+  return sum;
 }
 
 void Engine::reset_collectives_for_rollback() {
@@ -1177,6 +1442,14 @@ void Engine::xport_transmit(std::size_t chan, long seq, double at) {
   ACFC_CHECK_MSG(entry != nullptr,
                  "transmit of an unknown transport sequence number");
   const auto& msg = trace_.messages[static_cast<size_t>(entry->msg_index)];
+  if (link_blocked(msg.src, msg.dst, at)) {
+    // A cut link eats the attempt wholesale; the armed RTO keeps retrying,
+    // so retransmissions carry the payload across the heal — this is the
+    // "partition-heal replay through the reliable shim". A partition that
+    // outlasts the retry cap abandons the payload like any dead peer.
+    ++stats_.partition_dropped_attempts;
+    return;
+  }
   int copies = 1;
   if (net_rng_.bernoulli(opts_.delay.drop)) {
     copies = 0;
@@ -1185,7 +1458,7 @@ void Engine::xport_transmit(std::size_t chan, long seq, double at) {
     copies = 2;
   }
   for (int c = 0; c < copies; ++c) {
-    double d = message_delay(msg.bytes);
+    double d = p2p_delay(msg.src, msg.dst, msg.bytes, at);
     if (opts_.delay.reorder > 0.0 && net_rng_.bernoulli(opts_.delay.reorder))
       d += net_rng_.uniform(0.0, opts_.delay.reorder_extra);
     // channel_last_deliver_ is the receiver-restart floor here (set by
@@ -1229,12 +1502,16 @@ void Engine::send_xport_ack(std::size_t chan) {
   const auto n = static_cast<size_t>(opts_.nprocs);
   const int data_src = static_cast<int>(chan / n);
   const int data_dst = static_cast<int>(chan % n);
+  if (link_blocked(data_dst, data_src, now_)) {
+    ++stats_.partition_dropped_attempts;  // acks cross the same cut
+    return;
+  }
   ++stats_.transport_acks;
   if (net_rng_.bernoulli(opts_.delay.drop)) {
     ++stats_.transport_dropped;  // acks ride the same lossy wire
     return;
   }
-  double d = message_delay(opts_.transport.ack_bytes);
+  double d = p2p_delay(data_dst, data_src, opts_.transport.ack_bytes, now_);
   if (opts_.delay.reorder > 0.0 && net_rng_.bernoulli(opts_.delay.reorder))
     d += net_rng_.uniform(0.0, opts_.delay.reorder_extra);
   const size_t reverse = static_cast<size_t>(data_dst) * n +
@@ -1295,6 +1572,12 @@ void Engine::schedule_timer(int proc, double time, int timer_id) {
 void Engine::send_control(int src, int dst, int bytes, int kind,
                           long payload) {
   ACFC_CHECK_MSG(src != dst, "control self-send");
+  if (crashed_[static_cast<size_t>(src)]) {
+    // A dead process cannot send; supervised drivers normally never get
+    // here (their per-proc timers are dropped), but relaying handlers may.
+    ++stats_.crash_dropped_events;
+    return;
+  }
   trace::MsgRec msg;
   msg.id = static_cast<long>(trace_.messages.size());
   msg.src = src;
@@ -1309,7 +1592,14 @@ void Engine::send_control(int src, int dst, int bytes, int kind,
                           static_cast<size_t>(opts_.nprocs) +
                       static_cast<size_t>(dst);
   if (!opts_.delay.lossy()) {
-    double deliver_at = perturb_delivery(now_ + message_delay(bytes));
+    double depart = now_;
+    if (!opts_.fault_plan.partitions.empty() ||
+        !runtime_partitions_.empty()) {
+      depart = link_clear_time(src, dst, now_);
+      if (depart > now_) ++stats_.partition_deferred_sends;
+    }
+    double deliver_at =
+        perturb_delivery(depart + p2p_delay(src, dst, bytes, depart));
     deliver_at = std::max(deliver_at, control_last_deliver_[chan]);
     control_last_deliver_[chan] = deliver_at;
     msg.deliver_time = deliver_at;
@@ -1338,6 +1628,7 @@ void Engine::send_control(int src, int dst, int bytes, int kind,
 }
 
 void Engine::force_checkpoint(int proc) {
+  if (crashed_[static_cast<size_t>(proc)]) return;  // dead: nothing to save
   take_checkpoint(proc, /*ckpt_id=*/-1, /*forced=*/true);
 }
 
@@ -1348,7 +1639,8 @@ long Engine::checkpoint_count(int proc) const {
 void Engine::request_pause(int proc) {
   Process& p = *procs_[static_cast<size_t>(proc)];
   if (p.status == Process::Status::kDone ||
-      p.status == Process::Status::kPaused)
+      p.status == Process::Status::kPaused ||
+      p.status == Process::Status::kCrashed)
     return;
   if (p.status == Process::Status::kReady) {
     // Not mid-action: pause immediately.
@@ -1460,6 +1752,8 @@ std::uint64_t Engine::schedule_state_hash() const {
       mix.mix(proc.pending_recv->any_source ? 1 : 0);
     }
     mix.mix(proc.pause_requested ? 2 : 3);
+    mix.mix(crashed_[p] ? 41 : 43);
+    mix.mix(quarantined_[p] ? 47 : 53);
   }
 
   // Delivered-but-unconsumed messages, by logical identity (src, dst, tag,
@@ -1489,6 +1783,37 @@ std::uint64_t Engine::schedule_state_hash() const {
   }
 
   for (const PendingFault& pf : pending_faults_) mix.mix(pf.fired ? 17 : 19);
+
+  // Active or future gray-failure windows constrain upcoming schedules;
+  // expired ones drop out (relative-time hashing distinguishes a state
+  // before a window from the same local state after it).
+  const auto mix_partition = [&](const PartitionSpec& w) {
+    if (w.heal <= now_) return;
+    mix.mix(0xcafeULL);
+    mix.mix(quantize_rel(std::max(w.start, now_), now_));
+    mix.mix(quantize_rel(w.heal, now_));
+    mix.mix(w.symmetric ? 59 : 61);
+    for (const int g : w.group) mix.mix(static_cast<std::uint64_t>(g + 1));
+  };
+  for (const auto& w : opts_.fault_plan.partitions) mix_partition(w);
+  for (const auto& w : runtime_partitions_) mix_partition(w);
+  const auto mix_stall = [&](const StallSpec& w) {
+    if (w.start + w.duration <= now_) return;
+    mix.mix(0x57a1ULL);
+    mix.mix(static_cast<std::uint64_t>(w.proc + 1));
+    mix.mix(quantize_rel(std::max(w.start, now_), now_));
+    mix.mix(quantize_rel(w.start + w.duration, now_));
+  };
+  for (const auto& w : opts_.fault_plan.stalls) mix_stall(w);
+  for (const auto& w : runtime_stalls_) mix_stall(w);
+  for (const auto& w : opts_.fault_plan.slow_links) {
+    if (w.end <= now_) continue;
+    mix.mix(0x510eULL);
+    mix.mix(static_cast<std::uint64_t>(w.src + 2));
+    mix.mix(static_cast<std::uint64_t>(w.dst + 2));
+    mix.mix(quantize_rel(w.end, now_));
+    mix.mix(static_cast<std::uint64_t>(std::llround(w.factor * 1e6)));
+  }
 
   // FIFO floors still in the future constrain upcoming deliveries.
   for (const double floor : channel_last_deliver_)
@@ -1602,6 +1927,22 @@ void Engine::flush_obs() {
   reg->gauge("transport.reorder_high_water", {"messages", "transport"})
       .set(stats_.transport_reorder_high_water);
 
+  set("detector.suspicions", stats_.suspicions, "verdicts", "detector");
+  set("detector.false_suspicions", stats_.false_suspicions, "verdicts",
+      "detector");
+  set("supervisor.restarts", stats_.supervised_restarts, "restarts",
+      "supervisor");
+  set("supervisor.quarantines", stats_.quarantines, "processes",
+      "supervisor");
+  set("engine.crash_dropped_events", stats_.crash_dropped_events, "events",
+      "engine");
+  set("partition.deferred_sends", stats_.partition_deferred_sends, "sends",
+      "partition");
+  set("partition.dropped_attempts", stats_.partition_dropped_attempts,
+      "attempts", "partition");
+  set("partition.stall_deferred_events", stats_.stall_deferred_events,
+      "events", "partition");
+
   const CalendarQueue::Stats& cq = calqueue_.stats();
   set("calqueue.grows", cq.grows, "resizes", "calqueue");
   set("calqueue.shrinks", cq.shrinks, "resizes", "calqueue");
@@ -1629,9 +1970,24 @@ void Engine::flush_obs() {
       reg->histogram("engine.lost_work_us", {"us", "engine"});
   obs::Histogram& fallback =
       reg->histogram("engine.fallback_depth", {"checkpoints", "engine"});
+  obs::Histogram& det_latency = reg->histogram(
+      "supervisor.detection_latency_us", {"us", "supervisor"});
+  obs::Histogram& downtime =
+      reg->histogram("supervisor.downtime_us", {"us", "supervisor"});
   for (const RecoveryRec& rec : recoveries_) {
     reg->emit_span("rollback", rec.failed_proc, rec.fail_time,
                    rec.resume_time);
+    if (rec.detection_latency >= 0.0)
+      det_latency.record(std::llround(rec.detection_latency * 1e6));
+    if (rec.downtime >= 0.0) {
+      downtime.record(std::llround(rec.downtime * 1e6));
+      reg->emit_span("supervisor.outage", rec.failed_proc,
+                     rec.resume_time - rec.downtime, rec.resume_time);
+    }
+    if (rec.false_suspicion)
+      reg->counter("supervisor.false_suspicion_restarts",
+                   {"rollbacks", "supervisor"})
+          .inc();
     for (const int demoted : rec.rollbacks)
       if (demoted > 0) distance.record(demoted);
     lost.record(std::llround(rec.lost_work * 1e6));

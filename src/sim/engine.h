@@ -169,6 +169,12 @@ struct SimOptions {
   /// How much nondeterminism the hook is offered (ignored when the hook
   /// is null).
   PerturbOptions perturb;
+  /// Supervised failure mode: crashes mark the process dead (events
+  /// targeting it are dropped) instead of triggering immediate rollback;
+  /// recovery waits for an in-model verdict (Engine::supervised_restart /
+  /// Engine::quarantine, normally issued by sim::Supervisor). Forced on
+  /// automatically when the driver's wants_supervised_failures() is true.
+  bool supervised = false;
   /// Runaway guard.
   long max_events = 5'000'000;
   /// Resolver for irregular expressions; when empty, a deterministic
@@ -207,6 +213,16 @@ struct SimStats {
                                    ///< payload (RTO grew exponentially)
   /// Largest out-of-order arrival backlog any one channel buffered.
   long transport_reorder_high_water = 0;
+  // Partition / gray-failure / supervision counters (all 0 unless the
+  // fault plan carries windows or the run is supervised).
+  long suspicions = 0;          ///< detector suspect verdicts reported
+  long false_suspicions = 0;    ///< ...where the subject was in fact alive
+  int supervised_restarts = 0;  ///< rollbacks triggered by a supervisor
+  long quarantines = 0;         ///< processes retired at budget exhaustion
+  long crash_dropped_events = 0;    ///< events dropped at a dead process
+  long partition_deferred_sends = 0;    ///< fast-path departures held to heal
+  long partition_dropped_attempts = 0;  ///< lossy-wire attempts a cut ate
+  long stall_deferred_events = 0;       ///< events pushed past a stall window
 };
 
 /// One whole-application rollback, recorded as it happened: which process
@@ -231,6 +247,15 @@ struct RecoveryRec {
   long corrupt_records_skipped = 0;
   /// ...and whether this rollback had to skip any at all.
   bool degraded = false;
+  // Supervised-recovery accounting (negative / false when the rollback was
+  // engine-triggered rather than detector-triggered):
+  /// crash → detector suspicion latency (-1 when not supervisor-driven).
+  double detection_latency = -1.0;
+  /// crash → resume_time outage span (-1 when not supervisor-driven).
+  double downtime = -1.0;
+  /// The supervisor restarted a process that had never crashed (false
+  /// suspicion under partition/stall — safe, but costs a rollback).
+  bool false_suspicion = false;
 };
 
 struct SimResult {
@@ -281,6 +306,34 @@ class Engine {
   /// Lets a C-L driver account a logged channel-state message.
   void note_channel_logged() { ++stats_.channel_logged_messages; }
 
+  // -- Supervised failure mode (SimOptions::supervised) --------------------
+  /// True while `proc` is crashed (supervised mode) and not yet restored.
+  bool is_crashed(int proc) const;
+  /// True once `proc` was retired by quarantine(); never restored.
+  bool is_quarantined(int proc) const;
+  /// True while `proc` is blocked in a receive or collective.
+  bool is_blocked(int proc) const;
+  /// Crash time of a currently-crashed `proc` (meaningless otherwise).
+  double crash_time(int proc) const;
+  /// Retires `proc` permanently: it stays dead, its events are dropped,
+  /// and rollbacks stop restoring it. The supervisor calls this when the
+  /// restart budget is exhausted so the rest of the run can degrade
+  /// gracefully instead of thrashing.
+  void quarantine(int proc);
+  /// Detector-verdict recovery: rolls the application back exactly like an
+  /// engine-triggered failure of `proc` would have, then stamps the
+  /// resulting RecoveryRec with detection latency / downtime (crashed
+  /// subject) or marks it a false suspicion (live subject). `detected_at`
+  /// is when the detector first suspected the process (-1 ⇒ now).
+  void supervised_restart(int proc, double detected_at = -1.0);
+  /// Detector bookkeeping: a suspect verdict was reached (the engine only
+  /// counts; suspicion itself lives in the detector).
+  void note_detector_suspicion(bool false_positive);
+  /// Monotone progress measure: Σ_p own vector-clock component. The
+  /// supervisor uses successive stamps to detect a wedged (quarantine-
+  /// starved) run and go dormant so the event queue can drain.
+  std::uint64_t progress_stamp() const;
+
   /// Digest of the engine's entire schedule-relevant state: per-process VM
   /// digests / clocks / statuses, undelivered inbox contents, checkpoint
   /// history, and the live event queue with event times quantized RELATIVE
@@ -305,6 +358,26 @@ class Engine {
   double take_checkpoint(int proc, int ckpt_id, bool forced);
   void start_collective(int proc, const Action& action);
   void handle_failure(const FailureEvent& failure);
+  /// Supervised mode: mark `proc` crashed without rolling anything back —
+  /// recovery waits for a detector verdict (supervised_restart/quarantine).
+  void supervised_crash(int proc);
+  /// The whole-application rollback machinery (recovery-line selection,
+  /// restore, message replay). handle_failure delegates here directly in
+  /// engine-omniscient mode; supervised_restart reuses it for verdicts.
+  void perform_rollback(int failed_proc);
+  // -- Partition / stall / slow-link window evaluation ---------------------
+  /// True if src→dst traffic is cut at time `t` (static plan + runtime
+  /// explorer-injected windows).
+  bool link_blocked(int src, int dst, double t) const;
+  /// Earliest time ≥ t at which src→dst is unblocked (fixed point over
+  /// overlapping windows; t itself when clear).
+  double link_clear_time(int src, int dst, double t) const;
+  /// Product of active slow-link factors on src→dst at `t`.
+  double slow_factor(int src, int dst, double t) const;
+  /// message_delay(bytes) scaled by the channel's slow factor at `at`.
+  double p2p_delay(int src, int dst, int bytes, double at);
+  /// Earliest time ≥ t at which `proc` is not stalled.
+  double stall_clear_time(int proc, double t) const;
   /// Arms `fault` (appends to the resolved schedule + queues the event).
   void arm_failure(int proc, double time);
   /// Fires any pending after-checkpoint fault of `proc` that its tally
@@ -390,6 +463,15 @@ class Engine {
     bool fired = false;
   };
   std::vector<PendingFault> pending_faults_;
+  // Supervised-mode liveness (all-false ⇒ legacy behavior, bit-identical):
+  std::vector<char> crashed_;
+  std::vector<char> quarantined_;
+  std::vector<double> crash_time_;
+  /// Explorer-injected gray-failure windows (kPartitionPoint/kStallPoint
+  /// choices), consulted alongside the static plan. Cleared by nothing —
+  /// windows expire by time, exactly like plan entries.
+  std::vector<PartitionSpec> runtime_partitions_;
+  std::vector<StallSpec> runtime_stalls_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<EngineSnapshot> snapshots_;
   /// Per-process completed-checkpoint tally — checkpoint_count() is on the

@@ -7,6 +7,22 @@
 // adversarial point for recovery-line selection), or to global event
 // counts. Trigger evaluation is deterministic, so fault-injected runs obey
 // the same parallel≡serial bit-identity contract as failure-free ones.
+//
+// Beyond crashes, a plan can carry three GRAY-failure window kinds
+// (docs/simulator.md, "Partitions, gray failures & supervision"):
+//  * PartitionSpec — a link-set partition between a process group and its
+//    complement for [start, heal). Asymmetric by default (the group cannot
+//    reach the complement; the reverse direction still works); symmetric
+//    blocks both directions. On the reliable fast path a blocked departure
+//    is deferred to the heal time; on the lossy wire blocked transmission
+//    attempts are dropped and the reliable shim's retransmissions carry
+//    the payload across the heal.
+//  * StallSpec — a process is alive but not executing for [start,
+//    start+duration): every event targeting it is deferred to the window's
+//    end, in order. Crash events are exempt — a stalled process can die.
+//  * SlowLinkSpec — multiplies the message delay on matching channels by
+//    `factor` while [start, end) is active (factors of overlapping windows
+//    compose multiplicatively). src/dst of -1 match any endpoint.
 #pragma once
 
 #include <vector>
@@ -26,10 +42,46 @@ struct FaultSpec {
   long count = 0;     ///< checkpoint ordinal / global event count
 };
 
+/// Link-set partition between `group` and its complement for [start, heal).
+/// Asymmetric (the default) blocks only group→complement traffic; symmetric
+/// blocks both directions. Messages already in flight at onset still arrive
+/// (the partition models the sender's NIC, not the wire).
+struct PartitionSpec {
+  std::vector<int> group;  ///< side A of the cut
+  double start = 0.0;
+  double heal = 0.0;  ///< exclusive end; heal <= start is a no-op window
+  bool symmetric = true;
+};
+
+/// Process `proc` is alive but not executing for [start, start+duration):
+/// all its events (except crashes) are deferred to the window end in order.
+struct StallSpec {
+  int proc = 0;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+/// Message delay on matching channels is multiplied by `factor` while
+/// [start, end) is active. src/dst of -1 match any endpoint; overlapping
+/// windows compose multiplicatively.
+struct SlowLinkSpec {
+  int src = -1;
+  int dst = -1;
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 1.0;
+};
+
 struct FaultPlan {
   std::vector<FaultSpec> faults;
+  std::vector<PartitionSpec> partitions;
+  std::vector<StallSpec> stalls;
+  std::vector<SlowLinkSpec> slow_links;
 
-  bool empty() const { return faults.empty(); }
+  bool empty() const {
+    return faults.empty() && partitions.empty() && stalls.empty() &&
+           slow_links.empty();
+  }
 
   static FaultSpec at_time(int proc, double time) {
     FaultSpec spec;
@@ -52,6 +104,35 @@ struct FaultPlan {
     spec.proc = proc;
     spec.trigger = FaultSpec::Trigger::kAfterEvents;
     spec.count = count;
+    return spec;
+  }
+
+  static PartitionSpec partition(std::vector<int> group, double start,
+                                 double heal, bool symmetric = true) {
+    PartitionSpec spec;
+    spec.group = std::move(group);
+    spec.start = start;
+    spec.heal = heal;
+    spec.symmetric = symmetric;
+    return spec;
+  }
+
+  static StallSpec stall(int proc, double start, double duration) {
+    StallSpec spec;
+    spec.proc = proc;
+    spec.start = start;
+    spec.duration = duration;
+    return spec;
+  }
+
+  static SlowLinkSpec slow_link(int src, int dst, double start, double end,
+                                double factor) {
+    SlowLinkSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.start = start;
+    spec.end = end;
+    spec.factor = factor;
     return spec;
   }
 };

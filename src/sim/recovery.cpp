@@ -15,6 +15,9 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
   double lost_sum = 0.0;
   double rollback_sum = 0.0;
   double fallback_sum = 0.0;
+  double detection_sum = 0.0;
+  double downtime_sum = 0.0;
+  long detected = 0;
   for (const SimResult& run : runs) {
     ++metrics.runs;
     if (run.trace.completed) ++metrics.completed;
@@ -29,10 +32,19 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
       if (rec.degraded) ++metrics.degraded_rollbacks;
       metrics.corrupt_records_skipped += rec.corrupt_records_skipped;
       fallback_sum += static_cast<double>(rec.fallback_depth);
+      if (rec.detection_latency >= 0.0 && rec.downtime >= 0.0) {
+        ++detected;
+        detection_sum += rec.detection_latency;
+        downtime_sum += rec.downtime;
+      }
     }
     metrics.transport_sends += run.stats.transport_sends;
     metrics.transport_retransmits += run.stats.transport_retransmits;
     metrics.transport_give_ups += run.stats.transport_give_ups;
+    metrics.suspicions += run.stats.suspicions;
+    metrics.false_suspicions += run.stats.false_suspicions;
+    metrics.supervised_restarts += run.stats.supervised_restarts;
+    metrics.quarantines += run.stats.quarantines;
   }
   if (metrics.failures > 0) {
     metrics.mean_recovery_latency =
@@ -47,11 +59,17 @@ RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs) {
     metrics.retransmit_overhead =
         static_cast<double>(metrics.transport_retransmits) /
         static_cast<double>(metrics.transport_sends);
+  if (detected > 0) {
+    metrics.mean_detection_latency =
+        detection_sum / static_cast<double>(detected);
+    metrics.mean_downtime = downtime_sum / static_cast<double>(detected);
+  }
   return metrics;
 }
 
 FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
-                            int max_faults) {
+                            int max_faults, int max_partitions,
+                            int max_stalls) {
   util::Rng rng(seed ^ 0xfa17ULL);
   FaultPlan plan;
   const int count =
@@ -71,6 +89,29 @@ FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
         plan.faults.push_back(FaultPlan::after_events(
             proc, rng.uniform_int(20, 400)));
         break;
+    }
+  }
+  // Partition/stall draws come strictly AFTER the crash draws, so a given
+  // (seed, max_faults) always produces the same crash schedule the
+  // crash-only plans did — the extension is append-only in draw order.
+  if (max_partitions > 0) {
+    const int pcount = static_cast<int>(rng.uniform_int(0, max_partitions));
+    for (int i = 0; i < pcount; ++i) {
+      const int proc = static_cast<int>(rng.uniform_int(0, nprocs - 1));
+      const double start = rng.uniform(horizon * 0.05, horizon * 0.7);
+      const double dur = rng.uniform(horizon * 0.02, horizon * 0.2);
+      const bool symmetric = rng.uniform_int(0, 1) == 1;
+      plan.partitions.push_back(
+          FaultPlan::partition({proc}, start, start + dur, symmetric));
+    }
+  }
+  if (max_stalls > 0) {
+    const int scount = static_cast<int>(rng.uniform_int(0, max_stalls));
+    for (int i = 0; i < scount; ++i) {
+      const int proc = static_cast<int>(rng.uniform_int(0, nprocs - 1));
+      const double start = rng.uniform(horizon * 0.05, horizon * 0.7);
+      const double dur = rng.uniform(horizon * 0.02, horizon * 0.2);
+      plan.stalls.push_back(FaultPlan::stall(proc, start, dur));
     }
   }
   return plan;

@@ -58,15 +58,31 @@ struct RecoveryMetrics {
   long transport_give_ups = 0;
   /// retransmits / payload sends — the wire-level overhead of reliability.
   double retransmit_overhead = 0.0;
+  // Supervised-mode detection axes (all zero under engine-omniscient
+  // recovery, where rollback is instantaneous at the fault):
+  long suspicions = 0;         ///< detector verdicts reached
+  long false_suspicions = 0;   ///< verdicts against live processes
+  long supervised_restarts = 0;
+  long quarantines = 0;        ///< processes retired on budget exhaustion
+  /// Mean over detected crashes of (verdict time − crash time).
+  double mean_detection_latency = 0.0;
+  /// Mean over detected crashes of (resume time − crash time).
+  double mean_downtime = 0.0;
 };
 
 RecoveryMetrics recovery_metrics(const std::vector<SimResult>& runs);
 
 /// A deterministic pseudo-random fault plan: 1..max_faults faults over
 /// mixed triggers (absolute time within `horizon`, after-k-th-checkpoint,
-/// after-n-events), derived purely from `seed`.
+/// after-n-events), derived purely from `seed`. With max_partitions /
+/// max_stalls > 0 the plan additionally draws 0..max single-process
+/// partition windows and 0..max stall windows from the SAME seed stream —
+/// the extra draws happen strictly after the crash draws, so any
+/// (seed, max_faults) pair yields a crash schedule bit-identical to the
+/// crash-only plans earlier releases produced.
 FaultPlan random_fault_plan(std::uint64_t seed, int nprocs, double horizon,
-                            int max_faults = 2);
+                            int max_faults = 2, int max_partitions = 0,
+                            int max_stalls = 0);
 
 /// A deterministic pseudo-random storage-corruption plan: 1..max_faults
 /// faults over mixed kinds (torn write, bit flip, lost manifest entry,

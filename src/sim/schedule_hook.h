@@ -43,6 +43,8 @@ enum class ChoiceKind {
   kTieBreak,       ///< pick among same-timestamp queue candidates
   kDeliveryDelay,  ///< extra delivery latency, in quanta
   kFailurePoint,   ///< inject a crash at an action boundary (1) or not (0)
+  kPartitionPoint, ///< isolate the process for a window (1) or not (0)
+  kStallPoint,     ///< stall the process for a window (1) or not (0)
 };
 
 /// Where a kFailurePoint sits in the process's action stream.
@@ -88,6 +90,14 @@ struct PerturbOptions {
   double delay_quantum = 0.0;
   /// Offer kFailurePoint choices at send/recv/checkpoint boundaries.
   bool failure_points = false;
+  /// Offer kPartitionPoint choices at the same boundaries: choice 1
+  /// symmetrically isolates the process for `partition_window` seconds.
+  bool partition_points = false;
+  double partition_window = 0.5;
+  /// Offer kStallPoint choices at the same boundaries: choice 1 stalls the
+  /// process (alive but not executing) for `stall_window` seconds.
+  bool stall_points = false;
+  double stall_window = 0.5;
 
   static constexpr int kMaxTieBreak = 8;
 };

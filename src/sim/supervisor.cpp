@@ -1,0 +1,220 @@
+#include "sim/supervisor.h"
+
+#include <algorithm>
+
+#include "sim/engine.h"
+#include "util/error.h"
+
+namespace acfc::sim {
+
+Supervisor::Supervisor(SupervisorOptions opts,
+                       std::unique_ptr<ProtocolDriver> inner)
+    : opts_(opts), inner_(std::move(inner)) {
+  ACFC_CHECK_MSG(opts_.poll_interval > 0.0, "poll_interval must be positive");
+  ACFC_CHECK_MSG(opts_.restart_budget >= 0, "restart_budget must be >= 0");
+  ACFC_CHECK_MSG(opts_.backoff_base > 0.0 && opts_.backoff_factor >= 1.0 &&
+                     opts_.backoff_max >= opts_.backoff_base,
+                 "invalid backoff configuration");
+}
+
+Supervisor::~Supervisor() = default;
+
+void Supervisor::on_start(Engine& engine) {
+  nprocs_ = engine.nprocs();
+  detector_ = std::make_unique<Detector>(nprocs_, opts_.detector);
+  const auto n = static_cast<std::size_t>(nprocs_);
+  attempts_.assign(n, 0);
+  restart_pending_.assign(n, 0);
+  detect_time_.assign(n, 0.0);
+  dormant_ = false;
+  stagnant_polls_ = 0;
+  stamp_valid_ = false;
+  if (inner_) inner_->on_start(engine);
+  schedule_heartbeats(engine, 0.0);
+  engine.schedule_timer(-1, opts_.poll_interval, kPollTimer);
+}
+
+void Supervisor::schedule_heartbeats(Engine& engine, double from) {
+  // Staggered first beats so n processes never heartbeat at the same
+  // instant (which would be a tie-break hotspot for the explorer).
+  for (int p = 0; p < nprocs_; ++p)
+    engine.schedule_timer(
+        p,
+        from + opts_.detector.hb_interval * static_cast<double>(p + 1) /
+                   static_cast<double>(nprocs_),
+        kHbTimerBase + p);
+}
+
+void Supervisor::on_timer(Engine& engine, int proc, int timer_id) {
+  if (timer_id >= kRestartTimerBase) {
+    restart_tick(engine, timer_id - kRestartTimerBase);
+    return;
+  }
+  if (timer_id == kPollTimer) {
+    poll(engine);
+    return;
+  }
+  if (timer_id >= kHbTimerBase) {
+    heartbeat_tick(engine, timer_id - kHbTimerBase);
+    return;
+  }
+  if (inner_) inner_->on_timer(engine, proc, timer_id);
+}
+
+void Supervisor::heartbeat_tick(Engine& engine, int p) {
+  // A crashed process's timers are dropped by the engine; a stalled one's
+  // are deferred — missing heartbeats are the detection signal, for both.
+  if (dormant_ || engine.all_done() || engine.is_done(p) ||
+      engine.is_quarantined(p))
+    return;
+  for (int q = 0; q < nprocs_; ++q)
+    if (q != p)
+      engine.send_control(p, q, opts_.detector.hb_bytes, kHbKind);
+  engine.schedule_timer(p, engine.now() + opts_.detector.hb_interval,
+                        kHbTimerBase + p);
+}
+
+void Supervisor::on_control(Engine& engine, int dst, int src, int kind,
+                            long payload) {
+  if (kind == kHbKind) {
+    detector_->note_heartbeat(dst, src, engine.now());
+    return;
+  }
+  if (inner_) inner_->on_control(engine, dst, src, kind, payload);
+}
+
+void Supervisor::poll(Engine& engine) {
+  if (dormant_ || engine.all_done()) return;
+  const double now = engine.now();
+
+  // Dormancy watchdog: once a quarantine exists, nothing is mid-recovery,
+  // and the survivors make no progress across several polls, the control
+  // plane stands down so the event queue can drain (graceful degradation
+  // instead of heartbeating a wedged world until max_events).
+  bool any_quarantined = false;
+  bool any_pending = false;
+  bool any_crashed = false;
+  bool all_idle = true;
+  for (int p = 0; p < nprocs_; ++p) {
+    if (engine.is_quarantined(p)) {
+      any_quarantined = true;
+      continue;
+    }
+    if (restart_pending_[static_cast<std::size_t>(p)]) any_pending = true;
+    if (engine.is_crashed(p)) any_crashed = true;
+    if (!engine.is_done(p) && !engine.is_blocked(p)) all_idle = false;
+  }
+  const std::uint64_t stamp = engine.progress_stamp();
+  if (any_quarantined && !any_pending && !any_crashed && all_idle &&
+      stamp_valid_ && stamp == last_stamp_)
+    ++stagnant_polls_;
+  else
+    stagnant_polls_ = 0;
+  last_stamp_ = stamp;
+  stamp_valid_ = true;
+  if (stagnant_polls_ >= kStagnantPollsToDormancy) {
+    dormant_ = true;
+    return;  // no reschedule: heartbeat ticks also stand down
+  }
+
+  // Suspicion sweep: a verdict needs EVERY live observer to have timed
+  // out. Observers are processes the engine knows to be un-crashed —
+  // finished processes still observe (they receive heartbeats to the
+  // end), so the last survivor's crash is still detectable.
+  for (int s = 0; s < nprocs_; ++s) {
+    if (engine.is_done(s) || engine.is_quarantined(s) ||
+        restart_pending_[static_cast<std::size_t>(s)])
+      continue;
+    int live_observers = 0;
+    bool unanimous = true;
+    for (int o = 0; o < nprocs_; ++o) {
+      if (o == s || engine.is_crashed(o)) continue;
+      ++live_observers;
+      if (detector_->timed_out(o, s, now))
+        detector_->mark_suspected(o, s);
+      else
+        unanimous = false;
+    }
+    if (live_observers == 0 || !unanimous) continue;
+
+    // Verdict. It may be wrong (partition/stall) — that is recorded, and
+    // the restart it triggers is safe either way.
+    detect_time_[static_cast<std::size_t>(s)] = now;
+    const bool false_positive = !engine.is_crashed(s);
+    engine.note_detector_suspicion(false_positive);
+    ++suspicions_;
+    if (false_positive) ++false_suspicions_;
+    int& attempts = attempts_[static_cast<std::size_t>(s)];
+    ++attempts;
+    if (attempts > opts_.restart_budget) {
+      engine.quarantine(s);
+      ++quarantines_;
+      continue;
+    }
+    restart_pending_[static_cast<std::size_t>(s)] = 1;
+    double delay = opts_.backoff_base;
+    for (int i = 1; i < attempts; ++i) delay *= opts_.backoff_factor;
+    delay = std::min(delay, opts_.backoff_max);
+    engine.schedule_timer(-1, now + delay, kRestartTimerBase + s);
+  }
+
+  engine.schedule_timer(-1, now + opts_.poll_interval, kPollTimer);
+}
+
+void Supervisor::restart_tick(Engine& engine, int s) {
+  restart_pending_[static_cast<std::size_t>(s)] = 0;
+  if (dormant_ || engine.all_done() || engine.is_quarantined(s) ||
+      engine.is_done(s))
+    return;
+  if (!engine.is_crashed(s)) {
+    // The subject is alive: re-validate against fresh heartbeats. A healed
+    // partition or an ended stall cancels the restart — but the attempt
+    // stays spent, so a flapping process still drains its budget.
+    bool unanimous = true;
+    int live_observers = 0;
+    for (int o = 0; o < nprocs_; ++o) {
+      if (o == s || engine.is_crashed(o)) continue;
+      ++live_observers;
+      if (!detector_->timed_out(o, s, engine.now())) unanimous = false;
+    }
+    if (live_observers == 0 || !unanimous) {
+      ++cancelled_restarts_;
+      return;
+    }
+  }
+  engine.supervised_restart(s, detect_time_[static_cast<std::size_t>(s)]);
+  ++restarts_;
+}
+
+long Supervisor::piggyback(Engine& engine, int src) {
+  return inner_ ? inner_->piggyback(engine, src) : 0;
+}
+
+void Supervisor::before_delivery(Engine& engine, int dst, int src,
+                                 long piggyback_value) {
+  if (inner_) inner_->before_delivery(engine, dst, src, piggyback_value);
+}
+
+void Supervisor::on_checkpoint(Engine& engine, int proc, bool forced) {
+  if (inner_) inner_->on_checkpoint(engine, proc, forced);
+}
+
+void Supervisor::on_paused(Engine& engine, int proc) {
+  if (inner_) inner_->on_paused(engine, proc);
+}
+
+void Supervisor::on_rollback(Engine& engine, int failed_proc,
+                             double resume_at) {
+  if (inner_) inner_->on_rollback(engine, failed_proc, resume_at);
+  // The epoch bump killed every pre-rollback timer (heartbeats, poll,
+  // armed restarts): restart the whole control plane from the resume time.
+  for (char& pending : restart_pending_) pending = 0;
+  detector_->reset(resume_at);
+  stagnant_polls_ = 0;
+  stamp_valid_ = false;
+  if (dormant_) return;
+  schedule_heartbeats(engine, resume_at);
+  engine.schedule_timer(-1, resume_at + opts_.poll_interval, kPollTimer);
+}
+
+}  // namespace acfc::sim

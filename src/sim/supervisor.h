@@ -1,0 +1,110 @@
+// Supervisor: in-model failure detection and restart on top of the
+// engine's supervised failure mode (docs/simulator.md, "Partitions, gray
+// failures & supervision").
+//
+// A Supervisor is a ProtocolDriver (optionally wrapping an inner protocol
+// driver) that replaces engine-omniscient recovery with a deterministic
+// control plane on the simulated clock:
+//
+//  * every process heartbeats every peer each hb_interval (ordinary
+//    control messages — they ride the same links, so partitions, stalls,
+//    and loss delay them exactly like application traffic);
+//  * a global poll sweeps the heartbeat Detector; when ALL live observers
+//    have timed out on a subject, the supervisor reaches a suspect
+//    verdict — which can be WRONG under partition or stall, and must be
+//    safe: the triggered rollback is always correct, merely wasteful;
+//  * a verdict schedules a restart after an exponential-backoff delay
+//    (base · factor^(attempts-1), capped); if heartbeats resume before it
+//    fires the restart is cancelled, but the attempt stays spent — a
+//    flapping process drains its budget;
+//  * past restart_budget attempts the subject is QUARANTINED: retired for
+//    good, excluded from future restores, while survivors keep whatever
+//    progress the workload's dependency structure allows;
+//  * if a quarantine leaves the survivors wedged (no progress across
+//    several polls, everyone blocked or done), the supervisor goes
+//    DORMANT — stops heartbeating and polling so the event queue drains
+//    and the run terminates incomplete instead of spinning to max_events.
+//
+// Everything above is driven by engine timers and control deliveries, so a
+// supervised run is bit-deterministic and replayable like any other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/detector.h"
+#include "sim/driver.h"
+
+namespace acfc::sim {
+
+struct SupervisorOptions {
+  DetectorOptions detector;
+  double poll_interval = 0.1;  ///< detector sweep period
+  int restart_budget = 3;      ///< suspect verdicts allowed before quarantine
+  double backoff_base = 0.2;   ///< first verdict → restart delay
+  double backoff_factor = 2.0; ///< delay multiplier per further verdict
+  double backoff_max = 5.0;    ///< delay cap
+};
+
+class Supervisor final : public ProtocolDriver {
+ public:
+  /// Reserved timer-id / control-kind space (inner drivers keep ids below).
+  static constexpr int kHbTimerBase = 1'000'000;
+  static constexpr int kPollTimer = 2'000'000;
+  static constexpr int kRestartTimerBase = 3'000'000;
+  static constexpr int kHbKind = 1'000'000;
+
+  explicit Supervisor(SupervisorOptions opts,
+                      std::unique_ptr<ProtocolDriver> inner = nullptr);
+  ~Supervisor() override;
+
+  bool wants_supervised_failures() const override { return true; }
+
+  void on_start(Engine& engine) override;
+  void on_timer(Engine& engine, int proc, int timer_id) override;
+  void on_control(Engine& engine, int dst, int src, int kind,
+                  long payload) override;
+  long piggyback(Engine& engine, int src) override;
+  void before_delivery(Engine& engine, int dst, int src,
+                       long piggyback_value) override;
+  void on_checkpoint(Engine& engine, int proc, bool forced) override;
+  void on_paused(Engine& engine, int proc) override;
+  void on_rollback(Engine& engine, int failed_proc, double resume_at) override;
+
+  long suspicions() const { return suspicions_; }
+  long false_suspicions() const { return false_suspicions_; }
+  long restarts() const { return restarts_; }
+  long quarantines() const { return quarantines_; }
+  long cancelled_restarts() const { return cancelled_restarts_; }
+  bool dormant() const { return dormant_; }
+  const Detector& detector() const { return *detector_; }
+
+ private:
+  void heartbeat_tick(Engine& engine, int proc);
+  void poll(Engine& engine);
+  void restart_tick(Engine& engine, int subject);
+  void schedule_heartbeats(Engine& engine, double from);
+
+  /// Consecutive no-progress polls before a quarantined run goes dormant.
+  static constexpr int kStagnantPollsToDormancy = 3;
+
+  SupervisorOptions opts_;
+  std::unique_ptr<ProtocolDriver> inner_;
+  std::unique_ptr<Detector> detector_;
+  int nprocs_ = 0;
+  std::vector<int> attempts_;          ///< lifetime suspect verdicts per proc
+  std::vector<char> restart_pending_;  ///< backoff timer armed
+  std::vector<double> detect_time_;    ///< latest verdict time per proc
+  bool dormant_ = false;
+  int stagnant_polls_ = 0;
+  std::uint64_t last_stamp_ = 0;
+  bool stamp_valid_ = false;
+  long suspicions_ = 0;
+  long false_suspicions_ = 0;
+  long restarts_ = 0;
+  long quarantines_ = 0;
+  long cancelled_restarts_ = 0;
+};
+
+}  // namespace acfc::sim

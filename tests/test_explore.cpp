@@ -176,6 +176,68 @@ TEST(Explore, AppDrivenCleanUnderFailureInjection) {
 }
 
 // ---------------------------------------------------------------------------
+// Partition / stall injection dimensions
+
+/// Options for the gray-failure dimensions: tie-breaks are disabled
+/// (tie_cap 1) so the depth budget is spent entirely on injection points —
+/// ring start-up alone burns ~10 tie-break positions otherwise.
+explore::ExploreOptions gray_failure_options() {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 4000;
+  opts.perturb.tie_cap = 1;
+  opts.perturb.failure_points = true;
+  opts.perturb.partition_points = true;
+  opts.perturb.partition_window = 2.0;
+  opts.perturb.stall_points = true;
+  opts.perturb.stall_window = 2.0;
+  return opts;
+}
+
+TEST(Explore, AllProtocolsCleanUnderPartitionAndStallInjection) {
+  for (const std::string driver :
+       {"sync-and-stop", "chandy-lamport", "koo-toueg", "cic",
+        "uncoordinated"}) {
+    SCOPED_TRACE(driver);
+    explore::Scenario sc = small_ring();
+    sc.driver = driver;
+    sc.proto.interval = 20.0;
+    const auto result = explore::explore(sc, gray_failure_options());
+    EXPECT_TRUE(result.complete);
+    EXPECT_GT(result.schedules_run, 10);
+    EXPECT_EQ(result.violations_found, 0)
+        << (result.violations.empty() ? ""
+                                      : result.violations.front().detail);
+  }
+}
+
+TEST(Explore, AppDrivenCleanUnderPartitionAndStallInjection) {
+  const auto result =
+      explore::explore(small_ring(), gray_failure_options());
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.schedules_run, 10);
+  EXPECT_EQ(result.violations_found, 0)
+      << (result.violations.empty() ? ""
+                                    : result.violations.front().detail);
+}
+
+TEST(Explore, SupervisedRuntimeCleanUnderAllThreeInjectionDimensions) {
+  // The genuine supervisor: detector timeout = interval, generous restart
+  // budget. Injected crashes are detected and rolled back; injected
+  // partitions/stalls may cause false suspicion, which must stay safe.
+  explore::Scenario sc = small_ring();
+  sc.params.iterations = 3;
+  sc.driver = "supervised";
+  sc.proto.interval = 20.0;
+  const auto result = explore::explore(sc, gray_failure_options());
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.schedules_run, 10);
+  EXPECT_EQ(result.violations_found, 0)
+      << (result.violations.empty() ? ""
+                                    : result.violations.front().detail);
+}
+
+// ---------------------------------------------------------------------------
 // Determinism
 
 TEST(Explore, SerialSearchIsDeterministic) {
@@ -278,11 +340,103 @@ TEST(ExploreNegativeControl, BrokenCicIsCaughtAndShrunk) {
 }
 
 // ---------------------------------------------------------------------------
+// Negative control #2: a too-short detector timeout under stall injection
+
+/// The fragile supervisor: detector timeout = interval/4 (5 s here) with a
+/// ZERO restart budget — the first suspicion quarantines. A 10 s injected
+/// stall exceeds the timeout, so exploration finds a schedule where a live
+/// process is suspected, quarantined, and the ring wedges (a completion
+/// violation). The default schedule has no stall and stays clean.
+explore::Scenario fragile_scenario() {
+  explore::Scenario sc;
+  sc.workload = "ring";
+  sc.params.iterations = 3;
+  sc.nprocs = 3;
+  sc.driver = "supervised-fragile";
+  sc.proto.interval = 20.0;
+  return sc;
+}
+
+explore::ExploreOptions fragile_options() {
+  explore::ExploreOptions opts;
+  opts.max_choice_points = 6;
+  opts.max_schedules = 3000;
+  opts.perturb.tie_cap = 1;
+  opts.perturb.stall_points = true;
+  opts.perturb.stall_window = 10.0;
+  return opts;
+}
+
+TEST(ExploreNegativeControl, FragileSupervisorRootScheduleIsClean) {
+  explore::ExploreOptions opts = fragile_options();
+  opts.max_schedules = 1;
+  const auto result = explore::explore(fragile_scenario(), opts);
+  EXPECT_EQ(result.violations_found, 0);
+}
+
+TEST(ExploreNegativeControl, GenuineSupervisorSurvivesTheSameStalls) {
+  // Same workload, same injected stalls — but the genuine supervisor's
+  // timeout (= interval) exceeds the stall window and its budget absorbs
+  // false suspicions. Only the fragile tuning is at fault.
+  explore::Scenario sc = fragile_scenario();
+  sc.driver = "supervised";
+  const auto result = explore::explore(sc, fragile_options());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.violations_found, 0)
+      << (result.violations.empty() ? ""
+                                    : result.violations.front().detail);
+}
+
+TEST(ExploreNegativeControl, FragileSupervisorIsCaughtShrunkAndReplayed) {
+  const explore::Scenario sc = fragile_scenario();
+  const explore::ExploreOptions opts = fragile_options();
+  const auto result = explore::explore(sc, opts);
+  EXPECT_TRUE(result.complete);
+  ASSERT_GT(result.violations_found, 0);
+  ASSERT_FALSE(result.violations.empty());
+  const explore::Violation& found = result.violations.front();
+  EXPECT_EQ(found.property, "completion");
+
+  const auto shrunk = explore::shrink(sc, opts, found);
+  EXPECT_LE(shrunk.final_choices, shrunk.initial_choices);
+  EXPECT_LE(static_cast<long>(shrunk.minimal.plan.size()), 20);
+  EXPECT_EQ(shrunk.minimal.property, "completion");
+
+  // 1-minimality: zeroing any surviving choice loses the violation.
+  for (std::size_t i = 0; i < shrunk.minimal.plan.size(); ++i) {
+    if (shrunk.minimal.plan[i] == 0) continue;
+    std::vector<int> weakened = shrunk.minimal.plan;
+    weakened[i] = 0;
+    const auto rep = explore::replay_plan(sc, opts, weakened);
+    EXPECT_FALSE(rep.violation &&
+                 rep.violation->property == "completion")
+        << "choice " << i << " is removable";
+  }
+
+  // The shrunk plan replays to the same violation, digest, and a run that
+  // actually stalled a process and quarantined one.
+  const auto rep = explore::replay_plan(sc, opts, shrunk.minimal.plan);
+  ASSERT_TRUE(rep.violation.has_value());
+  EXPECT_EQ(rep.violation->property, "completion");
+  EXPECT_EQ(rep.digest, shrunk.minimal.digest);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_GT(rep.stats.stall_deferred_events, 0);
+  EXPECT_GE(rep.stats.quarantines, 1);
+  EXPECT_GE(rep.stats.false_suspicions, 1);
+}
+
+// ---------------------------------------------------------------------------
 // ACFX artifacts
 
 TEST(ExploreArtifact, RoundTripsThroughText) {
   const explore::Scenario sc = cic_scenario("cic-broken");
-  const explore::ExploreOptions opts = cic_options();
+  explore::ExploreOptions opts = cic_options();
+  opts.perturb.partition_points = true;
+  opts.perturb.partition_window = 0.75;
+  opts.perturb.stall_points = true;
+  opts.perturb.stall_window = 1.25;
+  opts.max_partitions = 2;
+  opts.max_stalls = 3;
   explore::Violation v;
   v.property = "cic-index";
   v.plan = {0, 0, 0, 1, 0, 1, 1};
@@ -303,6 +457,14 @@ TEST(ExploreArtifact, RoundTripsThroughText) {
   EXPECT_EQ(parsed->opts.perturb.delay_steps, opts.perturb.delay_steps);
   EXPECT_EQ(parsed->opts.perturb.delay_quantum,
             opts.perturb.delay_quantum);
+  EXPECT_EQ(parsed->opts.perturb.partition_points,
+            opts.perturb.partition_points);
+  EXPECT_EQ(parsed->opts.perturb.partition_window,
+            opts.perturb.partition_window);
+  EXPECT_EQ(parsed->opts.perturb.stall_points, opts.perturb.stall_points);
+  EXPECT_EQ(parsed->opts.perturb.stall_window, opts.perturb.stall_window);
+  EXPECT_EQ(parsed->opts.max_partitions, opts.max_partitions);
+  EXPECT_EQ(parsed->opts.max_stalls, opts.max_stalls);
   EXPECT_EQ(parsed->plan, v.plan);
   EXPECT_EQ(parsed->property, v.property);
   EXPECT_EQ(parsed->digest, v.digest);
@@ -386,6 +548,27 @@ TEST(ExploreCli, SearchShrinkEmitAndReproduceBitIdentically) {
   const auto mismatch = run_cli("explore --repro " + path);
   EXPECT_EQ(mismatch.exit_code, 1) << mismatch.output;
   EXPECT_NE(mismatch.output.find("MISMATCH"), std::string::npos);
+}
+
+TEST(ExploreCli, FragileSupervisorCaughtAndReproducedThroughTheCli) {
+  const std::string path =
+      testing::TempDir() + "/fragile_negative_control.acfx";
+  const auto search = run_cli(
+      "explore -w ring --iterations 3 -n 3 --driver supervised-fragile "
+      "--interval 20 --depth 6 --budget 3000 --stall-points "
+      "--stall-window 10 --tie-cap 1 -o " +
+      path);
+  EXPECT_EQ(search.exit_code, 1) << search.output;
+  EXPECT_NE(search.output.find("property:   completion"), std::string::npos)
+      << search.output;
+  EXPECT_NE(search.output.find("(complete)"), std::string::npos);
+  EXPECT_NE(search.output.find("wrote " + path), std::string::npos);
+
+  const auto repro = run_cli("explore --repro " + path);
+  EXPECT_EQ(repro.exit_code, 0) << repro.output;
+  EXPECT_EQ(repro.output.find("MISMATCH"), std::string::npos)
+      << repro.output;
+  EXPECT_NE(repro.output.find("repro: reproduced"), std::string::npos);
 }
 
 TEST(ExploreCli, CleanScenarioExitsZero) {

@@ -516,6 +516,14 @@ std::string sample_artifact_text() {
   explore::ExploreOptions opts;
   opts.perturb.delay_steps = 3;
   opts.perturb.delay_quantum = 2.0;
+  // Gray-failure dimensions at non-default values, so every one of their
+  // keys is present in the sample and mutations land on their parse paths.
+  opts.perturb.partition_points = true;
+  opts.perturb.partition_window = 0.75;
+  opts.perturb.stall_points = true;
+  opts.perturb.stall_window = 1.5;
+  opts.max_partitions = 2;
+  opts.max_stalls = 3;
   return explore::to_text(explore::make_artifact(sc, opts, v));
 }
 

@@ -267,6 +267,70 @@ TEST(RecoveryMetrics, RandomFaultPlansAreDeterministic) {
   }
 }
 
+TEST(RecoveryMetrics, ExtendedFaultPlanDrawsAreAppendOnly) {
+  // The partition/stall draws happen strictly AFTER the crash draws, so
+  // enabling them must leave every (seed, max_faults) crash schedule
+  // bit-identical to what crash-only callers have always received.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 20260808ULL}) {
+    const sim::FaultPlan base = sim::random_fault_plan(seed, 4, 100.0);
+    const sim::FaultPlan ext =
+        sim::random_fault_plan(seed, 4, 100.0, 2, 2, 2);
+    ASSERT_EQ(ext.faults.size(), base.faults.size()) << "seed=" << seed;
+    for (size_t i = 0; i < base.faults.size(); ++i) {
+      EXPECT_EQ(ext.faults[i].proc, base.faults[i].proc);
+      EXPECT_EQ(ext.faults[i].trigger, base.faults[i].trigger);
+      EXPECT_EQ(ext.faults[i].time, base.faults[i].time);
+      EXPECT_EQ(ext.faults[i].count, base.faults[i].count);
+    }
+    // The extended draws are themselves deterministic and well-formed.
+    const sim::FaultPlan again =
+        sim::random_fault_plan(seed, 4, 100.0, 2, 2, 2);
+    ASSERT_EQ(again.partitions.size(), ext.partitions.size());
+    ASSERT_EQ(again.stalls.size(), ext.stalls.size());
+    for (size_t i = 0; i < ext.partitions.size(); ++i) {
+      const sim::PartitionSpec& p = ext.partitions[i];
+      EXPECT_EQ(again.partitions[i].group, p.group);
+      EXPECT_EQ(again.partitions[i].start, p.start);
+      EXPECT_EQ(again.partitions[i].heal, p.heal);
+      EXPECT_EQ(again.partitions[i].symmetric, p.symmetric);
+      ASSERT_EQ(p.group.size(), 1u);
+      EXPECT_GE(p.group[0], 0);
+      EXPECT_LT(p.group[0], 4);
+      EXPECT_GT(p.heal, p.start);
+      EXPECT_LE(p.heal, 100.0);
+    }
+    for (size_t i = 0; i < ext.stalls.size(); ++i) {
+      const sim::StallSpec& s = ext.stalls[i];
+      EXPECT_EQ(again.stalls[i].proc, s.proc);
+      EXPECT_EQ(again.stalls[i].start, s.start);
+      EXPECT_EQ(again.stalls[i].duration, s.duration);
+      EXPECT_GE(s.proc, 0);
+      EXPECT_LT(s.proc, 4);
+      EXPECT_GT(s.duration, 0.0);
+    }
+  }
+}
+
+TEST(RecoveryMetrics, ExtendedFaultPlanMatchesTheGoldenPlan) {
+  // Pinned draws for one seed: any reordering of the crash or window draw
+  // streams — even one that stays self-consistent — shows up here.
+  const sim::FaultPlan plan = sim::random_fault_plan(7, 4, 100.0, 2, 2, 2);
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].proc, 3);
+  EXPECT_EQ(plan.faults[0].trigger, sim::FaultSpec::Trigger::kAfterEvents);
+  EXPECT_EQ(plan.faults[0].count, 223);
+  ASSERT_EQ(plan.partitions.size(), 2u);
+  EXPECT_EQ(plan.partitions[0].group, std::vector<int>{1});
+  EXPECT_DOUBLE_EQ(plan.partitions[0].start, 22.237184497653029);
+  EXPECT_DOUBLE_EQ(plan.partitions[0].heal, 38.320079873930496);
+  EXPECT_FALSE(plan.partitions[0].symmetric);
+  EXPECT_EQ(plan.partitions[1].group, std::vector<int>{2});
+  EXPECT_DOUBLE_EQ(plan.partitions[1].start, 68.476093153220972);
+  EXPECT_DOUBLE_EQ(plan.partitions[1].heal, 82.850706698335713);
+  EXPECT_TRUE(plan.partitions[1].symmetric);
+  EXPECT_TRUE(plan.stalls.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Protocol baselines under failure injection
 // ---------------------------------------------------------------------------

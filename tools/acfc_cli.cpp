@@ -47,6 +47,9 @@ int usage() {
       "                [--max-failures K] [--tie-cap K] [--delay-steps K]\n"
       "                [--delay-quantum s] [--iterations K] [--threads K]\n"
       "                [--walks N] [--cic-stagger F] [--check-cic-index]\n"
+      "                [--partition-points] [--partition-window s]\n"
+      "                [--stall-points] [--stall-window s]\n"
+      "                [--max-partitions K] [--max-stalls K]\n"
       "                [--no-digest] [--no-memo] [--no-shrink] [-o f.acfx]\n"
       "  acfc explore  --repro f.acfx\n"
       "  acfc workloads\n";
@@ -79,6 +82,12 @@ struct Args {
   long walks = 0;
   double cic_stagger = 0.0;
   bool failure_points = false;
+  bool partition_points = false;
+  double partition_window = 0.5;
+  bool stall_points = false;
+  double stall_window = 0.5;
+  int max_partitions = 1;
+  int max_stalls = 1;
   bool check_cic_index = false;
   bool no_digest = false;
   bool no_memo = false;
@@ -171,6 +180,26 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.cic_stagger = std::stod(*v);
     } else if (arg == "--failure-points") {
       args.failure_points = true;
+    } else if (arg == "--partition-points") {
+      args.partition_points = true;
+    } else if (arg == "--partition-window") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.partition_window = std::stod(*v);
+    } else if (arg == "--stall-points") {
+      args.stall_points = true;
+    } else if (arg == "--stall-window") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.stall_window = std::stod(*v);
+    } else if (arg == "--max-partitions") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.max_partitions = std::stoi(*v);
+    } else if (arg == "--max-stalls") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      args.max_stalls = std::stoi(*v);
     } else if (arg == "--check-cic-index") {
       args.check_cic_index = true;
     } else if (arg == "--no-digest") {
@@ -418,6 +447,8 @@ int cmd_explore(const Args& args) {
   opts.max_choice_points = args.depth;
   opts.max_schedules = args.budget;
   opts.max_failures = args.max_failures;
+  opts.max_partitions = args.max_partitions;
+  opts.max_stalls = args.max_stalls;
   opts.memoize = !args.no_memo;
   opts.threads = args.threads;
   opts.random_walks = args.walks;
@@ -428,6 +459,10 @@ int cmd_explore(const Args& args) {
   opts.perturb.delay_steps = args.delay_steps;
   opts.perturb.delay_quantum = args.delay_quantum;
   opts.perturb.failure_points = args.failure_points;
+  opts.perturb.partition_points = args.partition_points;
+  opts.perturb.partition_window = args.partition_window;
+  opts.perturb.stall_points = args.stall_points;
+  opts.perturb.stall_window = args.stall_window;
 
   const auto result = explore::explore(scenario, opts);
   std::cout << "schedules:  " << result.schedules_run

@@ -53,7 +53,7 @@ def main():
     baseline = bench_diff.load(args.baseline)
 
     raw = bench_to_json.run_benchmark(args.bench, args.min_time)
-    candidate = bench_to_json.condense_sim(raw, None, None, None)
+    candidate = bench_to_json.condense_sim(raw, None, None, None, None)
 
     # Drop wall-clock phases (their condensed names lose the /real_time
     # suffix, so recover them from the raw run) from both sides.

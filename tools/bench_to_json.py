@@ -20,8 +20,9 @@ Two suites:
   "speedups" pairs every fast-path phase with its *Legacy twin at the same
   argument (legacy ns-per-op / fast ns-per-op).
 
-  --suite sim drives bench/ablate_sim_throughput plus bench/ablate_recovery
-  and bench/ablate_degraded_recovery, and writes BENCH_sim.json:
+  --suite sim drives bench/ablate_sim_throughput plus bench/ablate_recovery,
+  bench/ablate_degraded_recovery, and bench/ablate_partition, and writes
+  BENCH_sim.json:
 
     {
       "benchmark": "ablate_sim_throughput",
@@ -42,6 +43,13 @@ Two suites:
                          "extra_lost_work_s": ...,
                          "retransmit_overhead": ...,
                          "corrupt_skipped": ..., ...},
+        ...
+      },
+      "partition": {                          # supervised runtime under
+        "crash-only": {"detection_latency_s": ...,     # crashes, partitions,
+                        "downtime_s": ...,             # and stalls
+                        "false_suspicions": ...,
+                        "quarantines": ..., ...},
         ...
       },
       "events_per_s_before": {...},           # only with --baseline
@@ -77,6 +85,8 @@ SUITES = {
         "recovery_bench": os.path.join("build", "bench", "ablate_recovery"),
         "degraded_bench": os.path.join(
             "build", "bench", "ablate_degraded_recovery"),
+        "partition_bench": os.path.join(
+            "build", "bench", "ablate_partition"),
         "out": "BENCH_sim.json",
     },
 }
@@ -170,6 +180,12 @@ DEGRADED_COUNTERS = (
     "retransmit_overhead", "transport_give_ups",
 )
 
+PARTITION_COUNTERS = (
+    "runs", "completed", "rollbacks", "suspicions", "false_suspicions",
+    "supervised_restarts", "quarantines", "detection_latency_s",
+    "downtime_s",
+)
+
 
 def extract_per_protocol(raw, counters):
     """Per-protocol sweep counters keyed by the benchmark's label."""
@@ -182,12 +198,14 @@ def extract_per_protocol(raw, counters):
     return table
 
 
-def condense_sim(raw, recovery_raw, degraded_raw, baseline):
+def condense_sim(raw, recovery_raw, degraded_raw, partition_raw, baseline):
     phases = extract_phases(raw)
     if recovery_raw:
         phases.update(extract_phases(recovery_raw))
     if degraded_raw:
         phases.update(extract_phases(degraded_raw))
+    if partition_raw:
+        phases.update(extract_phases(partition_raw))
 
     events = {}
     ckpts = {}
@@ -240,6 +258,9 @@ def condense_sim(raw, recovery_raw, degraded_raw, baseline):
     if degraded_raw:
         doc["degraded"] = extract_per_protocol(degraded_raw,
                                                DEGRADED_COUNTERS)
+    if partition_raw:
+        doc["partition"] = extract_per_protocol(partition_raw,
+                                                PARTITION_COUNTERS)
 
     if baseline:
         before = baseline.get("events_per_s", {})
@@ -281,26 +302,23 @@ def main():
         doc = condense_analysis(raw)
         ratios = doc["speedups"]
     else:
-        recovery_raw = None
-        degraded_raw = None
+        extra_raw = {"recovery": None, "degraded": None, "partition": None}
         for key, slot in (("recovery_bench", "recovery"),
-                          ("degraded_bench", "degraded")):
+                          ("degraded_bench", "degraded"),
+                          ("partition_bench", "partition")):
             path = suite.get(key)
             if not path:
                 continue
             if not os.path.exists(path):
                 sys.exit("benchmark binary not found: %s (build it first)"
                          % path)
-            parsed = run_benchmark(path, args.min_time)
-            if slot == "recovery":
-                recovery_raw = parsed
-            else:
-                degraded_raw = parsed
+            extra_raw[slot] = run_benchmark(path, args.min_time)
         baseline = None
         if args.baseline:
             with open(args.baseline) as f:
                 baseline = json.load(f)
-        doc = condense_sim(raw, recovery_raw, degraded_raw, baseline)
+        doc = condense_sim(raw, extra_raw["recovery"], extra_raw["degraded"],
+                           extra_raw["partition"], baseline)
         ratios = dict(doc["parallel_speedup"])
         ratios.update(doc.get("async_capture_speedup", {}))
         ratios.update(doc.get("events_per_s_speedup", {}))

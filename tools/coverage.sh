@@ -8,6 +8,7 @@
 # as covered if ANY object executed it.
 #
 #   tools/coverage.sh            # tier-1 suite (the CI gate)
+#   tools/coverage.sh --min 70   # additionally FAIL if TOTAL < 70%
 #   COVERAGE_LABELS="" tools/coverage.sh   # full suite incl. slow tier
 #   BUILD_DIR=/tmp/cov tools/coverage.sh   # custom build directory
 set -euo pipefail
@@ -16,6 +17,21 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-coverage}"
 LABELS="${COVERAGE_LABELS-tier1}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+MIN_PCT=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --min)
+      [ $# -ge 2 ] || { echo "--min needs a percentage" >&2; exit 2; }
+      MIN_PCT="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1 (usage: tools/coverage.sh [--min PCT])" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== configure ($BUILD)"
 cmake -B "$BUILD" -S "$ROOT" -DACFC_COVERAGE=ON \
@@ -39,10 +55,11 @@ cd "$SCRATCH"
 find "$BUILD/src" "$BUILD/tools" -name '*.gcda' -print0 |
   xargs -0 -n 32 gcov -p >/dev/null 2>&1 || true
 
-python3 - "$ROOT" <<'EOF'
+python3 - "$ROOT" "$MIN_PCT" <<'EOF'
 import collections, glob, os, sys
 
 root = os.path.realpath(sys.argv[1]) + os.sep + "src" + os.sep
+min_pct = float(sys.argv[2]) if len(sys.argv) > 2 and sys.argv[2] else None
 # (source, line) -> covered?  Merged across all objects including a line.
 lines = {}
 for path in glob.glob("*.gcov"):
@@ -82,4 +99,7 @@ for module in sorted(per_module):
 print("-" * 38)
 pct = 100.0 * tot_cov / tot_all if tot_all else 0.0
 print(f"{'TOTAL':<12} {tot_all:>7} {tot_cov:>8} {pct:>7.1f}%")
+if min_pct is not None and pct < min_pct:
+    print(f"coverage gate FAILED: {pct:.1f}% < --min {min_pct:.1f}%")
+    sys.exit(1)
 EOF
